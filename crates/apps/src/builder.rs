@@ -1,0 +1,288 @@
+//! Kernel construction helpers shared by the application models.
+//!
+//! A [`KernelSpec`] is a declarative description of one loop nest: how
+//! many loads/stores per iteration and from which streams, the FP/integer
+//! mix, the dependency structure and the SIMD properties. [`build`] lays
+//! it out as a [`Kernel`] with stable static PCs, in the canonical order
+//! a compiler would emit: address arithmetic, loads, FP work, stores,
+//! loop bookkeeping, branch.
+
+use musa_trace::{DepKind, InstrTemplate, Kernel, KernelId, Op, StreamDesc};
+
+/// One memory operation of a kernel body.
+#[derive(Debug, Clone, Copy)]
+pub struct MemOp {
+    /// Index into the spec's `streams`.
+    pub stream: u8,
+    /// Whether the tracer marked it as vector-decomposed (fusable).
+    pub vector_marked: bool,
+    /// Loop-carried self-dependency: the access of iteration *i+1*
+    /// cannot issue before iteration *i*'s completes (directionally
+    /// swept stencils, pointer-linked walks). This puts the access's
+    /// service latency on the loop recurrence, which is what makes a
+    /// working set overflowing the L2 visibly expensive.
+    pub carried: bool,
+}
+
+impl MemOp {
+    /// Marked memory op on `stream`.
+    pub const fn vec(stream: u8) -> Self {
+        MemOp {
+            stream,
+            vector_marked: true,
+            carried: false,
+        }
+    }
+
+    /// Unmarked (scalar) memory op on `stream`.
+    pub const fn scalar(stream: u8) -> Self {
+        MemOp {
+            stream,
+            vector_marked: false,
+            carried: false,
+        }
+    }
+
+    /// Marked memory op with a loop-carried recurrence (swept stencil).
+    pub const fn vec_chain(stream: u8) -> Self {
+        MemOp {
+            stream,
+            vector_marked: true,
+            carried: true,
+        }
+    }
+
+    /// Unmarked memory op with a loop-carried recurrence.
+    pub const fn scalar_chain(stream: u8) -> Self {
+        MemOp {
+            stream,
+            vector_marked: false,
+            carried: true,
+        }
+    }
+}
+
+/// One floating-point operation of a kernel body.
+#[derive(Debug, Clone, Copy)]
+pub struct FpOp {
+    /// Operation class (must satisfy [`Op::is_fp`]).
+    pub op: Op,
+    /// Dependency of this op.
+    pub dep: DepKind,
+    /// Vector-decomposition mark.
+    pub vector_marked: bool,
+}
+
+impl FpOp {
+    /// Marked FP op depending on the instruction `k` back.
+    pub const fn vec(op: Op, k: u8) -> Self {
+        FpOp {
+            op,
+            dep: DepKind::Prev(k),
+            vector_marked: true,
+        }
+    }
+
+    /// Marked FP op with no dependency (independent lanes).
+    pub const fn vec_free(op: Op) -> Self {
+        FpOp {
+            op,
+            dep: DepKind::None,
+            vector_marked: true,
+        }
+    }
+
+    /// Unmarked scalar FP op.
+    pub const fn scalar(op: Op, dep: DepKind) -> Self {
+        FpOp {
+            op,
+            dep,
+            vector_marked: false,
+        }
+    }
+
+    /// Loop-carried accumulator (serialises iterations).
+    pub const fn carried(op: Op) -> Self {
+        FpOp {
+            op,
+            dep: DepKind::Carried,
+            vector_marked: false,
+        }
+    }
+}
+
+/// Declarative description of one kernel.
+#[derive(Debug, Clone)]
+pub struct KernelSpec {
+    /// Kernel name for diagnostics.
+    pub name: &'static str,
+    /// Loads per iteration.
+    pub loads: Vec<MemOp>,
+    /// Stores per iteration.
+    pub stores: Vec<MemOp>,
+    /// FP operations per iteration.
+    pub fp: Vec<FpOp>,
+    /// Integer ALU operations per iteration (address/index arithmetic).
+    pub int_ops: u32,
+    /// Branches per iteration (≥ 1: the loop back-edge).
+    pub branches: u32,
+    /// Iterations per invocation.
+    pub trip_count: u32,
+    /// Longest same-static-instruction dynamic run (gates SIMD fusion).
+    pub fusible_run: u32,
+    /// Memory streams.
+    pub streams: Vec<StreamDesc>,
+}
+
+/// Lay a spec out as a [`Kernel`]. Static PCs are `kernel_id * 1000 + i`,
+/// unique across kernels of one application.
+pub fn build(id: KernelId, spec: &KernelSpec) -> Kernel {
+    let mut body = Vec::with_capacity(
+        spec.loads.len() + spec.stores.len() + spec.fp.len() + (spec.int_ops + spec.branches) as usize,
+    );
+    let mut pc = id * 1000;
+    let mut push = |t: InstrTemplate, pc: &mut u32| {
+        body.push(t);
+        *pc += 1;
+    };
+
+    // Address arithmetic first, then loads, FP work, stores, bookkeeping.
+    let addr_ops = spec.int_ops / 2;
+    for _ in 0..addr_ops {
+        push(
+            InstrTemplate::compute(Op::IntAlu, pc, DepKind::None, false),
+            &mut pc,
+        );
+    }
+    for l in &spec.loads {
+        let mut t = InstrTemplate::mem(Op::Load, pc, l.stream, l.vector_marked);
+        if l.carried {
+            t.dep = DepKind::Carried;
+        }
+        push(t, &mut pc);
+    }
+    for f in &spec.fp {
+        debug_assert!(f.op.is_fp(), "{:?} is not an FP op", f.op);
+        push(
+            InstrTemplate::compute(f.op, pc, f.dep, f.vector_marked),
+            &mut pc,
+        );
+    }
+    for s in &spec.stores {
+        let mut t = InstrTemplate::mem(Op::Store, pc, s.stream, s.vector_marked);
+        if s.carried {
+            t.dep = DepKind::Carried;
+        }
+        push(t, &mut pc);
+    }
+    for _ in addr_ops..spec.int_ops {
+        push(
+            InstrTemplate::compute(Op::IntAlu, pc, DepKind::None, false),
+            &mut pc,
+        );
+    }
+    for _ in 0..spec.branches {
+        push(
+            InstrTemplate::compute(Op::Branch, pc, DepKind::None, false),
+            &mut pc,
+        );
+    }
+
+    Kernel {
+        id,
+        name: spec.name.to_string(),
+        body,
+        trip_count: spec.trip_count,
+        fusible_run: spec.fusible_run,
+        streams: spec.streams.clone(),
+    }
+}
+
+/// Estimate the native (traced-machine) duration of executing `kernels`
+/// one after another, in nanoseconds. The traced machine is modelled as
+/// the paper's Intel Xeon E5-2670 running at 2.6 GHz with the given
+/// sustained IPC — burst durations only need to be *relatively* accurate,
+/// since detailed simulation replaces them before any hardware conclusion
+/// is drawn.
+pub fn estimate_duration_ns(kernels: &[&Kernel], ipc: f64) -> f64 {
+    const TRACED_GHZ: f64 = 2.6;
+    let instrs: u64 = kernels.iter().map(|k| k.dyn_len()).sum();
+    instrs as f64 / ipc / TRACED_GHZ
+}
+
+/// Convenience for one kernel invoked with an overridden trip count.
+pub fn estimate_trips_duration_ns(kernel: &Kernel, trips: u32, ipc: f64) -> f64 {
+    const TRACED_GHZ: f64 = 2.6;
+    let instrs = kernel.body.len() as u64 * trips as u64;
+    instrs as f64 / ipc / TRACED_GHZ
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use musa_trace::AccessPattern;
+
+    fn spec() -> KernelSpec {
+        KernelSpec {
+            name: "test",
+            loads: vec![MemOp::vec(0), MemOp::scalar(1)],
+            stores: vec![MemOp::vec(0)],
+            fp: vec![FpOp::vec(Op::FpFma, 1), FpOp::carried(Op::FpAdd)],
+            int_ops: 4,
+            branches: 1,
+            trip_count: 100,
+            fusible_run: 8,
+            streams: vec![
+                StreamDesc {
+                    base: 0,
+                    footprint: 1 << 16,
+                    pattern: AccessPattern::Sequential { stride: 8 },
+                },
+                StreamDesc {
+                    base: 1 << 20,
+                    footprint: 1 << 16,
+                    pattern: AccessPattern::Local,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn build_lays_out_all_ops() {
+        let k = build(3, &spec());
+        assert_eq!(k.body.len(), 2 + 1 + 2 + 4 + 1);
+        assert_eq!(k.trip_count, 100);
+        assert_eq!(k.fusible_run, 8);
+        // Static PCs unique and in the kernel's namespace.
+        let pcs: std::collections::HashSet<u32> =
+            k.body.iter().map(|t| t.static_pc).collect();
+        assert_eq!(pcs.len(), k.body.len());
+        assert!(pcs.iter().all(|&p| (3000..4000).contains(&p)));
+    }
+
+    #[test]
+    fn build_orders_loads_before_fp_before_stores() {
+        let k = build(0, &spec());
+        let pos = |op: Op| k.body.iter().position(|t| t.op == op).unwrap();
+        assert!(pos(Op::Load) < pos(Op::FpFma));
+        assert!(pos(Op::FpFma) < pos(Op::Store));
+        assert!(pos(Op::Store) < pos(Op::Branch));
+    }
+
+    #[test]
+    fn duration_scales_with_instructions_and_ipc() {
+        let k = build(0, &spec());
+        let d1 = estimate_duration_ns(&[&k], 1.0);
+        let d2 = estimate_duration_ns(&[&k], 2.0);
+        assert!((d1 / d2 - 2.0).abs() < 1e-12);
+        let half = estimate_trips_duration_ns(&k, 50, 1.0);
+        assert!((d1 / half - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vector_marks_preserved() {
+        let k = build(0, &spec());
+        let marked = k.body.iter().filter(|t| t.vector_marked).count();
+        assert_eq!(marked, 3); // 1 load + 1 fma + 1 store
+    }
+}

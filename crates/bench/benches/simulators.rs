@@ -1,0 +1,99 @@
+//! Criterion micro-benchmarks of the simulation substrates: these
+//! measure the *simulator's* performance (how fast MUSA-rs explores the
+//! design space), complementing the experiment binaries in `src/bin/`
+//! that regenerate the paper's tables and figures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use musa_apps::{generate, AppId, GenParams};
+use musa_arch::{MemConfig, NodeConfig};
+use musa_core::MultiscaleSim;
+use musa_mem::DramSystem;
+use musa_net::{replay, BurstTimer, NetworkParams};
+use musa_tasksim::{
+    analyze_kernel, cycles_per_fused_iter, fuse, simulate_region_burst, CacheGeometry,
+    NodeSim, ServiceLatencies,
+};
+
+fn bench_dram(c: &mut Criterion) {
+    c.bench_function("dram_channel_1k_requests", |b| {
+        b.iter(|| {
+            let mut sys = DramSystem::new(MemConfig::DDR4_4CH);
+            for i in 0..1000u64 {
+                sys.push(black_box(i * 64), i % 4 == 0, 0.0);
+            }
+            black_box(sys.drain().len())
+        })
+    });
+}
+
+fn bench_locality(c: &mut Criterion) {
+    let trace = generate(AppId::Spmz, &GenParams::tiny());
+    let kernel = trace.detail.as_ref().unwrap().kernels[0].clone();
+    let geom = CacheGeometry::new(&NodeConfig::REFERENCE, 32);
+    c.bench_function("analytic_locality_per_kernel", |b| {
+        b.iter(|| black_box(analyze_kernel(black_box(&kernel), &geom, 1e9)))
+    });
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let trace = generate(AppId::Hydro, &GenParams::tiny());
+    let kernel = trace.detail.as_ref().unwrap().kernels[0].clone();
+    let geom = CacheGeometry::new(&NodeConfig::REFERENCE, 32);
+    let loc = analyze_kernel(&kernel, &geom, 1e9);
+    let body = fuse(&kernel, &loc, NodeConfig::REFERENCE.vector);
+    let ooo = NodeConfig::REFERENCE.core_class.ooo();
+    let lat = ServiceLatencies::new(&geom, 2.0, false);
+    c.bench_function("ooo_pipeline_window", |b| {
+        b.iter(|| black_box(cycles_per_fused_iter(black_box(&body), &ooo, &lat)))
+    });
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let trace = generate(AppId::Lulesh, &GenParams::tiny());
+    let region = trace.sampled_region().unwrap().clone();
+    c.bench_function("burst_schedule_96_chunks_64_cores", |b| {
+        b.iter(|| black_box(simulate_region_burst(black_box(&region), 64).makespan_ns))
+    });
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let trace = generate(AppId::Btmz, &GenParams::tiny());
+    let net = NetworkParams::marenostrum4();
+    c.bench_function("mpi_replay_4_ranks", |b| {
+        b.iter(|| {
+            black_box(
+                replay(black_box(&trace), &net, &mut BurstTimer { cores: 32 }).total_ns,
+            )
+        })
+    });
+}
+
+fn bench_detailed_region(c: &mut Criterion) {
+    let trace = generate(AppId::Spec3d, &GenParams::tiny());
+    let region = trace.sampled_region().unwrap().clone();
+    let detail = trace.detail.as_ref().unwrap();
+    c.bench_function("detailed_region_64_cores", |b| {
+        b.iter(|| {
+            let mut sim = NodeSim::new(NodeConfig::REFERENCE, detail, &region);
+            black_box(sim.simulate_region(black_box(&region)).schedule.makespan_ns)
+        })
+    });
+}
+
+fn bench_multiscale_point(c: &mut Criterion) {
+    let trace = generate(AppId::Hydro, &GenParams::tiny());
+    let sim = MultiscaleSim::new(&trace);
+    c.bench_function("multiscale_one_dse_point", |b| {
+        b.iter(|| black_box(sim.simulate(black_box(NodeConfig::REFERENCE), true).time_ns))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_dram, bench_locality, bench_pipeline, bench_scheduler, bench_replay,
+              bench_detailed_region, bench_multiscale_point
+}
+criterion_main!(benches);

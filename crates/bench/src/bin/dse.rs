@@ -1,0 +1,82 @@
+//! The full design-space-exploration campaign as a CLI tool: runs all
+//! 864 configurations × 5 applications and exports the result table.
+//!
+//! ```sh
+//! cargo run --release -p musa-bench --bin dse               # summary to stdout
+//! cargo run --release -p musa-bench --bin dse -- --csv out.csv
+//! cargo run --release -p musa-bench --bin dse -- --full     # 256-rank scale
+//! ```
+
+use musa_apps::AppId;
+use musa_bench::load_or_run_campaign;
+use musa_core::report::table;
+
+fn main() {
+    let campaign = load_or_run_campaign();
+
+    // Optional CSV export.
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(pos) = args.iter().position(|a| a == "--csv") {
+        let path = args
+            .get(pos + 1)
+            .cloned()
+            .unwrap_or_else(|| "dse_results.csv".into());
+        let mut csv = String::from(
+            "app,config,cores,class,cache,vector,freq,mem,time_ns,region_ns,\
+             power_w,core_l1_w,l2_l3_w,mem_w,energy_j,l1_mpki,l2_mpki,mem_mpki\n",
+        );
+        for r in &campaign.results {
+            let c = &r.config;
+            csv.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.6},{:.3},{:.3},{:.3}\n",
+                r.app,
+                c.label(),
+                c.cores.count(),
+                c.core_class,
+                c.cache,
+                c.vector,
+                c.freq,
+                c.mem,
+                r.time_ns,
+                r.region_ns,
+                r.power.total_w(),
+                r.power.core_l1_w,
+                r.power.l2_l3_w,
+                r.power.mem_w,
+                r.energy_j,
+                r.l1_mpki,
+                r.l2_mpki,
+                r.mem_mpki,
+            ));
+        }
+        std::fs::write(&path, csv).expect("write CSV");
+        println!("wrote {} rows to {path}", campaign.results.len());
+    }
+
+    // Per-app best configurations (the Best-DSE points of Table II).
+    println!("== Best-DSE per application (64 cores, 2 GHz slice) ==\n");
+    let mut rows = Vec::new();
+    for app in AppId::ALL {
+        let best = campaign
+            .best_for(app, |c| {
+                c.cores == musa_arch::CoresPerNode::C64 && c.freq == musa_arch::Frequency::F2_0
+            })
+            .expect("campaign has results");
+        rows.push(vec![
+            app.label().to_string(),
+            best.config.label(),
+            format!("{:.2} ms", best.time_ns / 1e6),
+            format!("{:.0} W", best.power.total_w()),
+            format!("{:.2} J", best.energy_j),
+        ]);
+    }
+    println!(
+        "{}",
+        table(&["app", "best configuration", "time", "power", "energy"], &rows)
+    );
+    println!(
+        "campaign: {} rows ({} per app)",
+        campaign.results.len(),
+        campaign.results.len() / AppId::ALL.len()
+    );
+}

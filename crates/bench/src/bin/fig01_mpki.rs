@@ -1,0 +1,47 @@
+//! Figure 1: application runtime memory statistics — L1/L2/L3 MPKI and
+//! Giga-memory-requests per second, at 32 and 64 cores × 256 ranks.
+//!
+//! Paper values (32-core panel):
+//!   hydro  L1 5.98  L2 1.78  L3(mem) 0.19  GReq/s 0.02
+//!   spmz   L1 96.99 L2 22.26 L3 13.80      GReq/s 0.48
+//!   btmz   L1 24.14 L2 1.86  L3 0.57       GReq/s 0.11
+//!   spec3d L1 43.32 L2 6.95  L3 4.81       GReq/s 0.41
+//!   lulesh L1 13.50 L2 4.61  L3 5.27       GReq/s 0.51
+
+use musa_apps::{generate, AppId};
+use musa_arch::{CoresPerNode, NodeConfig};
+use musa_bench::gen_params;
+use musa_core::report::table;
+use musa_core::MultiscaleSim;
+
+fn main() {
+    let gen = gen_params();
+    for cores in [CoresPerNode::C32, CoresPerNode::C64] {
+        println!("== Fig. 1: {} cores × {} ranks ==", cores.count(), gen.ranks);
+        let mut rows = Vec::new();
+        for app in AppId::ALL {
+            let trace = generate(app, &gen);
+            let sim = MultiscaleSim::new(&trace);
+            let cfg = NodeConfig::REFERENCE
+                .with_cores(cores)
+                .with_vector(musa_arch::VectorWidth::V128);
+            let r = sim.simulate(cfg, false);
+            rows.push(vec![
+                app.label().to_string(),
+                format!("{:.2}", r.l1_mpki),
+                format!("{:.2}", r.l2_mpki),
+                format!("{:.2}", r.mem_mpki),
+                format!("{:.3}", r.gmemreq_per_s),
+            ]);
+        }
+        println!(
+            "{}",
+            table(
+                &["app", "L1-MPKI", "L2-MPKI", "mem-MPKI(+wb)", "G-MemReq/s"],
+                &rows
+            )
+        );
+    }
+    println!("shape checks: spmz tops L1; lulesh mem-MPKI > its L2-MPKI;");
+    println!("hydro lowest memory traffic; spec3d & lulesh highest G-Req/s.");
+}

@@ -1,0 +1,68 @@
+//! Figure 2 + §V-A text: hardware-agnostic scaling study.
+//!
+//! (a) single representative compute region, 1/32/64 cores per node;
+//! (b) full parallel region including MPI overheads on a MareNostrum4-
+//!     class network.
+//!
+//! Paper headline numbers: compute-only mean parallel efficiency ≈70 %
+//! at 32 cores and ≈50 % at 64; with MPI ≈49 % and ≈28 %; HYDRO is the
+//! only application above 75 % at 64 cores.
+
+use musa_apps::AppId;
+use musa_bench::gen_params;
+use musa_core::report::table;
+use musa_core::{full_app_scaling, mean_efficiency, region_scaling, SCALING_CORES};
+
+fn main() {
+    let gen = gen_params();
+
+    println!("== Fig. 2a: single compute region (burst mode) ==");
+    let region: Vec<_> = AppId::ALL
+        .iter()
+        .map(|&a| region_scaling(a, &gen))
+        .collect();
+    print_curves(&region);
+
+    println!("== Fig. 2b: full application incl. MPI ==");
+    let full: Vec<_> = AppId::ALL
+        .iter()
+        .map(|&a| full_app_scaling(a, &gen))
+        .collect();
+    print_curves(&full);
+
+    println!("mean parallel efficiency:");
+    let rows = vec![
+        vec![
+            "compute region".to_string(),
+            format!("{:.0} %", 100.0 * mean_efficiency(&region, 32)),
+            format!("{:.0} %", 100.0 * mean_efficiency(&region, 64)),
+            "paper: 70 % / 50 %".to_string(),
+        ],
+        vec![
+            "full app (MPI)".to_string(),
+            format!("{:.0} %", 100.0 * mean_efficiency(&full, 32)),
+            format!("{:.0} %", 100.0 * mean_efficiency(&full, 64)),
+            "paper: 49 % / 28 %".to_string(),
+        ],
+    ];
+    println!("{}", table(&["study", "@32", "@64", "reference"], &rows));
+}
+
+fn print_curves(curves: &[musa_core::ScalingCurve]) {
+    let mut rows = Vec::new();
+    for c in curves {
+        let mut row = vec![c.app.clone()];
+        for &n in &SCALING_CORES {
+            row.push(format!("{:.1}", c.speedup(n).unwrap_or(0.0)));
+        }
+        row.push(format!(
+            "{:.0} %",
+            100.0 * c.efficiency(64).unwrap_or(0.0)
+        ));
+        rows.push(row);
+    }
+    println!(
+        "{}",
+        table(&["app", "S(1)", "S(32)", "S(64)", "eff@64"], &rows)
+    );
+}

@@ -1,0 +1,27 @@
+//! Figure 3: Specfem3D thread-occupancy timeline at 64 cores — "most
+//! tasks are scheduled only in few of the threads while the rest remain
+//! idle".
+
+use musa_apps::{generate, AppId};
+use musa_bench::gen_params;
+use musa_core::report::{core_occupancy, occupancy_fraction};
+use musa_tasksim::simulate_region_burst;
+
+fn main() {
+    let trace = generate(AppId::Spec3d, &gen_params());
+    let region = trace.sampled_region().expect("sampled region");
+    let schedule = simulate_region_burst(region, 64);
+
+    println!("== Fig. 3: Specfem3D task occupancy, 64 cores ==");
+    println!("(X = time; '#' executing a task, '.' idle)\n");
+    print!("{}", core_occupancy(&schedule, 100));
+
+    let frac = occupancy_fraction(&schedule);
+    println!("\ncores that ever executed a task: {:.0} %", frac * 100.0);
+    println!(
+        "region parallel efficiency: {:.0} %",
+        schedule.parallel_efficiency() * 100.0
+    );
+    println!("paper: most CPUs idle for the whole region (few coloured rows)");
+    assert!(frac < 0.5, "Specfem3D must starve most cores");
+}

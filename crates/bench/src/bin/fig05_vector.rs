@@ -1,0 +1,22 @@
+//! Figure 5: FPU vector-width sweep (128/256/512-bit), normalised to
+//! 128-bit configurations.
+//!
+//! Paper headlines: excluding LULESH, 512-bit gives 20 % (HYDRO) to 75 %
+//! (SP-MZ) speedup, ≈40 % on average; core+L1 power grows ≈60 % at
+//! 512-bit; 256-bit saves 3–18 % energy for all but LULESH.
+
+use musa_arch::Feature;
+use musa_bench::{load_or_run_campaign, print_feature_figure};
+
+fn main() {
+    let campaign = load_or_run_campaign();
+    println!("== Fig. 5: FPU vector width ==\n");
+    print_feature_figure(
+        &campaign,
+        Feature::Vector,
+        &["128bit", "256bit", "512bit"],
+        "128bit",
+    );
+    println!("paper: hydro +20 %, spmz +75 % at 512-bit; lulesh flat;");
+    println!("core power ≈+60 % at 512-bit.");
+}

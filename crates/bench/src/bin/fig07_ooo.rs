@@ -1,0 +1,22 @@
+//! Figure 7: core out-of-order class sweep, normalised to the
+//! aggressive configuration.
+//!
+//! Paper headlines: low-end cores ≈35 % slower (60 % for Specfem3D) at
+//! ≈50 % of the power; medium/high within ≈5 % of aggressive at 18–20 %
+//! less power — the recommended design points.
+
+use musa_arch::Feature;
+use musa_bench::{load_or_run_campaign, print_feature_figure};
+
+fn main() {
+    let campaign = load_or_run_campaign();
+    println!("== Fig. 7: core OoO capabilities ==\n");
+    print_feature_figure(
+        &campaign,
+        Feature::CoreClass,
+        &["aggressive", "high", "medium", "lowend"],
+        "aggressive",
+    );
+    println!("paper: spec3d most OoO-sensitive; lulesh least (memory-bound);");
+    println!("medium/high are the energy-efficient design points.");
+}

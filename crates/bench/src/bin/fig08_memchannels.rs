@@ -1,0 +1,17 @@
+//! Figure 8: memory-channel sweep (4 vs 8 DDR4 channels), normalised to
+//! four channels.
+//!
+//! Paper headlines: only LULESH benefits (up to ≈60 % at 64 cores) and
+//! saves ≈30 % energy; Specfem3D cannot exploit the extra bandwidth;
+//! DRAM power ≈2× but the node only pays ≈10–20 % more.
+
+use musa_arch::Feature;
+use musa_bench::{load_or_run_campaign, print_feature_figure};
+
+fn main() {
+    let campaign = load_or_run_campaign();
+    println!("== Fig. 8: DDR4 memory channels ==\n");
+    print_feature_figure(&campaign, Feature::Memory, &["4chDDR4", "8chDDR4"], "4chDDR4");
+    println!("paper: lulesh is the only winner; spec3d flat despite its");
+    println!("bandwidth appetite (no concurrency to expose it).");
+}

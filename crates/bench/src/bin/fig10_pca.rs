@@ -1,0 +1,68 @@
+//! Figure 10: PCA over the 2 GHz / 64-core subset of the design space
+//! for HYDRO and LULESH.
+//!
+//! Paper headlines: for LULESH, PC0 (>60 % variance) couples memory
+//! bandwidth and total cycles with opposite signs — more bandwidth,
+//! fewer cycles; OoO and SIMD contribute nothing. For HYDRO (PC0
+//! ≈42.6 %), OoO capacity and cycles evolve in a tight, opposite way.
+
+use musa_apps::AppId;
+use musa_arch::{CoresPerNode, Frequency};
+use musa_bench::load_or_run_campaign;
+use musa_core::pca::{pca_of_results, PCA_VARS};
+use musa_core::report::table;
+
+fn main() {
+    let campaign = load_or_run_campaign();
+    for app in [AppId::Hydro, AppId::Lulesh] {
+        let subset: Vec<_> = campaign
+            .for_app(app)
+            .filter(|r| {
+                r.config.freq == Frequency::F2_0 && r.config.cores == CoresPerNode::C64
+            })
+            .cloned()
+            .collect();
+        assert_eq!(subset.len(), 72, "2 GHz / 64-core subset");
+        let p = pca_of_results(&subset);
+
+        println!("== Fig. 10: PCA for {} (72 configs, 2 GHz, 64 cores) ==", app);
+        println!(
+            "PC0 explains {:.1} % of variance, PC1 {:.1} %\n",
+            100.0 * p.explained(0),
+            100.0 * p.explained(1)
+        );
+        let rows: Vec<Vec<String>> = PCA_VARS
+            .iter()
+            .map(|v| {
+                vec![
+                    v.to_string(),
+                    format!("{:+.3}", p.loading(0, v).unwrap()),
+                    format!("{:+.3}", p.loading(1, v).unwrap()),
+                ]
+            })
+            .collect();
+        println!("{}", table(&["variable", "PC0", "PC1"], &rows));
+
+        // Shape assertions matching the paper's reading.
+        let time0 = p.loading(0, "Exec. time").unwrap();
+        match app {
+            AppId::Lulesh => {
+                let bw0 = p.loading(0, "Mem. BW").unwrap();
+                assert!(
+                    bw0 * time0 < 0.0,
+                    "LULESH: bandwidth and cycles must oppose on PC0"
+                );
+                println!("check: Mem. BW opposes Exec. time on PC0  -> MATCH\n");
+            }
+            AppId::Hydro => {
+                let ooo0 = p.loading(0, "OoO struct.").unwrap();
+                assert!(
+                    ooo0 * time0 < 0.0,
+                    "HYDRO: OoO capacity and cycles must oppose on PC0"
+                );
+                println!("check: OoO struct. opposes Exec. time on PC0  -> MATCH\n");
+            }
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Table II + Figure 11: application-specific unconventional
+//! configurations.
+//!
+//! SP-MZ chases SIMD width (1024/2048-bit `Vector+`/`Vector++`); LULESH
+//! chases bandwidth with a scalar FPU (16-channel DDR4 `MEM+` and HBM
+//! `MEM++`). Everything is normalised to the best-performing point of
+//! the main design space (Best-DSE) at 64 cores / 2 GHz.
+//!
+//! Paper headlines: Vector+ 1.13× performance at similar power;
+//! Vector++ 1.43× at 3.14× power (≈2.5× energy). MEM+ +7 % performance
+//! and −47 % energy; MEM++ up to 1.30× (no HBM energy numbers).
+
+use musa_apps::{generate, AppId};
+use musa_bench::gen_params;
+use musa_core::report::table;
+use musa_core::MultiscaleSim;
+use musa_arch::{UNCONVENTIONAL_LULESH, UNCONVENTIONAL_SPMZ};
+
+fn main() {
+    let gen = gen_params();
+    for (app, configs, note) in [
+        (
+            AppId::Spmz,
+            &UNCONVENTIONAL_SPMZ,
+            "paper: Vector+ 1.13x perf; Vector++ 1.43x perf, 3.14x power, ~2.5x energy",
+        ),
+        (
+            AppId::Lulesh,
+            &UNCONVENTIONAL_LULESH,
+            "paper: MEM+ 1.07x perf, ~0.53x energy; MEM++ up to 1.30x perf",
+        ),
+    ] {
+        let trace = generate(app, &gen);
+        let sim = MultiscaleSim::new(&trace);
+        let results: Vec<_> = configs
+            .iter()
+            .map(|u| (u.name, sim.simulate(u.config, true)))
+            .collect();
+        let base = &results[0].1;
+
+        println!("== Fig. 11 / Table II: {} ==", app);
+        let rows: Vec<Vec<String>> = results
+            .iter()
+            .map(|(name, r)| {
+                vec![
+                    name.to_string(),
+                    r.config.label(),
+                    format!("{:.2}", base.time_ns / r.time_ns),
+                    format!("{:.2}", r.power.total_w() / base.power.total_w()),
+                    format!("{:.2}", r.energy_j / base.energy_j),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            table(
+                &["label", "config", "perf x", "power x", "energy x"],
+                &rows
+            )
+        );
+        println!("{note}\n");
+    }
+    println!("note: HBM energy uses our estimated parameters; the paper");
+    println!("could not report MEM++ energy for lack of vendor data.");
+}

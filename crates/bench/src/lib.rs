@@ -1,0 +1,103 @@
+//! Shared harness utilities for the per-figure experiment binaries.
+//!
+//! Every binary accepts `--full` (or env `MUSA_FULL=1`) to run at paper
+//! scale (256 ranks); the default is a reduced 64-rank scale that
+//! reproduces the same shapes in seconds. Campaign results are cached on
+//! disk so the per-feature figures (5–9) share one sweep.
+
+use std::path::PathBuf;
+
+use musa_apps::{AppId, GenParams};
+use musa_core::{run_design_space, Campaign, SweepOptions};
+
+/// Scale selection from CLI args / environment.
+pub fn paper_scale() -> bool {
+    std::env::args().any(|a| a == "--full")
+        || std::env::var("MUSA_FULL").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Trace-generation parameters for the selected scale.
+pub fn gen_params() -> GenParams {
+    if paper_scale() {
+        GenParams::paper()
+    } else {
+        GenParams::small()
+    }
+}
+
+/// Cache path for the campaign at the current scale.
+fn campaign_path() -> PathBuf {
+    let scale = if paper_scale() { "paper" } else { "small" };
+    PathBuf::from(format!("target/musa-campaign-{scale}.json"))
+}
+
+/// Load the cached 864-point campaign or run and cache it.
+pub fn load_or_run_campaign() -> Campaign {
+    let path = campaign_path();
+    if let Ok(s) = std::fs::read_to_string(&path) {
+        if let Ok(c) = Campaign::from_json(&s) {
+            if !c.results.is_empty() {
+                eprintln!("[campaign] loaded {} rows from {}", c.results.len(), path.display());
+                return c;
+            }
+        }
+    }
+    eprintln!("[campaign] running the 864-point design space × 5 apps …");
+    let opts = SweepOptions {
+        gen: gen_params(),
+        full_replay: true,
+    };
+    let c = run_design_space(&AppId::ALL, &opts);
+    if let Err(e) = std::fs::write(&path, c.to_json()) {
+        eprintln!("[campaign] cache write failed: {e}");
+    } else {
+        eprintln!("[campaign] cached to {}", path.display());
+    }
+    c
+}
+
+/// Format an `Option<f64>` table cell.
+pub fn cell(v: Option<f64>) -> String {
+    v.map(|x| format!("{x:.3}")).unwrap_or_else(|| "-".into())
+}
+
+use musa_arch::Feature;
+use musa_core::{feature_impact, panel_rows, Metric};
+
+/// Print the three panels of a §V-B feature figure (speedup, power
+/// components, energy-to-solution), per application, normalised against
+/// `baseline` — the layout of Figs. 5–9.
+pub fn print_feature_figure(
+    campaign: &Campaign,
+    feature: Feature,
+    labels: &[&str],
+    baseline: &str,
+) {
+    for (metric, name) in [
+        (Metric::Speedup, "performance speedup"),
+        (Metric::Power, "node power"),
+        (Metric::PowerCore, "core+L1 power"),
+        (Metric::PowerCache, "L2+L3 power"),
+        (Metric::PowerMem, "memory power"),
+        (Metric::Energy, "energy-to-solution"),
+    ] {
+        println!("--- {name} (normalised to {baseline}) ---");
+        let mut rows = Vec::new();
+        for app in AppId::ALL {
+            let results: Vec<_> = campaign.for_app(app).cloned().collect();
+            let impact = feature_impact(&results, feature, metric, baseline);
+            for (label, m32, m64) in panel_rows(&impact, labels) {
+                rows.push(vec![
+                    app.label().to_string(),
+                    label,
+                    cell(m32),
+                    cell(m64),
+                ]);
+            }
+        }
+        println!(
+            "{}",
+            musa_core::report::table(&["app", "value", "@32 cores", "@64 cores"], &rows)
+        );
+    }
+}

@@ -1,0 +1,167 @@
+//! The design-space-exploration driver: every configuration × every
+//! application, in parallel (MUSA simulates rank phases in parallel; we
+//! parallelise over configurations with rayon).
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use musa_apps::{generate, AppId, GenParams};
+use musa_arch::{DesignSpace, NodeConfig};
+
+use crate::sim::{ConfigResult, MultiscaleSim};
+
+/// A campaign: the result table of a sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Campaign {
+    /// One row per (application, configuration).
+    pub results: Vec<ConfigResult>,
+}
+
+impl Campaign {
+    /// Rows for one application.
+    pub fn for_app(&self, app: AppId) -> impl Iterator<Item = &ConfigResult> {
+        self.results.iter().filter(move |r| r.app == app.label())
+    }
+
+    /// Find the row for an exact (app, config) pair.
+    pub fn get(&self, app: AppId, config: &NodeConfig) -> Option<&ConfigResult> {
+        self.results
+            .iter()
+            .find(|r| r.app == app.label() && &r.config == config)
+    }
+
+    /// The fastest configuration for an application (Best-DSE of
+    /// Table II), restricted by a filter.
+    pub fn best_for(
+        &self,
+        app: AppId,
+        mut filter: impl FnMut(&NodeConfig) -> bool,
+    ) -> Option<&ConfigResult> {
+        self.for_app(app)
+            .filter(|r| filter(&r.config))
+            .min_by(|a, b| a.time_ns.partial_cmp(&b.time_ns).expect("finite times"))
+    }
+
+    /// Serialise to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("campaign serialises")
+    }
+
+    /// Deserialise from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+/// Sweep options.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepOptions {
+    /// Trace-generation scale.
+    pub gen: GenParams,
+    /// Run the full-application replay (step 3) for every point. The
+    /// per-feature figures only need region times; replay adds the MPI
+    /// dimension used by energy-to-solution.
+    pub full_replay: bool,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            gen: GenParams::small(),
+            full_replay: true,
+        }
+    }
+}
+
+/// Run one application over a set of configurations.
+pub fn sweep_app(app: AppId, configs: &[NodeConfig], opts: &SweepOptions) -> Vec<ConfigResult> {
+    let trace = generate(app, &opts.gen);
+    let sim = MultiscaleSim::new(&trace);
+    configs
+        .par_iter()
+        .map(|cfg| sim.simulate(*cfg, opts.full_replay))
+        .collect()
+}
+
+/// Run the full 864-point design space for the given applications.
+pub fn run_design_space(apps: &[AppId], opts: &SweepOptions) -> Campaign {
+    let configs = DesignSpace::all();
+    let mut results = Vec::with_capacity(apps.len() * configs.len());
+    for &app in apps {
+        results.extend(sweep_app(app, &configs, opts));
+    }
+    Campaign { results }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use musa_arch::{CacheConfig, CoreClass, CoresPerNode, Frequency, MemConfig, VectorWidth};
+
+    fn small_configs() -> Vec<NodeConfig> {
+        // A 2×2 slice of the space.
+        let mut v = Vec::new();
+        for vector in [VectorWidth::V128, VectorWidth::V512] {
+            for mem in MemConfig::DSE {
+                v.push(NodeConfig {
+                    cores: CoresPerNode::C32,
+                    core_class: CoreClass::High,
+                    cache: CacheConfig::C64M512K,
+                    vector,
+                    freq: Frequency::F2_0,
+                    mem,
+                });
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn sweep_produces_one_row_per_config() {
+        let opts = SweepOptions {
+            gen: GenParams::tiny(),
+            full_replay: false,
+        };
+        let rows = sweep_app(AppId::Hydro, &small_configs(), &opts);
+        assert_eq!(rows.len(), 4);
+        let labels: std::collections::HashSet<String> =
+            rows.iter().map(|r| r.config.label()).collect();
+        assert_eq!(labels.len(), 4);
+    }
+
+    #[test]
+    fn campaign_lookup_and_best() {
+        let opts = SweepOptions {
+            gen: GenParams::tiny(),
+            full_replay: false,
+        };
+        let configs = small_configs();
+        let campaign = Campaign {
+            results: sweep_app(AppId::Spmz, &configs, &opts),
+        };
+        assert!(campaign.get(AppId::Spmz, &configs[0]).is_some());
+        assert!(campaign.get(AppId::Hydro, &configs[0]).is_none());
+        let best = campaign.best_for(AppId::Spmz, |_| true).unwrap();
+        // SPMZ's best slice must use 512-bit SIMD.
+        assert_eq!(best.config.vector, VectorWidth::V512);
+    }
+
+    #[test]
+    fn campaign_json_roundtrip() {
+        let opts = SweepOptions {
+            gen: GenParams::tiny(),
+            full_replay: false,
+        };
+        let campaign = Campaign {
+            results: sweep_app(AppId::Lulesh, &small_configs()[..1], &opts),
+        };
+        let back = Campaign::from_json(&campaign.to_json()).unwrap();
+        // JSON float formatting may lose the last ULP; compare fields.
+        assert_eq!(campaign.results.len(), back.results.len());
+        let (a, b) = (&campaign.results[0], &back.results[0]);
+        assert_eq!(a.app, b.app);
+        assert_eq!(a.config, b.config);
+        assert!((a.time_ns - b.time_ns).abs() / a.time_ns < 1e-12);
+        assert!((a.energy_j - b.energy_j).abs() / a.energy_j < 1e-12);
+    }
+}

@@ -1,0 +1,211 @@
+//! The multiscale simulation of one (application, configuration) pair —
+//! MUSA's end-to-end flow (§II-A):
+//!
+//! 1. detailed simulation of the sampled representative region on the
+//!    target node configuration (`musa-tasksim`);
+//! 2. extrapolation: the detailed/burst time ratio of the sampled region
+//!    rescales every rank's burst-mode compute phases;
+//! 3. full-application replay of all compute + MPI events over the
+//!    network model (`musa-net`);
+//! 4. power estimation of the node during the region (`musa-power` +
+//!    `musa-mem`) and energy-to-solution over the whole run.
+
+use serde::{Deserialize, Serialize};
+
+use musa_arch::NodeConfig;
+use musa_net::{replay, FixedRatioTimer, NetworkParams, ReplayResult};
+use musa_power::{PowerBreakdown, PowerModel};
+use musa_tasksim::{simulate_region_burst, NodeSim};
+use musa_trace::AppTrace;
+
+/// Scalar summary of one multiscale simulation, the unit of the DSE
+/// result table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfigResult {
+    /// Application label.
+    pub app: String,
+    /// Node configuration.
+    pub config: NodeConfig,
+    /// Full-application parallel runtime (256-rank replay), ns.
+    pub time_ns: f64,
+    /// Detailed makespan of the sampled compute region, ns.
+    pub region_ns: f64,
+    /// Node power during the sampled region.
+    pub power: PowerBreakdown,
+    /// Node energy-to-solution over the full run, joules.
+    pub energy_j: f64,
+    /// L1 misses per kilo-instruction (128-bit baseline).
+    pub l1_mpki: f64,
+    /// L2 MPKI.
+    pub l2_mpki: f64,
+    /// L3 MPKI.
+    pub l3_mpki: f64,
+    /// DRAM requests (incl. write-backs) per kilo-instruction.
+    pub mem_mpki: f64,
+    /// DRAM requests per second during the region (×10⁹ = the paper's
+    /// "Giga-MemRequest/s").
+    pub gmemreq_per_s: f64,
+    /// Bandwidth roofline stretch applied by the contention model.
+    pub mem_stretch: f64,
+    /// Parallel efficiency of the sampled region's schedule.
+    pub region_efficiency: f64,
+}
+
+/// The multiscale simulator for one application trace.
+pub struct MultiscaleSim<'a> {
+    trace: &'a AppTrace,
+    net: NetworkParams,
+}
+
+impl<'a> MultiscaleSim<'a> {
+    /// New simulator over a trace, with the MareNostrum4-class network.
+    pub fn new(trace: &'a AppTrace) -> Self {
+        MultiscaleSim {
+            trace,
+            net: NetworkParams::marenostrum4(),
+        }
+    }
+
+    /// Override the network parameters.
+    pub fn with_network(mut self, net: NetworkParams) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// Run the multiscale flow for one node configuration.
+    ///
+    /// `burst_sampled_ns`, if provided, is the cached burst-mode makespan
+    /// of the sampled region at `config.cores` (computed otherwise).
+    /// `full_replay`, if false, skips step 3 (region-only studies).
+    pub fn simulate(&self, config: NodeConfig, full_replay: bool) -> ConfigResult {
+        let region = self
+            .trace
+            .sampled_region()
+            .expect("trace has a sampled region")
+            .clone();
+        let detail = self
+            .trace
+            .detail
+            .as_ref()
+            .expect("trace has a detailed trace");
+
+        // Step 1: detailed simulation of the representative region.
+        let mut node = NodeSim::new(config, detail, &region);
+        let det = node.simulate_region(&region);
+        let region_ns = det.schedule.makespan_ns;
+
+        // Step 2: detailed/burst rescale ratio.
+        let burst_ns = simulate_region_burst(&region, config.cores.count()).makespan_ns;
+        let ratio = if burst_ns > 0.0 { region_ns / burst_ns } else { 1.0 };
+
+        // Step 3: full-application replay.
+        let (time_ns, _replay) = if full_replay {
+            let mut timer = FixedRatioTimer {
+                cores: config.cores.count(),
+                ratio,
+            };
+            let r = replay(self.trace, &self.net, &mut timer);
+            (r.total_ns, Some(r))
+        } else {
+            (region_ns, None)
+        };
+
+        // Step 4: power and energy.
+        let power = PowerModel::new(config).node_power(
+            &det.stats,
+            &det.dram,
+            region_ns,
+            det.schedule.busy_ns,
+        );
+        let energy_j = power.energy_j(time_ns);
+
+        let s = &det.stats;
+        let instr_rate = if region_ns > 0.0 {
+            s.mem_requests() / (region_ns * 1e-9)
+        } else {
+            0.0
+        };
+
+        ConfigResult {
+            app: self.trace.meta.app.clone(),
+            config,
+            time_ns,
+            region_ns,
+            power,
+            energy_j,
+            l1_mpki: s.mpki(&s.l1),
+            l2_mpki: s.mpki(&s.l2),
+            l3_mpki: s.mpki(&s.l3),
+            mem_mpki: s.l3_mpki_with_writebacks(),
+            gmemreq_per_s: instr_rate / 1e9,
+            mem_stretch: det.mem_stretch,
+            region_efficiency: det.schedule.parallel_efficiency(),
+        }
+    }
+
+    /// Full replay of the trace in burst mode at a core count (used by
+    /// the scaling study, Fig. 2b).
+    pub fn burst_replay(&self, cores: u32) -> ReplayResult {
+        replay(
+            self.trace,
+            &self.net,
+            &mut musa_net::BurstTimer { cores },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use musa_apps::{generate, AppId, GenParams};
+    use musa_arch::{CoresPerNode, MemConfig, VectorWidth};
+
+    fn result(app: AppId, config: NodeConfig) -> ConfigResult {
+        let trace = generate(app, &GenParams::tiny());
+        MultiscaleSim::new(&trace).simulate(config, true)
+    }
+
+    fn cfg64() -> NodeConfig {
+        NodeConfig::REFERENCE.with_cores(CoresPerNode::C64)
+    }
+
+    #[test]
+    fn produces_complete_results() {
+        let r = result(AppId::Hydro, cfg64());
+        assert!(r.time_ns > 0.0);
+        assert!(r.region_ns > 0.0);
+        assert!(r.time_ns >= r.region_ns, "full app includes many regions");
+        assert!(r.power.total_w() > 0.0);
+        assert!(r.energy_j > 0.0);
+        assert!(r.l1_mpki > 0.0);
+        assert!(r.region_efficiency > 0.0 && r.region_efficiency <= 1.0);
+        assert_eq!(r.app, "hydro");
+    }
+
+    #[test]
+    fn wider_simd_speeds_up_spmz_end_to_end() {
+        let base = result(AppId::Spmz, cfg64().with_vector(VectorWidth::V128));
+        let wide = result(AppId::Spmz, cfg64().with_vector(VectorWidth::V512));
+        let speedup = base.time_ns / wide.time_ns;
+        assert!(speedup > 1.2, "end-to-end spmz 512-bit speedup {speedup}");
+    }
+
+    #[test]
+    fn lulesh_gains_from_channels_end_to_end() {
+        let c4 = result(AppId::Lulesh, cfg64().with_mem(MemConfig::DDR4_4CH));
+        let c8 = result(AppId::Lulesh, cfg64().with_mem(MemConfig::DDR4_8CH));
+        let speedup = c4.time_ns / c8.time_ns;
+        assert!(speedup > 1.1, "lulesh 8ch end-to-end speedup {speedup}");
+        // And DRAM power roughly doubles.
+        let ratio = c8.power.mem_w / c4.power.mem_w;
+        assert!(ratio > 1.5, "dram power ratio {ratio}");
+    }
+
+    #[test]
+    fn region_only_mode_skips_replay() {
+        let trace = generate(AppId::Btmz, &GenParams::tiny());
+        let sim = MultiscaleSim::new(&trace);
+        let r = sim.simulate(cfg64(), false);
+        assert!((r.time_ns - r.region_ns).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,36 @@
+//! # musa-mem
+//!
+//! Cycle-level DRAM timing and power simulation — the Ramulator +
+//! DRAMPower substitute of the MUSA toolflow (§III, "Support for emerging
+//! memory technologies").
+//!
+//! The model follows Ramulator's architecture: a [`DramSystem`] is a set
+//! of channels; each [`Channel`] owns banks, a request queue scheduled
+//! FR-FCFS (oldest row hit first, else oldest request), an open-row
+//! policy, a shared data bus with burst/CCD spacing, tRRD/tFAW activation
+//! windows and periodic all-bank refresh. DDR4-2400 and HBM2-style timing
+//! sets are provided ([`DramTiming`]).
+//!
+//! Power is estimated as DRAMPower does ([`power::dram_energy`]): command
+//! counts (ACT / PRE / RD / WR / REF) plus state residency are combined
+//! with datasheet-style IDD currents (Micron 8 Gb DDR4 RDIMM — the
+//! datasheet the paper cites) into per-system energy. Populated-but-idle
+//! DIMMs pay background power, which is what makes eight-channel
+//! configurations cost ≈2× DRAM power for only ≈10 % extra node power in
+//! the paper's results.
+//!
+//! Two usage styles:
+//!
+//! * [`DramSystem::access`] — immediate service of one cache-line request;
+//! * [`DramSystem::push`] + [`DramSystem::drain`] — batched FR-FCFS
+//!   scheduling, used by the core simulator once per simulation window.
+
+pub mod channel;
+pub mod power;
+pub mod system;
+pub mod timing;
+
+pub use channel::{Channel, ChannelStats, Completion, Request};
+pub use power::{dram_energy, DramEnergy, DramPowerParams};
+pub use system::{DramSystem, DramSystemStats, MappedAddr};
+pub use timing::DramTiming;

@@ -1,0 +1,89 @@
+//! ASCII rendering of replay timelines — the Paraver-substitute view of
+//! Fig. 4 (MPI and compute phases per rank, barrier waits visible as
+//! gaps).
+
+use crate::replay::{RankPhase, ReplayResult, Span};
+
+/// Timeline span re-export for rendering.
+pub type TimelineSpan = Span;
+
+/// Render a subset of ranks as ASCII rows: `#` compute, `.` wait,
+/// `-` transfer. `width` characters cover `[0, total_ns]`.
+pub fn render_rank_timeline(result: &ReplayResult, max_ranks: usize, width: usize) -> String {
+    let total = result.total_ns.max(1.0);
+    let mut out = String::new();
+    for (r, tl) in result.timelines.iter().enumerate().take(max_ranks) {
+        let mut row = vec![' '; width];
+        for span in tl {
+            let a = ((span.start_ns / total) * width as f64) as usize;
+            let b = (((span.end_ns / total) * width as f64).ceil() as usize).min(width);
+            let ch = match span.phase {
+                RankPhase::Compute => '#',
+                RankPhase::Wait => '.',
+                RankPhase::Transfer => '-',
+            };
+            for c in row.iter_mut().take(b).skip(a) {
+                *c = ch;
+            }
+        }
+        out.push_str(&format!("rank {r:>4} |"));
+        out.extend(row);
+        out.push_str("|\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replay::MpiBreakdown;
+
+    #[test]
+    fn renders_phases() {
+        let result = ReplayResult {
+            total_ns: 100.0,
+            compute_ns: vec![60.0],
+            mpi: vec![MpiBreakdown {
+                wait_ns: 30.0,
+                transfer_ns: 10.0,
+            }],
+            timelines: vec![vec![
+                Span {
+                    phase: RankPhase::Compute,
+                    start_ns: 0.0,
+                    end_ns: 60.0,
+                },
+                Span {
+                    phase: RankPhase::Wait,
+                    start_ns: 60.0,
+                    end_ns: 90.0,
+                },
+                Span {
+                    phase: RankPhase::Transfer,
+                    start_ns: 90.0,
+                    end_ns: 100.0,
+                },
+            ]],
+        };
+        let s = render_rank_timeline(&result, 4, 50);
+        assert!(s.contains('#'));
+        assert!(s.contains('.'));
+        assert!(s.contains('-'));
+        assert!(s.starts_with("rank    0 |"));
+        // Compute occupies roughly the first 60 %.
+        let hash = s.chars().filter(|&c| c == '#').count();
+        assert!((25..=35).contains(&hash), "{hash}");
+    }
+
+    #[test]
+    fn respects_max_ranks() {
+        let result = ReplayResult {
+            total_ns: 10.0,
+            compute_ns: vec![10.0; 8],
+            mpi: vec![MpiBreakdown::default(); 8],
+            timelines: vec![vec![]; 8],
+        };
+        let s = render_rank_timeline(&result, 3, 10);
+        assert_eq!(s.lines().count(), 3);
+    }
+}

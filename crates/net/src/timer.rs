@@ -1,0 +1,86 @@
+//! Compute-phase timing sources for the replay.
+//!
+//! MUSA's integration step replaces the durations of the trace's compute
+//! phases "by the results obtained in the simulations" (§II-A). The
+//! replay is generic over where those durations come from:
+//!
+//! * [`BurstTimer`] — hardware-agnostic burst-mode scheduling of each
+//!   region for a given core count (used by the Fig. 2 scaling study);
+//! * [`FixedRatioTimer`] — burst-mode timing rescaled by the ratio
+//!   detailed/burst observed on the sampled representative region: the
+//!   MUSA sampling methodology, used for full-application estimates
+//!   under a specific hardware configuration.
+
+use musa_tasksim::simulate_region_burst;
+use musa_trace::ComputeRegion;
+
+/// Supplies the simulated duration of a compute region.
+pub trait ComputeTimer {
+    /// Duration in nanoseconds of `region` executed by `rank`.
+    fn region_time_ns(&mut self, rank: u32, region: &ComputeRegion) -> f64;
+}
+
+/// Burst-mode (hardware-agnostic) timer: schedules each region's work
+/// items on `cores` cores with trace durations.
+#[derive(Debug, Clone, Copy)]
+pub struct BurstTimer {
+    /// Cores per node.
+    pub cores: u32,
+}
+
+impl ComputeTimer for BurstTimer {
+    fn region_time_ns(&mut self, _rank: u32, region: &ComputeRegion) -> f64 {
+        simulate_region_burst(region, self.cores).makespan_ns
+    }
+}
+
+/// Burst-mode timing rescaled by a detailed/burst time ratio (the MUSA
+/// sampling extrapolation).
+#[derive(Debug, Clone, Copy)]
+pub struct FixedRatioTimer {
+    /// Cores per node.
+    pub cores: u32,
+    /// detailed-time / burst-time ratio measured on the sampled region.
+    pub ratio: f64,
+}
+
+impl ComputeTimer for FixedRatioTimer {
+    fn region_time_ns(&mut self, _rank: u32, region: &ComputeRegion) -> f64 {
+        simulate_region_burst(region, self.cores).makespan_ns * self.ratio
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use musa_trace::{RegionWork, WorkItem};
+
+    fn region() -> ComputeRegion {
+        ComputeRegion {
+            region_id: 0,
+            name: "r".into(),
+            work: RegionWork::ParallelFor {
+                chunks: (0..8).map(|i| WorkItem::simple(i, 100.0)).collect(),
+                schedule: musa_trace::LoopSchedule::Dynamic,
+            },
+            spawn_overhead_ns: 0.0,
+            dispatch_overhead_ns: 0.0,
+        }
+    }
+
+    #[test]
+    fn burst_timer_scales_with_cores() {
+        let r = region();
+        let t1 = BurstTimer { cores: 1 }.region_time_ns(0, &r);
+        let t8 = BurstTimer { cores: 8 }.region_time_ns(0, &r);
+        assert!((t1 - 800.0).abs() < 1e-9);
+        assert!((t8 - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratio_timer_rescales() {
+        let r = region();
+        let t = FixedRatioTimer { cores: 8, ratio: 1.5 }.region_time_ns(0, &r);
+        assert!((t - 150.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,245 @@
+//! SIMD re-fusion of vector-marked scalar instructions (§III, "Support
+//! for vectorization").
+//!
+//! The detailed trace stores vector code decomposed into marked scalar
+//! (64-bit-lane) instructions. At simulation time, `F = width/64` marked
+//! instances of the same static instruction are fused back into one
+//! simulated operation; memory operands grow accordingly. Fusing across
+//! the original 128-bit instruction boundary requires the same static
+//! instruction to repeat uninterrupted, which the trace summarises as the
+//! kernel's `fusible_run`: the effective factor is
+//! `F_eff = min(F, fusible_run)` (and 1 for unmarked instructions).
+//!
+//! One *fused iteration* represents `F_eff` original loop iterations:
+//! marked templates appear once, unmarked templates `F_eff` times.
+
+use musa_arch::VectorWidth;
+use musa_trace::{DepKind, Kernel, Op};
+
+use crate::locality::TemplateLocality;
+
+/// One instruction of the fused body.
+#[derive(Debug, Clone, Copy)]
+pub struct FusedInstr {
+    /// Operation class.
+    pub op: Op,
+    /// Index of the producing template within the *original* body, if
+    /// any (pipeline tracks readiness per template).
+    pub dep_template: Option<u16>,
+    /// Whether the dependency is loop-carried (producer instance from
+    /// the previous fused iteration).
+    pub carried: bool,
+    /// Original-body template index (dependency bookkeeping key).
+    pub template: u16,
+    /// Cache-service profile for memory ops.
+    pub locality: Option<TemplateLocality>,
+    /// Distinct lines touched per (possibly fused) access.
+    pub lines_per_access: f64,
+    /// SIMD lanes this instruction carries (1 for unmarked).
+    pub lanes: u32,
+}
+
+/// The fused loop body: simulating it once advances `f_eff` original
+/// iterations.
+#[derive(Debug, Clone)]
+pub struct FusedBody {
+    /// Instructions of one fused iteration.
+    pub instrs: Vec<FusedInstr>,
+    /// Effective fusion factor.
+    pub f_eff: u32,
+    /// Number of original-body templates (for dependency tables).
+    pub n_templates: usize,
+}
+
+impl FusedBody {
+    /// Committed instructions per *original* iteration.
+    pub fn instrs_per_orig_iter(&self) -> f64 {
+        self.instrs.len() as f64 / self.f_eff as f64
+    }
+
+    /// Committed instructions per original iteration at the traced
+    /// 128-bit baseline (marked templates fuse by 2).
+    pub fn baseline_instrs_per_orig_iter(kernel: &Kernel) -> f64 {
+        let marked = kernel.body.iter().filter(|t| t.vector_marked).count() as f64;
+        let unmarked = kernel.body.len() as f64 - marked;
+        unmarked + marked / 2.0
+    }
+}
+
+/// Effective fusion factor for a kernel at a SIMD width.
+pub fn effective_factor(kernel: &Kernel, width: VectorWidth) -> u32 {
+    width.fusion_factor().min(kernel.fusible_run).max(1)
+}
+
+/// Fuse a kernel's body for the requested SIMD width.
+///
+/// `locality` must come from [`crate::locality::analyze_kernel`] on the
+/// same kernel.
+pub fn fuse(kernel: &Kernel, locality: &[Option<TemplateLocality>], width: VectorWidth) -> FusedBody {
+    assert_eq!(kernel.body.len(), locality.len());
+    let f_eff = effective_factor(kernel, width);
+
+    // The fused body is laid out as `f_eff` sub-iterations: unmarked
+    // templates appear in every sub-iteration (their per-original-
+    // iteration work is untouched by fusion), marked templates only in
+    // the first (they carry all lanes at once). Dependency wiring via
+    // per-template last-finish then keeps each sub-iteration's chains
+    // intact while letting independent sub-iterations overlap — exactly
+    // the ILP structure of the original loop.
+    let mut instrs = Vec::with_capacity(kernel.body.len() * f_eff as usize);
+    for sub in 0..f_eff {
+        for (idx, t) in kernel.body.iter().enumerate() {
+            if t.vector_marked && sub > 0 {
+                continue;
+            }
+            let (dep_template, carried) = match t.dep {
+                DepKind::None => (None, false),
+                DepKind::Prev(k) => {
+                    let producer = idx.saturating_sub(k as usize);
+                    if producer == idx {
+                        (None, false)
+                    } else {
+                        (Some(producer as u16), false)
+                    }
+                }
+                DepKind::Carried => (Some(idx as u16), true),
+            };
+            let lanes = if t.vector_marked { f_eff } else { 1 };
+        // A fused access covers F_eff consecutive lanes: it touches
+        // F_eff times the lines of one scalar lane (capped at one line
+        // per lane), and its per-access service mix deepens by the same
+        // factor — the per-line traffic is invariant, but each fused
+        // instruction is more likely to need a line fill.
+        let loc = locality[idx].map(|l| {
+            if t.vector_marked && f_eff > 1 {
+                let fused_lines = (l.lines_per_access * f_eff as f64).min(f_eff as f64);
+                let k = if l.lines_per_access > 0.0 {
+                    fused_lines / l.lines_per_access
+                } else {
+                    1.0
+                };
+                let beyond = 1.0 - l.mix.p_l1;
+                let scale = if beyond > 0.0 {
+                    ((beyond * k).min(1.0)) / beyond
+                } else {
+                    1.0
+                };
+                crate::locality::TemplateLocality {
+                    mix: crate::locality::AccessMix {
+                        p_l1: 1.0
+                            - (l.mix.p_l2 + l.mix.p_l3 + l.mix.p_mem) * scale,
+                        p_l2: l.mix.p_l2 * scale,
+                        p_l3: l.mix.p_l3 * scale,
+                        p_mem: l.mix.p_mem * scale,
+                    },
+                    lines_per_access: fused_lines,
+                    ..l
+                }
+            } else {
+                l
+            }
+        });
+            let lines = loc.map(|l| l.lines_per_access).unwrap_or(0.0);
+            instrs.push(FusedInstr {
+                op: t.op,
+                dep_template,
+                carried,
+                template: idx as u16,
+                locality: loc,
+                lines_per_access: lines,
+                lanes,
+            });
+        }
+    }
+
+    FusedBody {
+        instrs,
+        f_eff,
+        n_templates: kernel.body.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::CacheGeometry;
+    use crate::locality::analyze_kernel;
+    use musa_arch::NodeConfig;
+
+    fn kernel() -> Kernel {
+        musa_apps::hydro::Hydro::kernels().remove(0)
+    }
+
+    fn fused(width: VectorWidth) -> FusedBody {
+        let k = kernel();
+        let geom = CacheGeometry::new(&NodeConfig::REFERENCE, 32);
+        let loc = analyze_kernel(&k, &geom, 1e9);
+        fuse(&k, &loc, width)
+    }
+
+    #[test]
+    fn wider_simd_shrinks_instrs_per_iteration() {
+        let i128 = fused(VectorWidth::V128).instrs_per_orig_iter();
+        let i256 = fused(VectorWidth::V256).instrs_per_orig_iter();
+        let i512 = fused(VectorWidth::V512).instrs_per_orig_iter();
+        assert!(i256 < i128);
+        assert!(i512 < i256);
+    }
+
+    #[test]
+    fn fusible_run_caps_the_factor() {
+        let k = kernel(); // hydro: fusible_run 8
+        assert_eq!(effective_factor(&k, VectorWidth::V128), 2);
+        assert_eq!(effective_factor(&k, VectorWidth::V512), 8);
+        assert_eq!(effective_factor(&k, VectorWidth::V1024), 8); // capped
+        let lulesh = musa_apps::lulesh::Lulesh::kernels().remove(0);
+        assert_eq!(effective_factor(&lulesh, VectorWidth::V512), 2);
+        assert_eq!(effective_factor(&lulesh, VectorWidth::V64), 1);
+    }
+
+    #[test]
+    fn lulesh_body_invariant_beyond_128bit() {
+        let lulesh = musa_apps::lulesh::Lulesh::kernels().remove(0);
+        let geom = CacheGeometry::new(&NodeConfig::REFERENCE, 32);
+        let loc = analyze_kernel(&lulesh, &geom, 1e9);
+        let b128 = fuse(&lulesh, &loc, VectorWidth::V128).instrs_per_orig_iter();
+        let b512 = fuse(&lulesh, &loc, VectorWidth::V512).instrs_per_orig_iter();
+        assert!((b128 - b512).abs() < 1e-12, "LULESH gains nothing: {b128} vs {b512}");
+        // And 64-bit is *worse* (the native pairs cannot fuse).
+        let b64 = fuse(&lulesh, &loc, VectorWidth::V64).instrs_per_orig_iter();
+        assert!(b64 > b128);
+    }
+
+    #[test]
+    fn line_traffic_is_invariant_under_fusion() {
+        // Total lines touched per original iteration must not depend on
+        // the simulated width (same data, different instruction count).
+        let per_orig_lines = |w: VectorWidth| -> f64 {
+            let b = fused(w);
+            b.instrs
+                .iter()
+                .map(|i| i.lines_per_access)
+                .sum::<f64>()
+                / b.f_eff as f64
+        };
+        let l128 = per_orig_lines(VectorWidth::V128);
+        let l512 = per_orig_lines(VectorWidth::V512);
+        assert!(
+            (l128 - l512).abs() / l128 < 0.05,
+            "line traffic changed: {l128} vs {l512}"
+        );
+    }
+
+    #[test]
+    fn dependencies_reference_templates() {
+        let b = fused(VectorWidth::V256);
+        for i in &b.instrs {
+            if let Some(d) = i.dep_template {
+                assert!((d as usize) < b.n_templates);
+                if !i.carried {
+                    assert!(d < i.template, "forward dep");
+                }
+            }
+        }
+    }
+}

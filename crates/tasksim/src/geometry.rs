@@ -1,0 +1,115 @@
+//! Cache geometry and latency view of a node configuration, as seen by
+//! one core.
+
+use musa_arch::{NodeConfig, CACHE_LINE_BYTES, L1_LATENCY_CYCLES, L1_SIZE_BYTES};
+use musa_mem::DramTiming;
+
+/// Cache capacities (in lines) and latencies (in cycles) for one core of
+/// a node, with the shared L3 expressed both as the per-core share used
+/// for fit tests and the total used for residency tests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheGeometry {
+    /// L1D capacity in lines.
+    pub l1_lines: f64,
+    /// Private L2 capacity in lines.
+    pub l2_lines: f64,
+    /// Shared-L3 per-core share in lines (capacity competition among the
+    /// concurrently active cores).
+    pub l3_share_lines: f64,
+    /// Shared-L3 total capacity in lines (cross-timestep residency).
+    pub l3_total_lines: f64,
+    /// L1 hit latency, cycles.
+    pub l1_latency: u32,
+    /// L2 hit latency, cycles.
+    pub l2_latency: u32,
+    /// L3 hit latency, cycles.
+    pub l3_latency: u32,
+    /// Average unloaded DRAM access latency for sequential (row-friendly)
+    /// traffic, nanoseconds, including the trip through the L3.
+    pub mem_latency_seq_ns: f64,
+    /// Same for random (row-conflict-heavy) traffic.
+    pub mem_latency_rand_ns: f64,
+}
+
+/// Fixed on-chip controller/NoC overhead added to every DRAM access (ns).
+const CONTROLLER_NS: f64 = 14.0;
+
+impl CacheGeometry {
+    /// Build the geometry for `config`, assuming `active_cores` cores
+    /// compete for the shared L3.
+    pub fn new(config: &NodeConfig, active_cores: u32) -> Self {
+        let line = CACHE_LINE_BYTES as f64;
+        let l2 = config.cache.l2();
+        let l3 = config.cache.l3();
+        let timing = DramTiming::for_tech(config.mem.tech);
+
+        // Unloaded DRAM latency by row-locality class: sequential streams
+        // mostly hit the open row; random traffic mostly conflicts.
+        let seq =
+            0.70 * timing.row_hit_ns() + 0.20 * timing.row_closed_ns() + 0.10 * timing.row_conflict_ns();
+        let rand =
+            0.10 * timing.row_hit_ns() + 0.30 * timing.row_closed_ns() + 0.60 * timing.row_conflict_ns();
+
+        CacheGeometry {
+            l1_lines: L1_SIZE_BYTES as f64 / line,
+            l2_lines: l2.size_bytes as f64 / line,
+            l3_share_lines: l3.size_bytes as f64 / line / active_cores.max(1) as f64,
+            l3_total_lines: l3.size_bytes as f64 / line,
+            l1_latency: L1_LATENCY_CYCLES,
+            l2_latency: l2.latency_cycles,
+            l3_latency: l3.latency_cycles,
+            mem_latency_seq_ns: CONTROLLER_NS + seq,
+            mem_latency_rand_ns: CONTROLLER_NS + rand,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use musa_arch::{CacheConfig, CoresPerNode, NodeConfig};
+
+    #[test]
+    fn l3_share_divides_by_active_cores() {
+        let cfg = NodeConfig::REFERENCE;
+        let g1 = CacheGeometry::new(&cfg, 1);
+        let g64 = CacheGeometry::new(&cfg, 64);
+        assert!((g1.l3_share_lines / g64.l3_share_lines - 64.0).abs() < 1e-9);
+        assert_eq!(g1.l3_total_lines, g64.l3_total_lines);
+    }
+
+    #[test]
+    fn latencies_track_table1() {
+        let cfg = NodeConfig::REFERENCE.with_cache(CacheConfig::C96M1M);
+        let g = CacheGeometry::new(&cfg, 32);
+        assert_eq!(g.l2_latency, 13);
+        assert_eq!(g.l3_latency, 72);
+        assert_eq!(g.l1_latency, 4);
+    }
+
+    #[test]
+    fn random_memory_latency_exceeds_sequential() {
+        let g = CacheGeometry::new(&NodeConfig::REFERENCE, 32);
+        assert!(g.mem_latency_rand_ns > g.mem_latency_seq_ns);
+        // Plausible DDR4 unloaded latencies.
+        assert!(g.mem_latency_seq_ns > 25.0 && g.mem_latency_seq_ns < 60.0);
+        assert!(g.mem_latency_rand_ns > 40.0 && g.mem_latency_rand_ns < 90.0);
+    }
+
+    #[test]
+    fn hbm_lowers_memory_latency() {
+        let ddr = NodeConfig::REFERENCE.with_mem(musa_arch::MemConfig::DDR4_16CH);
+        let hbm = NodeConfig::REFERENCE.with_mem(musa_arch::MemConfig::HBM_16CH);
+        let gd = CacheGeometry::new(&ddr, 64);
+        let gh = CacheGeometry::new(&hbm, 64);
+        assert!(gh.mem_latency_rand_ns < gd.mem_latency_rand_ns);
+        assert!(gh.mem_latency_seq_ns < gd.mem_latency_seq_ns);
+    }
+
+    #[test]
+    fn single_core_counts_as_one_active() {
+        let cfg = NodeConfig::REFERENCE.with_cores(CoresPerNode::C1);
+        let g = CacheGeometry::new(&cfg, 0); // degenerate input clamps to 1
+        assert_eq!(g.l3_share_lines, g.l3_total_lines);
+    }
+}

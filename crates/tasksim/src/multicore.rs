@@ -1,0 +1,343 @@
+//! Multicore region simulation: the runtime system (task scheduling,
+//! parallel-loop chunking, critical sections, spawn/dispatch overheads)
+//! plus shared-resource contention.
+//!
+//! This is where MUSA "injects runtime system API calls … effectively
+//! simulating the runtime system, including scheduling and
+//! synchronization for the desired number of simulated cores" (§II-A).
+//! Two modes share the scheduler:
+//!
+//! * **burst** — work-item durations come straight from the trace
+//!   (hardware-agnostic, used for the Fig. 2 scaling study);
+//! * **detailed** — durations come from kernel profiles and a
+//!   memory-bandwidth contention fixed point stretches the memory-bound
+//!   component of each item.
+//!
+//! Runtime overheads are wall-clock values recorded in the native trace
+//! and deliberately do *not* scale with the simulated core frequency —
+//! reproducing the paper's HYDRO scheduling plateau above 2.5 GHz.
+
+use musa_trace::{ComputeRegion, LoopSchedule, RegionWork};
+
+/// Where each work item ran.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduledItem {
+    /// Work-item id.
+    pub item: u32,
+    /// Core that executed it.
+    pub core: u32,
+    /// Start time (ns, region-relative).
+    pub start_ns: f64,
+    /// End time (ns).
+    pub end_ns: f64,
+}
+
+/// Result of scheduling one region on `cores` cores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    /// Region makespan in nanoseconds.
+    pub makespan_ns: f64,
+    /// Per-item placement, in execution order.
+    pub timeline: Vec<ScheduledItem>,
+    /// Sum of item execution times (excludes idle).
+    pub busy_ns: f64,
+    /// Number of cores used.
+    pub cores: u32,
+}
+
+impl Schedule {
+    /// Average concurrency: busy time over makespan.
+    pub fn avg_concurrency(&self) -> f64 {
+        if self.makespan_ns <= 0.0 {
+            0.0
+        } else {
+            self.busy_ns / self.makespan_ns
+        }
+    }
+
+    /// Parallel efficiency vs. the serial execution of the same items.
+    pub fn parallel_efficiency(&self) -> f64 {
+        if self.makespan_ns <= 0.0 || self.cores == 0 {
+            return 1.0;
+        }
+        self.busy_ns / (self.makespan_ns * self.cores as f64)
+    }
+
+    /// Per-core busy time, for occupancy timelines (Fig. 3).
+    pub fn core_busy_ns(&self) -> Vec<f64> {
+        let mut busy = vec![0.0; self.cores as usize];
+        for s in &self.timeline {
+            busy[s.core as usize] += s.end_ns - s.start_ns;
+        }
+        busy
+    }
+}
+
+/// Schedule a region's work items on `cores` cores.
+///
+/// `duration_of(item_index)` supplies each item's execution time in ns
+/// (trace durations in burst mode; profiled durations in detailed mode).
+/// `critical_of(item_index)` supplies the serialised portion.
+pub fn schedule_region(
+    region: &ComputeRegion,
+    cores: u32,
+    mut duration_of: impl FnMut(usize) -> f64,
+    mut critical_of: impl FnMut(usize) -> f64,
+) -> Schedule {
+    let cores = cores.max(1);
+    let items = region.work.items();
+    let n = items.len();
+    let spawn = region.spawn_overhead_ns;
+    let dispatch = region.dispatch_overhead_ns;
+
+    // Item availability: when the runtime has created it, plus deps.
+    let (avail, master_free, static_assign): (Vec<f64>, f64, bool) = match &region.work {
+        RegionWork::Serial { .. } => (vec![0.0], 0.0, false),
+        RegionWork::ParallelFor { chunks, schedule } => match schedule {
+            // Static: single fork, chunks pre-assigned round-robin.
+            LoopSchedule::Static => (vec![spawn; chunks.len()], spawn, true),
+            // Dynamic: master publishes chunks one by one.
+            LoopSchedule::Dynamic => (
+                (0..chunks.len()).map(|i| spawn * (i + 1) as f64).collect(),
+                spawn * chunks.len() as f64,
+                false,
+            ),
+        },
+        RegionWork::Tasks { items } => (
+            (0..items.len()).map(|i| spawn * (i + 1) as f64).collect(),
+            spawn * items.len() as f64,
+            false,
+        ),
+    };
+
+    // Map item id → finish time for dependency resolution.
+    let mut finish_by_id: std::collections::HashMap<u32, f64> =
+        std::collections::HashMap::with_capacity(n);
+
+    // Core free times; core 0 is the master and joins after spawning.
+    let mut core_free = vec![0.0_f64; cores as usize];
+    core_free[0] = master_free;
+
+    let mut lock_free = 0.0_f64;
+    let mut timeline = Vec::with_capacity(n);
+    let mut busy = 0.0_f64;
+    let mut makespan = master_free;
+
+    for (i, item) in items.iter().enumerate() {
+        let dur = duration_of(i).max(0.0) + dispatch;
+        let crit = critical_of(i).max(0.0).min(dur);
+
+        let deps_done = item
+            .deps
+            .iter()
+            .filter_map(|d| finish_by_id.get(d).copied())
+            .fold(0.0_f64, f64::max);
+        let ready = avail[i].max(deps_done);
+
+        // Pick the core: static pre-assignment or earliest-free.
+        let core = if static_assign {
+            (i as u32) % cores
+        } else {
+            let mut best = 0usize;
+            for (c, &f) in core_free.iter().enumerate().skip(1) {
+                if f < core_free[best] {
+                    best = c;
+                }
+            }
+            best as u32
+        };
+
+        let start = ready.max(core_free[core as usize]);
+        let mut end = start + dur;
+        // Critical section at the item's tail serialises on the lock.
+        if crit > 0.0 {
+            let crit_start = (end - crit).max(lock_free);
+            end = crit_start + crit;
+            lock_free = end;
+        }
+
+        core_free[core as usize] = end;
+        finish_by_id.insert(item.id, end);
+        busy += end - start;
+        if end > makespan {
+            makespan = end;
+        }
+        timeline.push(ScheduledItem {
+            item: item.id,
+            core,
+            start_ns: start,
+            end_ns: end,
+        });
+    }
+
+    Schedule {
+        makespan_ns: makespan,
+        timeline,
+        busy_ns: busy,
+        cores,
+    }
+}
+
+/// Burst-mode (hardware-agnostic) simulation of a region: durations come
+/// from the trace, unchanged.
+pub fn simulate_region_burst(region: &ComputeRegion, cores: u32) -> Schedule {
+    let items = region.work.items();
+    schedule_region(
+        region,
+        cores,
+        |i| items[i].duration_ns,
+        |i| items[i].critical_ns,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use musa_trace::WorkItem;
+
+    fn par_for(durations: &[f64], spawn: f64, schedule: LoopSchedule) -> ComputeRegion {
+        ComputeRegion {
+            region_id: 0,
+            name: "r".into(),
+            work: RegionWork::ParallelFor {
+                chunks: durations
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &d)| WorkItem::simple(i as u32, d))
+                    .collect(),
+                schedule,
+            },
+            spawn_overhead_ns: spawn,
+            dispatch_overhead_ns: 0.0,
+        }
+    }
+
+    #[test]
+    fn serial_region_takes_serial_time() {
+        let r = ComputeRegion {
+            region_id: 0,
+            name: "s".into(),
+            work: RegionWork::Serial {
+                item: WorkItem::simple(0, 100.0),
+            },
+            spawn_overhead_ns: 0.0,
+            dispatch_overhead_ns: 0.0,
+        };
+        let s = simulate_region_burst(&r, 64);
+        assert_eq!(s.makespan_ns, 100.0);
+        assert!((s.parallel_efficiency() - 100.0 / (100.0 * 64.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_loop_scales_nearly_linearly() {
+        let r = par_for(&[10.0; 128], 0.0, LoopSchedule::Dynamic);
+        let s1 = simulate_region_burst(&r, 1);
+        let s32 = simulate_region_burst(&r, 32);
+        let speedup = s1.makespan_ns / s32.makespan_ns;
+        assert!(speedup > 30.0, "speedup {speedup}");
+    }
+
+    #[test]
+    fn makespan_at_least_critical_path_and_at_most_serial() {
+        let durations: Vec<f64> = (0..50).map(|i| 10.0 + i as f64).collect();
+        let r = par_for(&durations, 0.0, LoopSchedule::Dynamic);
+        let serial: f64 = durations.iter().sum();
+        let longest = 59.0;
+        for cores in [1u32, 7, 32, 64] {
+            let s = simulate_region_burst(&r, cores);
+            assert!(s.makespan_ns >= longest - 1e-9);
+            assert!(s.makespan_ns <= serial + 1e-9);
+        }
+    }
+
+    #[test]
+    fn one_big_chunk_caps_speedup() {
+        // SPMZ-shaped: one 2× boundary chunk first, then 43 unit chunks.
+        let mut d = vec![20.5];
+        d.extend(std::iter::repeat(10.0).take(43));
+        let r = par_for(&d, 0.0, LoopSchedule::Dynamic);
+        let s32 = simulate_region_burst(&r, 32);
+        let s64 = simulate_region_burst(&r, 64);
+        // Flat between 32 and 64 cores (the big chunk dominates).
+        assert!((s32.makespan_ns - s64.makespan_ns).abs() / s64.makespan_ns < 0.05);
+    }
+
+    #[test]
+    fn spawn_overhead_gates_dynamic_loops() {
+        // 64 chunks of 1 ns each with 100 ns spawns: makespan is
+        // spawn-bound regardless of core count.
+        let r = par_for(&[1.0; 64], 100.0, LoopSchedule::Dynamic);
+        let s = simulate_region_burst(&r, 64);
+        assert!(s.makespan_ns >= 64.0 * 100.0);
+    }
+
+    #[test]
+    fn static_loops_pay_only_one_fork() {
+        let r = par_for(&[100.0; 64], 50.0, LoopSchedule::Static);
+        let s = simulate_region_burst(&r, 64);
+        assert!((s.makespan_ns - 150.0).abs() < 1e-9, "{}", s.makespan_ns);
+    }
+
+    #[test]
+    fn dependencies_serialise() {
+        let items = vec![
+            WorkItem::simple(0, 10.0),
+            WorkItem {
+                deps: vec![0],
+                ..WorkItem::simple(1, 10.0)
+            },
+            WorkItem {
+                deps: vec![1],
+                ..WorkItem::simple(2, 10.0)
+            },
+        ];
+        let r = ComputeRegion {
+            region_id: 0,
+            name: "chain".into(),
+            work: RegionWork::Tasks { items },
+            spawn_overhead_ns: 0.0,
+            dispatch_overhead_ns: 0.0,
+        };
+        let s = simulate_region_burst(&r, 64);
+        assert!(s.makespan_ns >= 30.0 - 1e-9);
+    }
+
+    #[test]
+    fn critical_sections_serialise() {
+        // 8 items, each 10 ns with 10 ns critical: fully serialised.
+        let items: Vec<WorkItem> = (0..8)
+            .map(|i| WorkItem {
+                critical_ns: 10.0,
+                ..WorkItem::simple(i, 10.0)
+            })
+            .collect();
+        let r = ComputeRegion {
+            region_id: 0,
+            name: "crit".into(),
+            work: RegionWork::Tasks { items },
+            spawn_overhead_ns: 0.0,
+            dispatch_overhead_ns: 0.0,
+        };
+        let s = simulate_region_burst(&r, 8);
+        assert!(s.makespan_ns >= 80.0 - 1e-9, "{}", s.makespan_ns);
+    }
+
+    #[test]
+    fn timeline_is_consistent() {
+        let r = par_for(&[5.0; 20], 1.0, LoopSchedule::Dynamic);
+        let s = simulate_region_burst(&r, 4);
+        assert_eq!(s.timeline.len(), 20);
+        // No overlapping items on the same core.
+        let mut by_core: std::collections::HashMap<u32, Vec<(f64, f64)>> = Default::default();
+        for t in &s.timeline {
+            by_core.entry(t.core).or_default().push((t.start_ns, t.end_ns));
+        }
+        for (_, mut spans) in by_core {
+            spans.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            for w in spans.windows(2) {
+                assert!(w[1].0 >= w[0].1 - 1e-9, "overlap: {w:?}");
+            }
+        }
+        assert!(s.avg_concurrency() <= 4.0 + 1e-9);
+    }
+}

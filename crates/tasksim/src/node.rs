@@ -1,0 +1,357 @@
+//! Node-level detailed simulation: kernel profiling, scheduling and the
+//! memory-bandwidth contention fixed point, plus the DRAM command-stream
+//! estimate handed to the power models.
+
+use std::collections::HashMap;
+
+use musa_arch::NodeConfig;
+use musa_mem::{ChannelStats, DramTiming};
+use musa_trace::{ComputeRegion, DetailedTrace, KernelId};
+
+use crate::geometry::CacheGeometry;
+use crate::locality::kernel_footprint_bytes;
+use crate::multicore::{schedule_region, Schedule};
+use crate::profile::{profile_kernel, KernelProfile};
+use crate::stats::SimStats;
+
+/// Sustainable fraction of peak DRAM bandwidth under a mixed read/write
+/// stream (bank conflicts, refresh, turnarounds).
+const DDR_EFFICIENCY: f64 = 0.70;
+/// Aggregate bandwidth ceiling of the on-chip uncore path (mesh +
+/// memory-controller front ends) feeding off-package DDR PHYs, GB/s.
+/// Adding channels beyond this point stops paying — the reason the
+/// paper's 16-channel MEM+ configuration gains only ≈7 % while
+/// on-package HBM (MEM++) keeps scaling.
+const UNCORE_DDR_GBS: f64 = 128.0;
+/// Same ceiling for on-package HBM stacks (shorter, wider path).
+const UNCORE_HBM_GBS: f64 = 176.0;
+
+/// Effective sustainable DRAM bandwidth of a memory configuration.
+/// Beyond eight channels the deeper controller-level parallelism lifts
+/// the sustainable fraction slightly — the paper's MEM+ configuration
+/// gains ≈7 % over eight channels despite the shared uncore ceiling.
+pub fn effective_bandwidth_gbs(mem: musa_arch::MemConfig) -> f64 {
+    let uncore = match mem.tech {
+        musa_arch::MemTechnology::Ddr4 => UNCORE_DDR_GBS,
+        musa_arch::MemTechnology::Hbm => UNCORE_HBM_GBS,
+    };
+    let efficiency = if mem.channels > 8 { 0.78 } else { DDR_EFFICIENCY };
+    mem.peak_bandwidth_gbs().min(uncore) * efficiency
+}
+/// Contention fixed-point iterations.
+const CONTENTION_ITERS: usize = 4;
+
+/// Result of simulating one compute region in detailed mode.
+#[derive(Debug, Clone)]
+pub struct DetailedRegionResult {
+    /// The schedule (makespan, timeline, efficiency).
+    pub schedule: Schedule,
+    /// Aggregated architectural statistics over the region.
+    pub stats: SimStats,
+    /// Final bandwidth-stretch factor applied to memory-bound cycles.
+    pub mem_stretch: f64,
+    /// Demanded DRAM bandwidth before contention, GB/s.
+    pub demanded_gbs: f64,
+    /// Estimated DRAM command statistics for the power model.
+    pub dram: ChannelStats,
+}
+
+/// Detailed simulator of one node configuration. Kernel profiles are
+/// cached so repeated regions (timesteps) are free.
+pub struct NodeSim<'a> {
+    config: NodeConfig,
+    detail: &'a DetailedTrace,
+    profiles: HashMap<(KernelId, u32), KernelProfile>,
+    region_ws_bytes: f64,
+    geom: CacheGeometry,
+}
+
+impl<'a> NodeSim<'a> {
+    /// Build a simulator for `config` over the sampled detailed trace,
+    /// using `region` to size the shared working set and concurrency.
+    pub fn new(config: NodeConfig, detail: &'a DetailedTrace, region: &ComputeRegion) -> Self {
+        let items = region.work.items();
+        // Region working set: one footprint contribution per kernel
+        // invocation (items work on disjoint sub-domains).
+        let region_ws_bytes: f64 = items
+            .iter()
+            .flat_map(|w| &w.kernels)
+            .filter_map(|inv| detail.kernel(inv.kernel))
+            .map(kernel_footprint_bytes)
+            .sum();
+        let active = (items.len() as u32).min(config.cores.count()).max(1);
+        let geom = CacheGeometry::new(&config, active);
+        NodeSim {
+            config,
+            detail,
+            profiles: HashMap::new(),
+            region_ws_bytes,
+            geom,
+        }
+    }
+
+    /// The geometry in use (exposed for diagnostics).
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geom
+    }
+
+    /// Profile a kernel (cached).
+    pub fn profile(&mut self, kernel: KernelId) -> Option<KernelProfile> {
+        match self.profiles.entry((kernel, 0)) {
+            std::collections::hash_map::Entry::Occupied(e) => Some(*e.get()),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let k = self.detail.kernel(kernel)?;
+                let p = profile_kernel(k, &self.config, &self.geom, self.region_ws_bytes);
+                Some(*e.insert(p))
+            }
+        }
+    }
+
+    /// Per-item detailed duration (ns, uncontended), statistics and DRAM
+    /// bytes.
+    fn item_cost(&mut self, item_idx: usize, region: &ComputeRegion) -> (f64, SimStats, f64) {
+        let ghz = self.config.freq.ghz();
+        let item = &region.work.items()[item_idx];
+        let mut dur = 0.0;
+        let mut stats = SimStats::default();
+        let mut bytes = 0.0;
+        for inv in &item.kernels {
+            let Some(kernel) = self.detail.kernel(inv.kernel) else {
+                continue;
+            };
+            let trips = inv.trips.unwrap_or(kernel.trip_count);
+            let Some(p) = self.profile(inv.kernel) else {
+                continue;
+            };
+            dur += p.duration_ns(trips, ghz);
+            stats.merge(&p.stats_per_iter.scaled(trips as f64));
+            bytes += p.mem_bytes_per_iter * trips as f64;
+        }
+        if item.kernels.is_empty() {
+            // No detailed content (e.g. serial bookkeeping): fall back to
+            // the trace duration, frequency-scaled from the traced
+            // 2.6 GHz machine.
+            dur = item.duration_ns * 2.6 / ghz;
+        }
+        (dur, stats, bytes)
+    }
+
+    /// Simulate a region in detailed mode: profile-driven durations with
+    /// a roofline bandwidth-contention fixed point — an item's effective
+    /// duration is `max(core_time, dram_bytes / fair_bandwidth_share)`,
+    /// with the fair share determined by the achieved concurrency.
+    pub fn simulate_region(&mut self, region: &ComputeRegion) -> DetailedRegionResult {
+        let cores = self.config.cores.count();
+        let n = region.work.items().len();
+
+        // Pre-compute per-item base costs.
+        let mut base: Vec<(f64, SimStats, f64)> = Vec::with_capacity(n);
+        let mut total_stats = SimStats::default();
+        let mut total_bytes = 0.0;
+        for i in 0..n {
+            let c = self.item_cost(i, region);
+            total_stats.merge(&c.1);
+            total_bytes += c.2;
+            base.push(c);
+        }
+
+        let cap_gbs = effective_bandwidth_gbs(self.config.mem);
+        let items = region.work.items();
+
+        // Bulk concurrency: the bandwidth is shared by the items that
+        // run simultaneously during the region's bulk. A first
+        // uncontended schedule measures it; one refinement settles it
+        // (the fair share moves durations, which moves concurrency only
+        // marginally).
+        let mut concurrency = (n as f64).min(cores as f64).max(1.0);
+        let mut schedule = Schedule {
+            makespan_ns: 0.0,
+            timeline: Vec::new(),
+            busy_ns: 0.0,
+            cores,
+        };
+        let mut demanded = 0.0;
+        let mut stretch = 1.0;
+        for it in 0..CONTENTION_ITERS {
+            let share = cap_gbs / concurrency;
+            let durations: Vec<f64> = base
+                .iter()
+                .map(|(dur0, _, bytes)| dur0.max(*bytes / share))
+                .collect();
+            schedule = schedule_region(
+                region,
+                cores,
+                |i| durations[i],
+                |i| {
+                    // Critical fraction carried over from the trace.
+                    let itm = &items[i];
+                    if itm.duration_ns > 0.0 {
+                        durations[i] * (itm.critical_ns / itm.duration_ns)
+                    } else {
+                        0.0
+                    }
+                },
+            );
+            demanded = if schedule.makespan_ns > 0.0 {
+                total_bytes / schedule.makespan_ns
+            } else {
+                0.0
+            };
+            let busy0: f64 = base.iter().map(|(d, _, _)| *d).sum();
+            stretch = if busy0 > 0.0 {
+                schedule.busy_ns / busy0
+            } else {
+                1.0
+            };
+            if it > 0 {
+                break;
+            }
+            // Bulk concurrency: average over the busier half of the
+            // region (the tail's draining cores shouldn't inflate
+            // everyone's share).
+            let bulk = 0.5 * (schedule.avg_concurrency() + (n as f64).min(cores as f64));
+            if (bulk - concurrency).abs() < 0.05 * concurrency {
+                break;
+            }
+            concurrency = bulk.max(1.0);
+        }
+        let (schedule, demanded, stretch) = (schedule, demanded, stretch);
+
+        let dram = estimate_dram_stats(
+            &total_stats,
+            schedule.makespan_ns,
+            &DramTiming::for_tech(self.config.mem.tech),
+            self.config.mem.channels,
+        );
+
+        DetailedRegionResult {
+            schedule,
+            stats: total_stats,
+            mem_stretch: stretch,
+            demanded_gbs: demanded,
+            dram,
+        }
+    }
+}
+
+/// Estimate the DRAM command statistics a region's traffic would produce
+/// — the input DRAMPower-style accounting needs. Row-buffer hits follow
+/// the sequential/random traffic split.
+pub fn estimate_dram_stats(
+    stats: &SimStats,
+    span_ns: f64,
+    timing: &DramTiming,
+    channels: u32,
+) -> ChannelStats {
+    let reads = stats.mem_reads;
+    let writes = stats.mem_writes;
+    // Sequential streams mostly hit open rows; random traffic conflicts.
+    let row_hit = 0.85 * stats.mem_seq_fraction + 0.10 * (1.0 - stats.mem_seq_fraction);
+    let acts = (reads + writes) * (1.0 - row_hit);
+    let refreshes = if span_ns > 0.0 {
+        (span_ns / timing.cycles_to_ns(timing.refi)) * channels as f64
+    } else {
+        0.0
+    };
+    let bytes = (reads + writes) * musa_arch::CACHE_LINE_BYTES as f64;
+    ChannelStats {
+        reads: reads as u64,
+        writes: writes as u64,
+        acts: acts as u64,
+        pres: acts as u64,
+        refreshes: refreshes as u64,
+        row_hits: ((reads + writes) * row_hit) as u64,
+        row_closed: 0,
+        row_conflicts: ((reads + writes) * (1.0 - row_hit)) as u64,
+        bus_busy_ns: (bytes / timing.burst_bytes as f64) * timing.cycles_to_ns(timing.bl),
+        total_latency_ns: 0.0,
+        bytes: bytes as u64,
+        last_done_ns: span_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use musa_apps::{generate, AppId, GenParams};
+    use musa_arch::{CoresPerNode, MemConfig, NodeConfig};
+
+    fn run(app: AppId, cfg: NodeConfig) -> DetailedRegionResult {
+        let trace = generate(app, &GenParams::tiny());
+        let region = trace.sampled_region().unwrap().clone();
+        let detail = trace.detail.as_ref().unwrap();
+        let mut sim = NodeSim::new(cfg, detail, &region);
+        sim.simulate_region(&region)
+    }
+
+    fn cfg64() -> NodeConfig {
+        NodeConfig::REFERENCE.with_cores(CoresPerNode::C64)
+    }
+
+    #[test]
+    fn lulesh_gains_from_more_channels_at_64_cores() {
+        let r4 = run(AppId::Lulesh, cfg64().with_mem(MemConfig::DDR4_4CH));
+        let r8 = run(AppId::Lulesh, cfg64().with_mem(MemConfig::DDR4_8CH));
+        let speedup = r4.schedule.makespan_ns / r8.schedule.makespan_ns;
+        assert!(
+            speedup > 1.2,
+            "lulesh 8ch speedup {speedup} (stretch4={} stretch8={})",
+            r4.mem_stretch,
+            r8.mem_stretch
+        );
+    }
+
+    #[test]
+    fn spec3d_does_not_gain_from_more_channels() {
+        let r4 = run(AppId::Spec3d, cfg64().with_mem(MemConfig::DDR4_4CH));
+        let r8 = run(AppId::Spec3d, cfg64().with_mem(MemConfig::DDR4_8CH));
+        let speedup = r4.schedule.makespan_ns / r8.schedule.makespan_ns;
+        assert!(speedup < 1.06, "spec3d should be flat: {speedup}");
+    }
+
+    #[test]
+    fn hydro_single_core_has_low_memory_demand() {
+        let r = run(
+            AppId::Hydro,
+            NodeConfig::REFERENCE.with_cores(CoresPerNode::C1),
+        );
+        assert!(r.demanded_gbs < 5.0, "hydro demand {}", r.demanded_gbs);
+        assert!((r.mem_stretch - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn stats_accumulate_over_items() {
+        let r = run(AppId::Spmz, cfg64());
+        assert!(r.stats.instructions > 0.0);
+        assert!(r.stats.l1.accesses > 0.0);
+        assert!(r.stats.mpki(&r.stats.l1) > 60.0);
+        assert!(r.dram.reads > 0);
+    }
+
+    #[test]
+    fn timeline_shows_spec3d_starvation() {
+        let r = run(AppId::Spec3d, cfg64());
+        let busy = r.schedule.core_busy_ns();
+        let active = busy.iter().filter(|&&b| b > 0.0).count();
+        assert!(
+            active < 32,
+            "most cores must stay idle (Fig. 3): {active} active"
+        );
+    }
+
+    #[test]
+    fn estimated_dram_stats_are_consistent() {
+        let s = SimStats {
+            mem_reads: 1000.0,
+            mem_writes: 200.0,
+            mem_seq_fraction: 1.0,
+            ..Default::default()
+        };
+        let t = DramTiming::ddr4_2400();
+        let d = estimate_dram_stats(&s, 1e6, &t, 4);
+        assert_eq!(d.reads, 1000);
+        assert_eq!(d.writes, 200);
+        assert!(d.row_hits > d.row_conflicts);
+        assert_eq!(d.bytes, 1200 * 64);
+    }
+}

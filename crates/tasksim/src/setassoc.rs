@@ -1,0 +1,214 @@
+//! Reference set-associative LRU cache hierarchy simulator.
+//!
+//! Used to validate the analytic locality model of [`crate::locality`]:
+//! it expands a kernel's access streams into concrete addresses and runs
+//! them through real L1/L2/L3 LRU caches. Too slow for the DSE campaign,
+//! exactly right for unit tests and calibration.
+
+use musa_trace::{AccessPattern, Kernel, Op};
+
+/// One set-associative LRU cache level.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: Vec<Vec<u64>>, // per set: line tags, most recent last
+    assoc: usize,
+    set_mask: u64,
+    /// Accesses observed.
+    pub accesses: u64,
+    /// Misses observed.
+    pub misses: u64,
+}
+
+impl Cache {
+    /// Build a cache of `size_bytes` with `assoc` ways of 64-byte lines.
+    pub fn new(size_bytes: u64, assoc: u32) -> Self {
+        let lines = size_bytes / musa_arch::CACHE_LINE_BYTES;
+        let sets = (lines / assoc as u64).max(1).next_power_of_two();
+        Cache {
+            sets: vec![Vec::with_capacity(assoc as usize); sets as usize],
+            assoc: assoc as usize,
+            set_mask: sets - 1,
+            accesses: 0,
+            misses: 0,
+        }
+    }
+
+    /// Access a line address; returns true on hit.
+    pub fn access(&mut self, line: u64) -> bool {
+        self.accesses += 1;
+        let set = &mut self.sets[(line & self.set_mask) as usize];
+        if let Some(pos) = set.iter().position(|&t| t == line) {
+            let tag = set.remove(pos);
+            set.push(tag);
+            true
+        } else {
+            self.misses += 1;
+            if set.len() >= self.assoc {
+                set.remove(0);
+            }
+            set.push(line);
+            false
+        }
+    }
+
+    /// Observed miss ratio.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// A three-level hierarchy fed with line addresses.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    /// L1 data cache.
+    pub l1: Cache,
+    /// Private L2.
+    pub l2: Cache,
+    /// L3 (sized at the per-core share for single-core validation runs).
+    pub l3: Cache,
+    /// Accesses that missed all levels.
+    pub mem_accesses: u64,
+}
+
+impl Hierarchy {
+    /// Build from byte capacities (associativities follow Table I).
+    pub fn new(l1_bytes: u64, l2_bytes: u64, l2_assoc: u32, l3_bytes: u64) -> Self {
+        Hierarchy {
+            l1: Cache::new(l1_bytes, musa_arch::L1_ASSOC),
+            l2: Cache::new(l2_bytes, l2_assoc),
+            l3: Cache::new(l3_bytes, 16),
+            mem_accesses: 0,
+        }
+    }
+
+    /// Access a byte address through the hierarchy.
+    pub fn access(&mut self, addr: u64) {
+        let line = addr / musa_arch::CACHE_LINE_BYTES;
+        if self.l1.access(line) {
+            return;
+        }
+        if self.l2.access(line) {
+            return;
+        }
+        if self.l3.access(line) {
+            return;
+        }
+        self.mem_accesses += 1;
+    }
+}
+
+/// Deterministic xorshift for random-pattern address generation.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Expand `iters` iterations of a kernel's memory accesses into the
+/// hierarchy. Returns per-level miss counts implicitly via `hier`.
+pub fn run_kernel(kernel: &Kernel, hier: &mut Hierarchy, iters: u32) {
+    let n = kernel.streams.len();
+    let mut cursors = vec![0u64; n];
+    let mut rng: u64 = 0x9E37_79B9_7F4A_7C15;
+
+    for _ in 0..iters {
+        for t in &kernel.body {
+            if !matches!(t.op, Op::Load | Op::Store) {
+                continue;
+            }
+            let Some(si) = t.stream else { continue };
+            let s = &kernel.streams[si as usize];
+            let addr = match s.pattern {
+                AccessPattern::Sequential { stride } | AccessPattern::Strided { stride } => {
+                    let off = cursors[si as usize];
+                    cursors[si as usize] = (off + stride as u64) % s.footprint.max(1);
+                    s.base + off
+                }
+                AccessPattern::Random => {
+                    s.base + xorshift(&mut rng) % s.footprint.max(1)
+                }
+                AccessPattern::Local => s.base + (xorshift(&mut rng) % 64) * 8 % s.footprint.max(1),
+            };
+            hier.access(addr);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_basics() {
+        let mut c = Cache::new(4 * 64, 4); // 4 lines, fully assoc (1 set)
+        assert!(!c.access(1));
+        assert!(!c.access(2));
+        assert!(!c.access(3));
+        assert!(!c.access(4));
+        assert!(c.access(1)); // still resident
+        assert!(!c.access(5)); // evicts LRU = 2
+        assert!(!c.access(2)); // 2 was evicted
+        assert!(c.access(1));
+    }
+
+    #[test]
+    fn streaming_thrashes_small_cache() {
+        let mut c = Cache::new(32 * 1024, 8);
+        // Walk 256 kB twice, line by line.
+        let lines = 256 * 1024 / 64;
+        for _ in 0..2 {
+            for l in 0..lines {
+                c.access(l);
+            }
+        }
+        assert!(c.miss_ratio() > 0.99, "{}", c.miss_ratio());
+    }
+
+    #[test]
+    fn resident_working_set_hits_after_first_walk() {
+        let mut c = Cache::new(512 * 1024, 16);
+        let lines = 200 * 1024 / 64;
+        for _ in 0..10 {
+            for l in 0..lines {
+                c.access(l);
+            }
+        }
+        // Only the first walk misses.
+        let expect = lines as f64 / (10 * lines) as f64;
+        assert!((c.miss_ratio() - expect).abs() < 0.02, "{}", c.miss_ratio());
+    }
+
+    #[test]
+    fn hierarchy_filters_traffic() {
+        let mut h = Hierarchy::new(32 * 1024, 512 * 1024, 16, 2 * 1024 * 1024);
+        // 200 kB working set walked repeatedly: L1 misses, L2 absorbs.
+        let lines = 200 * 1024 / 64;
+        for _ in 0..8 {
+            for l in 0..lines {
+                h.access(l * 64);
+            }
+        }
+        assert!(h.l1.miss_ratio() > 0.9);
+        assert!(h.l2.miss_ratio() < 0.2, "{}", h.l2.miss_ratio());
+        assert!(h.mem_accesses < h.l2.accesses / 4);
+    }
+
+    #[test]
+    fn random_in_small_footprint_hits_l2() {
+        let mut h = Hierarchy::new(32 * 1024, 512 * 1024, 16, 2 * 1024 * 1024);
+        let mut rng = 42u64;
+        for _ in 0..200_000 {
+            let a = xorshift(&mut rng) % (224 * 1024);
+            h.access(0x1000_0000 + a);
+        }
+        assert!(h.l1.miss_ratio() > 0.5, "l1 {}", h.l1.miss_ratio());
+        assert!(h.l2.miss_ratio() < 0.05, "l2 {}", h.l2.miss_ratio());
+    }
+}

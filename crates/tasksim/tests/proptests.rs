@@ -1,0 +1,138 @@
+//! Property-based tests of the scheduler and the locality model.
+
+use proptest::prelude::*;
+
+use musa_tasksim::{analyze_kernel, simulate_region_burst, CacheGeometry};
+use musa_trace::{
+    AccessPattern, ComputeRegion, InstrTemplate, Kernel, LoopSchedule, Op, RegionWork,
+    StreamDesc, WorkItem,
+};
+
+fn region_from(durations: Vec<f64>, dynamic: bool, spawn: f64, dispatch: f64) -> ComputeRegion {
+    ComputeRegion {
+        region_id: 0,
+        name: "prop".into(),
+        work: RegionWork::ParallelFor {
+            chunks: durations
+                .into_iter()
+                .enumerate()
+                .map(|(i, d)| WorkItem::simple(i as u32, d))
+                .collect(),
+            schedule: if dynamic {
+                LoopSchedule::Dynamic
+            } else {
+                LoopSchedule::Static
+            },
+        },
+        spawn_overhead_ns: spawn,
+        dispatch_overhead_ns: dispatch,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Makespan is bounded below by both the longest item and the ideal
+    /// parallel time, and above by the serial time plus all overheads.
+    #[test]
+    fn schedule_respects_fundamental_bounds(
+        durations in proptest::collection::vec(1.0f64..1e6, 1..80),
+        cores in 1u32..128,
+        dynamic in any::<bool>(),
+        spawn in 0.0f64..500.0,
+        dispatch in 0.0f64..200.0,
+    ) {
+        let n = durations.len() as f64;
+        let serial: f64 = durations.iter().sum();
+        let longest = durations.iter().copied().fold(0.0, f64::max);
+        let region = region_from(durations, dynamic, spawn, dispatch);
+        let s = simulate_region_burst(&region, cores);
+
+        prop_assert!(s.makespan_ns + 1e-9 >= longest);
+        prop_assert!(s.makespan_ns + 1e-9 >= serial / cores as f64);
+        // Upper bound: everything serialised plus every overhead.
+        let overheads = spawn * (n + 1.0) + dispatch * n;
+        prop_assert!(s.makespan_ns <= serial + overheads + 1e-6);
+        // Efficiency is a true fraction.
+        let eff = s.parallel_efficiency();
+        prop_assert!(eff > 0.0 && eff <= 1.0 + 1e-9);
+    }
+
+    /// Greedy dynamic scheduling is a 2-approximation: never worse than
+    /// twice the lower bound (Graham's bound: T ≤ T_opt (2 − 1/m)).
+    #[test]
+    fn dynamic_schedule_is_graham_bounded(
+        durations in proptest::collection::vec(1.0f64..1e6, 1..60),
+        cores in 1u32..64,
+    ) {
+        let serial: f64 = durations.iter().sum();
+        let longest = durations.iter().copied().fold(0.0, f64::max);
+        let lower = longest.max(serial / cores as f64);
+        let region = region_from(durations, true, 0.0, 0.0);
+        let s = simulate_region_burst(&region, cores);
+        prop_assert!(
+            s.makespan_ns <= 2.0 * lower + 1e-6,
+            "makespan {} > 2x lower bound {}",
+            s.makespan_ns,
+            lower
+        );
+    }
+
+    /// Adding cores never hurts (dynamic schedule, no overheads).
+    #[test]
+    fn more_cores_never_slower(
+        durations in proptest::collection::vec(1.0f64..1e5, 1..50),
+        cores in 1u32..63,
+    ) {
+        let region = region_from(durations, true, 0.0, 0.0);
+        let a = simulate_region_burst(&region, cores).makespan_ns;
+        let b = simulate_region_burst(&region, cores + 1).makespan_ns;
+        prop_assert!(b <= a + 1e-6, "{b} > {a} with one more core");
+    }
+
+    /// The locality model always produces normalised service mixes with
+    /// non-negative probabilities, for arbitrary stream shapes.
+    #[test]
+    fn locality_mixes_always_normalised(
+        footprints in proptest::collection::vec(1024u64..64*1024*1024, 1..6),
+        strides in proptest::collection::vec(8u32..512, 1..6),
+        trips in 16u32..1_000_000,
+        patterns in proptest::collection::vec(0u8..4, 1..6),
+    ) {
+        let n = footprints.len().min(strides.len()).min(patterns.len());
+        let streams: Vec<StreamDesc> = (0..n)
+            .map(|i| StreamDesc {
+                base: (i as u64) << 28,
+                footprint: footprints[i],
+                pattern: match patterns[i] {
+                    0 => AccessPattern::Sequential { stride: strides[i].min(64) },
+                    1 => AccessPattern::Strided { stride: strides[i] },
+                    2 => AccessPattern::Random,
+                    _ => AccessPattern::Local,
+                },
+            })
+            .collect();
+        let body: Vec<InstrTemplate> = (0..n)
+            .map(|i| InstrTemplate::mem(
+                if i % 3 == 0 { Op::Store } else { Op::Load },
+                i as u32,
+                i as u8,
+                i % 2 == 0,
+            ))
+            .collect();
+        let kernel = Kernel {
+            id: 0,
+            name: "prop".into(),
+            body,
+            trip_count: trips,
+            fusible_run: 8,
+            streams,
+        };
+        let geom = CacheGeometry::new(&musa_arch::NodeConfig::REFERENCE, 32);
+        for loc in analyze_kernel(&kernel, &geom, 1e9).iter().flatten() {
+            prop_assert!(loc.mix.is_normalised(), "{:?}", loc.mix);
+            prop_assert!(loc.lines_per_access >= 0.0);
+            prop_assert!(loc.mem_latency_ns > 0.0);
+        }
+    }
+}

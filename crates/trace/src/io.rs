@@ -1,0 +1,148 @@
+//! Trace (de)serialisation.
+//!
+//! Traces are stored as JSON — one file per application trace — so a trace
+//! generated once can drive the entire 864-point design-space exploration,
+//! "reducing trace generation time and storage requirements" (§II-A).
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::AppTrace;
+
+/// Errors arising while loading or saving traces.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// JSON (de)serialisation failure.
+    Json(serde_json::Error),
+    /// The trace violated a structural invariant (see
+    /// [`AppTrace::validate`]).
+    Invalid(String),
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceIoError::Json(e) => write!(f, "trace JSON error: {e}"),
+            TraceIoError::Invalid(msg) => write!(f, "invalid trace: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            TraceIoError::Json(e) => Some(e),
+            TraceIoError::Invalid(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for TraceIoError {
+    fn from(e: serde_json::Error) -> Self {
+        TraceIoError::Json(e)
+    }
+}
+
+/// Serialise a trace to a writer.
+pub fn write_trace<W: Write>(trace: &AppTrace, writer: W) -> Result<(), TraceIoError> {
+    serde_json::to_writer(writer, trace)?;
+    Ok(())
+}
+
+/// Deserialise and validate a trace from a reader.
+pub fn read_trace<R: Read>(reader: R) -> Result<AppTrace, TraceIoError> {
+    let trace: AppTrace = serde_json::from_reader(reader)?;
+    trace.validate().map_err(TraceIoError::Invalid)?;
+    Ok(trace)
+}
+
+/// Save a trace to `path` (buffered).
+pub fn save_trace(trace: &AppTrace, path: impl AsRef<Path>) -> Result<(), TraceIoError> {
+    let file = File::create(path)?;
+    write_trace(trace, BufWriter::new(file))
+}
+
+/// Load and validate a trace from `path` (buffered).
+pub fn load_trace(path: impl AsRef<Path>) -> Result<AppTrace, TraceIoError> {
+    let file = File::open(path)?;
+    read_trace(BufReader::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        BurstEvent, ComputeRegion, RankTrace, RegionWork, TraceMeta, WorkItem,
+    };
+
+    fn tiny_trace() -> AppTrace {
+        AppTrace {
+            meta: TraceMeta::new("t", 1, 1, 1),
+            ranks: vec![RankTrace {
+                rank: 0,
+                events: vec![BurstEvent::Compute(ComputeRegion {
+                    region_id: 0,
+                    name: "r".into(),
+                    work: RegionWork::Serial {
+                        item: WorkItem::simple(0, 1.0),
+                    },
+                    spawn_overhead_ns: 0.0,
+                    dispatch_overhead_ns: 0.0,
+                })],
+            }],
+            detail: None,
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_memory() {
+        let trace = tiny_trace();
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let dir = std::env::temp_dir().join("musa-trace-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.json");
+        let trace = tiny_trace();
+        save_trace(&trace, &path).unwrap();
+        let back = load_trace(&path).unwrap();
+        assert_eq!(trace, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn read_rejects_invalid_trace() {
+        let mut trace = tiny_trace();
+        trace.meta.ranks = 5; // now inconsistent
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        match read_trace(buf.as_slice()) {
+            Err(TraceIoError::Invalid(_)) => {}
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_rejects_garbage() {
+        assert!(matches!(
+            read_trace(&b"not json"[..]),
+            Err(TraceIoError::Json(_))
+        ));
+    }
+}

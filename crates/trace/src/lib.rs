@@ -1,0 +1,44 @@
+//! # musa-trace
+//!
+//! Multi-level trace data model for the MUSA multiscale simulation
+//! methodology (Gómez et al., IPDPS 2019, §II-A).
+//!
+//! MUSA consumes two trace levels per application:
+//!
+//! * **Burst traces** ([`burst`]) — coarse-grain, whole-application,
+//!   one per MPI rank: the sequence of compute regions (with the runtime
+//!   system events inside them: tasks, parallel loops, dependencies,
+//!   critical sections) and MPI communication events. In the paper these
+//!   are produced by Extrae; here they are produced by the synthetic
+//!   application models in `musa-apps`.
+//!
+//! * **Detailed traces** ([`detail`]) — instruction-level, for one sampled
+//!   representative region of one rank (usually the second iteration).
+//!   In the paper these come from DynamoRIO; vector instructions are
+//!   decomposed into *marked scalar* instructions so that the simulator
+//!   can re-fuse them to any requested SIMD width (§III). Our detailed
+//!   traces use the same decomposition, stored in loop-compressed form
+//!   ([`detail::Kernel`]): a loop body of [`detail::InstrTemplate`]s plus a
+//!   trip count and memory-access stream descriptors. Loop compression is
+//!   what real binary-instrumentation traces apply anyway, and it lets the
+//!   simulator expand the dynamic instruction stream lazily.
+//!
+//! The module [`io`] provides JSON (de)serialisation of both levels so
+//! traces can be stored once and re-simulated across the whole design
+//! space, exactly as the methodology prescribes ("reducing trace
+//! generation time and storage requirements").
+
+pub mod burst;
+pub mod detail;
+pub mod io;
+pub mod meta;
+
+pub use burst::{
+    AppTrace, BurstEvent, CollectiveOp, ComputeRegion, LoopSchedule, MpiEvent, RankTrace,
+    RegionWork, WorkItem,
+};
+pub use detail::{
+    AccessPattern, DepKind, DetailedTrace, DynInstr, InstrTemplate, Kernel, KernelId,
+    KernelInvocation, Op, StreamDesc,
+};
+pub use meta::{SamplingInfo, TraceMeta};

@@ -1,0 +1,108 @@
+//! Property-based tests of the trace data model.
+
+use proptest::prelude::*;
+
+use musa_trace::{
+    AppTrace, BurstEvent, ComputeRegion, LoopSchedule, RankTrace, RegionWork, TraceMeta,
+    WorkItem,
+};
+
+fn arb_region(n_items: usize, chained: bool) -> ComputeRegion {
+    let items: Vec<WorkItem> = (0..n_items)
+        .map(|i| {
+            let mut w = WorkItem::simple(i as u32, 10.0 + i as f64);
+            if chained && i > 0 {
+                w.deps = vec![(i - 1) as u32];
+            }
+            w
+        })
+        .collect();
+    ComputeRegion {
+        region_id: 0,
+        name: "r".into(),
+        work: RegionWork::Tasks { items },
+        spawn_overhead_ns: 0.0,
+        dispatch_overhead_ns: 0.0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The critical path of a task DAG never exceeds the serial time and
+    /// is at least the longest item; a full chain has critical path ==
+    /// serial time.
+    #[test]
+    fn critical_path_bounds(n in 1usize..40, chained in any::<bool>()) {
+        let region = arb_region(n, chained);
+        let serial = region.work.serial_time_ns();
+        let longest = region
+            .work
+            .items()
+            .iter()
+            .map(|w| w.duration_ns)
+            .fold(0.0, f64::max);
+        let cp = region.critical_path_ns();
+        prop_assert!(cp <= serial + 1e-9);
+        prop_assert!(cp >= longest - 1e-9);
+        if chained {
+            prop_assert!((cp - serial).abs() < 1e-9);
+        }
+    }
+
+    /// Validation accepts well-formed traces and rejects negative or
+    /// non-finite durations and forward dependencies.
+    #[test]
+    fn validate_catches_bad_durations(
+        n in 1usize..20,
+        bad_idx in 0usize..20,
+        bad_kind in 0u8..3,
+    ) {
+        let mut region = arb_region(n, false);
+        let trace_ok = AppTrace {
+            meta: TraceMeta::new("p", 1, 1, 0),
+            ranks: vec![RankTrace { rank: 0, events: vec![BurstEvent::Compute(region.clone())] }],
+            detail: None,
+        };
+        prop_assert!(trace_ok.validate().is_ok());
+
+        let idx = bad_idx % n;
+        if let RegionWork::Tasks { items } = &mut region.work {
+            match bad_kind {
+                0 => items[idx].duration_ns = -1.0,
+                1 => items[idx].duration_ns = f64::NAN,
+                _ => items[idx].critical_ns = items[idx].duration_ns + 1.0,
+            }
+        }
+        let trace_bad = AppTrace {
+            meta: TraceMeta::new("p", 1, 1, 0),
+            ranks: vec![RankTrace { rank: 0, events: vec![BurstEvent::Compute(region)] }],
+            detail: None,
+        };
+        prop_assert!(trace_bad.validate().is_err());
+    }
+
+    /// Parallel-for regions report the max chunk as critical path for
+    /// arbitrary chunk sets.
+    #[test]
+    fn parallel_for_critical_path_is_max(
+        durations in proptest::collection::vec(0.0f64..1e6, 1..50)
+    ) {
+        let region = ComputeRegion {
+            region_id: 0,
+            name: "pf".into(),
+            work: RegionWork::ParallelFor {
+                chunks: durations
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &d)| WorkItem::simple(i as u32, d))
+                    .collect(),
+                schedule: LoopSchedule::Dynamic,
+            },
+            spawn_overhead_ns: 0.0,
+            dispatch_overhead_ns: 0.0,
+        };
+        let max = durations.iter().copied().fold(0.0, f64::max);
+        prop_assert!((region.critical_path_ns() - max).abs() < 1e-9);
+    }
+}

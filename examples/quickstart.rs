@@ -1,0 +1,67 @@
+//! Quickstart: trace one application and run the full multiscale
+//! simulation (detailed region → rescaled replay → power/energy) on one
+//! node configuration.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use musa::prelude::*;
+
+fn main() {
+    // 1. "Trace" the application. The synthetic LULESH model produces the
+    //    two trace levels MUSA needs: per-rank burst traces (compute
+    //    regions + MPI events) and an instruction-level detailed trace of
+    //    the representative region.
+    let params = GenParams::small(); // 64 ranks, 3 timesteps
+    let trace = generate(AppId::Lulesh, &params);
+    println!(
+        "traced {} ranks × {} timesteps of {}; detailed kernels: {}",
+        trace.meta.ranks,
+        trace.meta.iterations,
+        trace.meta.app,
+        trace.detail.as_ref().map_or(0, |d| d.kernels.len()),
+    );
+
+    // 2. Pick a node configuration from the Table I space.
+    let config = NodeConfig {
+        cores: CoresPerNode::C64,
+        core_class: CoreClass::High,
+        cache: CacheConfig::C64M512K,
+        vector: VectorWidth::V256,
+        freq: Frequency::F2_0,
+        mem: MemConfig::DDR4_8CH,
+    };
+    println!("simulating configuration: {config}");
+
+    // 3. Run the multiscale flow.
+    let sim = MultiscaleSim::new(&trace);
+    let r = sim.simulate(config, true);
+
+    println!("\n-- results --");
+    println!("sampled region makespan : {:9.3} ms", r.region_ns / 1e6);
+    println!("full application time   : {:9.3} ms", r.time_ns / 1e6);
+    println!("region parallel eff.    : {:8.1} %", r.region_efficiency * 100.0);
+    println!(
+        "node power              : {:9.1} W  (core+L1 {:.1} / L2+L3 {:.1} / DRAM {:.1})",
+        r.power.total_w(),
+        r.power.core_l1_w,
+        r.power.l2_l3_w,
+        r.power.mem_w
+    );
+    println!("energy to solution      : {:9.3} J", r.energy_j);
+    println!(
+        "cache profile           : L1 {:.1} / L2 {:.1} / mem {:.1} MPKI",
+        r.l1_mpki, r.l2_mpki, r.mem_mpki
+    );
+    println!("bandwidth stretch       : {:9.2}x", r.mem_stretch);
+
+    // 4. Compare against four memory channels: LULESH is the paper's
+    //    bandwidth-bound code, so this should cost real performance.
+    let r4 = sim.simulate(config.with_mem(MemConfig::DDR4_4CH), true);
+    println!(
+        "\nwith 4 DDR4 channels    : {:9.3} ms  ({:.2}x slower)",
+        r4.time_ns / 1e6,
+        r4.time_ns / r.time_ns
+    );
+}

@@ -1,0 +1,78 @@
+//! Domain scenario: the §V-A "scaling clinic" — diagnose why a hybrid
+//! MPI+OpenMP code stops scaling, using hardware-agnostic burst
+//! simulation before any architectural detail is considered.
+//!
+//! ```sh
+//! cargo run --release --example scaling_clinic
+//! ```
+
+use musa::core::report::{core_occupancy, occupancy_fraction, table};
+use musa::core::{full_app_scaling, region_scaling};
+use musa::net::{replay, BurstTimer, NetworkParams};
+use musa::prelude::*;
+use musa::tasksim::simulate_region_burst;
+
+fn main() {
+    let gen = GenParams::small();
+
+    println!("== scaling clinic: where do the cores go idle? ==\n");
+
+    let mut rows = Vec::new();
+    for app in AppId::ALL {
+        let region = region_scaling(app, &gen);
+        let full = full_app_scaling(app, &gen);
+        let trace = generate(app, &gen);
+        let sampled = trace.sampled_region().expect("sampled region");
+        let sched = simulate_region_burst(sampled, 64);
+        let occupancy = occupancy_fraction(&sched);
+
+        // Simple automated diagnosis from the burst-level evidence.
+        let diagnosis = if occupancy < 0.6 {
+            "task starvation (too few tasks)"
+        } else if region.efficiency(64).unwrap_or(1.0) < 0.6 {
+            "thread-level load imbalance"
+        } else if full.efficiency(64).unwrap_or(1.0)
+            < 0.8 * region.efficiency(64).unwrap_or(1.0)
+        {
+            "serial segments / MPI sync"
+        } else {
+            "scales well"
+        };
+
+        rows.push(vec![
+            app.label().to_string(),
+            format!("{:.0} %", 100.0 * region.efficiency(64).unwrap_or(0.0)),
+            format!("{:.0} %", 100.0 * full.efficiency(64).unwrap_or(0.0)),
+            format!("{:.0} %", 100.0 * occupancy),
+            diagnosis.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        table(
+            &["app", "region eff@64", "full eff@64", "core occupancy", "diagnosis"],
+            &rows
+        )
+    );
+
+    // Deep-dive on the starving code: the Fig. 3 occupancy view.
+    println!("\nSpecfem3D occupancy timeline (first 16 of 64 cores):");
+    let trace = generate(AppId::Spec3d, &gen);
+    let sched = simulate_region_burst(trace.sampled_region().unwrap(), 64);
+    for line in core_occupancy(&sched, 80).lines().take(16) {
+        println!("{line}");
+    }
+
+    // And the MPI wait picture for the imbalanced one (Fig. 4 view).
+    let trace = generate(AppId::Lulesh, &gen);
+    let res = replay(
+        &trace,
+        &NetworkParams::marenostrum4(),
+        &mut BurstTimer { cores: 64 },
+    );
+    println!(
+        "\nLULESH: {:.1} % of rank time is MPI, of which {:.0} % is barrier wait",
+        100.0 * res.mpi_fraction(),
+        100.0 * res.wait_share_of_mpi()
+    );
+}

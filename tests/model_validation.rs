@@ -1,0 +1,112 @@
+//! Cross-model validation: the fast analytic locality model used for the
+//! DSE campaign against the reference set-associative LRU simulator.
+
+use musa::prelude::*;
+use musa::tasksim::setassoc::{run_kernel, Hierarchy};
+use musa::tasksim::{analyze_kernel, CacheGeometry};
+
+/// Run both models on one app's kernel and compare the L1 and L2 miss
+/// counts per iteration within a tolerance band.
+fn compare(app: AppId, l2_bytes: u64, l2_assoc: u32, tol: f64) {
+    let trace = generate(app, &GenParams::tiny());
+    let detail = trace.detail.as_ref().unwrap();
+    let kernel = &detail.kernels[0];
+
+    // Reference simulation: L3 sized at the per-core share for one of 32
+    // active cores on the 64 MB configuration.
+    let l3_share = 64 * 1024 * 1024 / 32;
+    let mut hier = Hierarchy::new(32 * 1024, l2_bytes, l2_assoc, l3_share);
+    let iters = kernel.trip_count.min(200_000);
+    run_kernel(kernel, &mut hier, iters);
+
+    // Analytic model under the matching geometry.
+    let cache = if l2_bytes == 256 * 1024 {
+        CacheConfig::C32M256K
+    } else {
+        CacheConfig::C64M512K
+    };
+    // Region working set comparable to a single invocation (reference
+    // run is one invocation cold).
+    let ws: f64 = kernel.streams.iter().map(|s| s.footprint as f64).sum();
+    let geom = CacheGeometry::new(&NodeConfig::REFERENCE.with_cache(cache), 32);
+    let locality = analyze_kernel(kernel, &geom, ws * 100.0);
+
+    let mem_accesses: f64 = kernel
+        .body
+        .iter()
+        .filter(|t| t.op.is_mem())
+        .count() as f64
+        * iters as f64;
+    let l1_miss_model: f64 = locality
+        .iter()
+        .flatten()
+        .map(|l| 1.0 - l.mix.p_l1)
+        .sum::<f64>()
+        * iters as f64;
+    let l2_miss_model: f64 = locality
+        .iter()
+        .flatten()
+        .map(|l| l.mix.p_l3 + l.mix.p_mem)
+        .sum::<f64>()
+        * iters as f64;
+
+    let l1_ref = hier.l1.misses as f64;
+    let l2_ref = hier.l2.misses as f64;
+
+    let l1_err = (l1_miss_model - l1_ref).abs() / l1_ref.max(1.0);
+    assert!(
+        l1_err < tol,
+        "{app}: L1 misses analytic {l1_miss_model:.0} vs reference {l1_ref} \
+         ({:.0} % error, {} accesses)",
+        l1_err * 100.0,
+        mem_accesses
+    );
+
+    // L2 is harder (interleaving approximations): allow a wider band and
+    // require agreement on the order of magnitude.
+    if l2_ref > 100.0 {
+        let ratio = l2_miss_model / l2_ref;
+        assert!(
+            (0.2..5.0).contains(&ratio),
+            "{app}: L2 misses analytic {l2_miss_model:.0} vs reference {l2_ref} (ratio {ratio:.2})"
+        );
+    }
+}
+
+#[test]
+fn analytic_l1_matches_reference_for_streaming_apps() {
+    compare(AppId::Hydro, 512 * 1024, 16, 0.30);
+    compare(AppId::Lulesh, 512 * 1024, 16, 0.30);
+}
+
+#[test]
+fn analytic_l1_matches_reference_for_strided_apps() {
+    compare(AppId::Spmz, 512 * 1024, 16, 0.30);
+    compare(AppId::Btmz, 512 * 1024, 16, 0.30);
+}
+
+#[test]
+fn analytic_l1_matches_reference_for_random_apps() {
+    compare(AppId::Spec3d, 512 * 1024, 16, 0.30);
+}
+
+#[test]
+fn hydro_l2_cliff_confirmed_by_reference_simulator() {
+    // The analytic model predicts HYDRO's working set thrashes 256 kB
+    // and fits 512 kB. The reference LRU simulator must agree.
+    let trace = generate(AppId::Hydro, &GenParams::tiny());
+    let kernel = &trace.detail.as_ref().unwrap().kernels[0];
+    let iters = kernel.trip_count; // four full walks
+
+    let mut small = Hierarchy::new(32 * 1024, 256 * 1024, 8, 2 * 1024 * 1024);
+    run_kernel(kernel, &mut small, iters);
+    let mut big = Hierarchy::new(32 * 1024, 512 * 1024, 16, 2 * 1024 * 1024);
+    run_kernel(kernel, &mut big, iters);
+
+    assert!(
+        small.l2.miss_ratio() > 2.0 * big.l2.miss_ratio(),
+        "L2 cliff: 256K {:.4} vs 512K {:.4}",
+        small.l2.miss_ratio(),
+        big.l2.miss_ratio()
+    );
+}

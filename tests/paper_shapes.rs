@@ -1,0 +1,169 @@
+//! The paper's headline results as executable assertions — every claim
+//! the harnesses print is also enforced here at reduced scale.
+
+use musa::core::{mean_efficiency, region_scaling, sweep_app};
+use musa::prelude::*;
+
+fn opts() -> SweepOptions {
+    SweepOptions {
+        gen: GenParams::tiny(),
+        full_replay: true,
+    }
+}
+
+fn cfg64() -> NodeConfig {
+    NodeConfig::REFERENCE.with_cores(CoresPerNode::C64)
+}
+
+fn time(app: AppId, cfg: NodeConfig) -> f64 {
+    sweep_app(app, &[cfg], &opts())[0].time_ns
+}
+
+#[test]
+fn headline_512bit_speedups() {
+    // §VII: 512-bit FP units yield 20 % (HYDRO) to 75 % (SP-MZ) speedup;
+    // LULESH is flat.
+    let speedup = |app| {
+        time(app, cfg64().with_vector(VectorWidth::V128))
+            / time(app, cfg64().with_vector(VectorWidth::V512))
+    };
+    let hydro = speedup(AppId::Hydro);
+    let spmz = speedup(AppId::Spmz);
+    let lulesh = speedup(AppId::Lulesh);
+    assert!(hydro > 1.08 && hydro < 1.6, "hydro 512-bit {hydro}");
+    assert!(spmz > 1.5, "spmz 512-bit {spmz}");
+    assert!(spmz > hydro, "spmz must gain most");
+    assert!((lulesh - 1.0).abs() < 0.05, "lulesh flat: {lulesh}");
+}
+
+#[test]
+fn headline_memory_channels() {
+    // §V-B4: only LULESH benefits substantially from 8 channels.
+    let gain = |app| {
+        time(app, cfg64().with_mem(MemConfig::DDR4_4CH))
+            / time(app, cfg64().with_mem(MemConfig::DDR4_8CH))
+    };
+    let lulesh = gain(AppId::Lulesh);
+    let spec3d = gain(AppId::Spec3d);
+    let hydro = gain(AppId::Hydro);
+    assert!(lulesh > 1.3, "lulesh 8ch {lulesh}");
+    assert!(spec3d < 1.06, "spec3d must be flat: {spec3d}");
+    assert!(hydro < 1.1, "hydro nearly flat: {hydro}");
+}
+
+#[test]
+fn headline_ooo_classes() {
+    // §V-B3: low-end cores are much slower; high is close to aggressive.
+    for app in [AppId::Spec3d, AppId::Btmz] {
+        let agg = time(app, cfg64().with_core_class(CoreClass::Aggressive));
+        let high = time(app, cfg64().with_core_class(CoreClass::High));
+        let low = time(app, cfg64().with_core_class(CoreClass::LowEnd));
+        assert!(low / agg > 1.25, "{app}: lowend {:.2}", low / agg);
+        assert!(high / agg < 1.25, "{app}: high {:.2}", high / agg);
+    }
+}
+
+#[test]
+fn headline_frequency_scaling() {
+    // §V-B5: near-linear for SP-MZ; HYDRO saturates past 2.5 GHz at 64
+    // cores (runtime spawn timings do not scale with frequency).
+    let at = |app, f| time(app, cfg64().with_freq(f));
+    let spmz_3 = at(AppId::Spmz, Frequency::F1_5) / at(AppId::Spmz, Frequency::F3_0);
+    assert!(spmz_3 > 1.5, "spmz 2x freq: {spmz_3}");
+
+    let hydro_25 = at(AppId::Hydro, Frequency::F2_5);
+    let hydro_30 = at(AppId::Hydro, Frequency::F3_0);
+    let tail_gain = hydro_25 / hydro_30;
+    assert!(
+        tail_gain < 1.12,
+        "hydro must flatten beyond 2.5 GHz: {tail_gain}"
+    );
+}
+
+#[test]
+fn headline_scaling_efficiencies() {
+    // §V-A: average compute-region efficiency ≈70 % at 32 cores and
+    // ≈50 % at 64; HYDRO > 75 % at 64.
+    let gen = GenParams::tiny();
+    let curves: Vec<_> = AppId::ALL
+        .iter()
+        .map(|&a| region_scaling(a, &gen))
+        .collect();
+    let e32 = mean_efficiency(&curves, 32);
+    let e64 = mean_efficiency(&curves, 64);
+    assert!((0.55..0.85).contains(&e32), "mean eff @32 {e32}");
+    assert!((0.35..0.65).contains(&e64), "mean eff @64 {e64}");
+    let hydro = curves
+        .iter()
+        .find(|c| c.app == "hydro")
+        .and_then(|c| c.efficiency(64))
+        .unwrap();
+    assert!(hydro > 0.75, "hydro @64 {hydro}");
+}
+
+#[test]
+fn headline_energy_claims() {
+    // §V-B1: 256-bit saves energy for SIMD-friendly codes; LULESH pays.
+    let energy = |app, v: VectorWidth| {
+        sweep_app(app, &[cfg64().with_vector(v)], &opts())[0].energy_j
+    };
+    let spmz = energy(AppId::Spmz, VectorWidth::V256) / energy(AppId::Spmz, VectorWidth::V128);
+    assert!(spmz < 1.0, "spmz 256-bit energy ratio {spmz}");
+    let lulesh =
+        energy(AppId::Lulesh, VectorWidth::V256) / energy(AppId::Lulesh, VectorWidth::V128);
+    assert!(lulesh > 1.0, "lulesh 256-bit energy ratio {lulesh}");
+}
+
+#[test]
+fn headline_power_structure() {
+    // §V-B2/§VII: L2+L3 power share grows steeply with capacity;
+    // doubling channels costs ≈2× DRAM power but only 10–25 % node power.
+    let row = |cfg| sweep_app(AppId::Btmz, &[cfg], &opts())[0].power;
+    let small = row(cfg64().with_cache(CacheConfig::C32M256K));
+    let big = row(cfg64().with_cache(CacheConfig::C96M1M));
+    let share_small = small.l2_l3_w / small.total_w();
+    let share_big = big.l2_l3_w / big.total_w();
+    assert!(share_big > 1.8 * share_small, "{share_small} → {share_big}");
+
+    let p4 = row(cfg64().with_mem(MemConfig::DDR4_4CH));
+    let p8 = row(cfg64().with_mem(MemConfig::DDR4_8CH));
+    assert!(p8.mem_w / p4.mem_w > 1.6, "dram {:.2}", p8.mem_w / p4.mem_w);
+    assert!(
+        p8.total_w() / p4.total_w() < 1.3,
+        "node {:.2}",
+        p8.total_w() / p4.total_w()
+    );
+}
+
+#[test]
+fn headline_unconventional_directions() {
+    // Table II / Fig. 11 directions.
+    use musa::arch::{UNCONVENTIONAL_LULESH, UNCONVENTIONAL_SPMZ};
+    let run = |app, cfg| sweep_app(app, &[cfg], &opts())[0].clone();
+
+    let best = run(AppId::Spmz, UNCONVENTIONAL_SPMZ[0].config);
+    let vpp = run(AppId::Spmz, UNCONVENTIONAL_SPMZ[2].config);
+    assert!(
+        best.time_ns / vpp.time_ns > 1.1,
+        "Vector++ must beat Best-DSE: {:.2}",
+        best.time_ns / vpp.time_ns
+    );
+    assert!(
+        vpp.power.total_w() > best.power.total_w(),
+        "Vector++ must cost more power"
+    );
+
+    let best = run(AppId::Lulesh, UNCONVENTIONAL_LULESH[0].config);
+    let memp = run(AppId::Lulesh, UNCONVENTIONAL_LULESH[1].config);
+    assert!(
+        memp.time_ns < best.time_ns * 1.05,
+        "MEM+ must be at least on par: {:.2}",
+        best.time_ns / memp.time_ns
+    );
+    assert!(
+        memp.energy_j < best.energy_j,
+        "MEM+ must save energy: {} vs {}",
+        memp.energy_j,
+        best.energy_j
+    );
+}
