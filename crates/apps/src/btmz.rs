@@ -160,8 +160,7 @@ impl AppModel for Btmz {
             .map(|rank| {
                 let mut events = Vec::new();
                 for iter in 0..p.iterations {
-                    let imb =
-                        rank_imbalance(p.seed ^ (0x51 + iter as u64), rank, RANK_SPREAD);
+                    let imb = rank_imbalance(p.seed ^ (0x51 + iter as u64), rank, RANK_SPREAD);
                     let items: Vec<WorkItem> = sizes
                         .iter()
                         .enumerate()

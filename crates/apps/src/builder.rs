@@ -138,7 +138,10 @@ pub struct KernelSpec {
 /// unique across kernels of one application.
 pub fn build(id: KernelId, spec: &KernelSpec) -> Kernel {
     let mut body = Vec::with_capacity(
-        spec.loads.len() + spec.stores.len() + spec.fp.len() + (spec.int_ops + spec.branches) as usize,
+        spec.loads.len()
+            + spec.stores.len()
+            + spec.fp.len()
+            + (spec.int_ops + spec.branches) as usize,
     );
     let mut pc = id * 1000;
     let mut push = |t: InstrTemplate, pc: &mut u32| {
@@ -254,8 +257,7 @@ mod tests {
         assert_eq!(k.trip_count, 100);
         assert_eq!(k.fusible_run, 8);
         // Static PCs unique and in the kernel's namespace.
-        let pcs: std::collections::HashSet<u32> =
-            k.body.iter().map(|t| t.static_pc).collect();
+        let pcs: std::collections::HashSet<u32> = k.body.iter().map(|t| t.static_pc).collect();
         assert_eq!(pcs.len(), k.body.len());
         assert!(pcs.iter().all(|&p| (3000..4000).contains(&p)));
     }

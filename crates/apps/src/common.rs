@@ -5,8 +5,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use musa_trace::{
-    AppTrace, BurstEvent, CollectiveOp, ComputeRegion, MpiEvent, RankTrace, SamplingInfo,
-    TraceMeta,
+    AppTrace, BurstEvent, CollectiveOp, ComputeRegion, MpiEvent, RankTrace, SamplingInfo, TraceMeta,
 };
 
 /// Deterministic per-(seed, rank, salt) RNG so each rank's trace is
@@ -42,7 +41,7 @@ impl Grid2D {
     pub fn new(ranks: u32) -> Self {
         assert!(ranks > 0);
         let mut nx = (ranks as f64).sqrt() as u32;
-        while nx > 1 && ranks % nx != 0 {
+        while nx > 1 && !ranks.is_multiple_of(nx) {
             nx -= 1;
         }
         Grid2D {
@@ -138,9 +137,9 @@ pub fn iteration_comms(grid: &Grid2D, rank: u32, halo_bytes: u64) -> Vec<BurstEv
         .into_iter()
         .map(BurstEvent::Mpi)
         .collect();
-    ev.push(BurstEvent::Mpi(MpiEvent::Collective(CollectiveOp::AllReduce {
-        bytes: 8,
-    })));
+    ev.push(BurstEvent::Mpi(MpiEvent::Collective(
+        CollectiveOp::AllReduce { bytes: 8 },
+    )));
     ev
 }
 
@@ -210,7 +209,7 @@ mod tests {
             let a = rank_imbalance(7, rank, 0.2);
             let b = rank_imbalance(7, rank, 0.2);
             assert_eq!(a, b);
-            assert!(a >= 0.8 && a <= 1.2);
+            assert!((0.8..=1.2).contains(&a));
         }
         // Different ranks get different factors (overwhelmingly likely).
         let distinct: std::collections::HashSet<u64> = (0..32)

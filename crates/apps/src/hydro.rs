@@ -154,8 +154,7 @@ impl AppModel for Hydro {
             .map(|rank| {
                 let mut events = Vec::new();
                 for iter in 0..p.iterations {
-                    let imb =
-                        rank_imbalance(p.seed ^ (0x51 + iter as u64), rank, RANK_SPREAD);
+                    let imb = rank_imbalance(p.seed ^ (0x51 + iter as u64), rank, RANK_SPREAD);
                     let mut rng = rank_rng(p.seed, rank, 0x5000 + iter as u64);
                     let chunks: Vec<WorkItem> = (0..CHUNKS)
                         .map(|c| {
@@ -230,7 +229,10 @@ mod tests {
         let k = Hydro::sweep_kernel();
         let mem = k.body.iter().filter(|t| t.op.is_mem()).count();
         let fp = k.body.iter().filter(|t| t.op.is_fp()).count();
-        assert!(fp > 2 * mem, "HYDRO is compute-intensive: fp={fp} mem={mem}");
+        assert!(
+            fp > 2 * mem,
+            "HYDRO is compute-intensive: fp={fp} mem={mem}"
+        );
     }
 
     #[test]

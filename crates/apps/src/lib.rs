@@ -95,7 +95,10 @@ impl std::fmt::Display for AppId {
 }
 
 /// Trace-generation parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Serialisable (and hashable) so result stores can fingerprint the
+/// exact generation scale a row was simulated at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub struct GenParams {
     /// MPI ranks to trace (the paper uses 256, one per node).
     pub ranks: u32,
@@ -204,11 +207,7 @@ mod tests {
             let trace = generate(app, &p);
             let region = trace.sampled_region().expect("sampled region");
             let detail = trace.detail.as_ref().expect("detail");
-            let has_kernels = region
-                .work
-                .items()
-                .iter()
-                .any(|w| !w.kernels.is_empty());
+            let has_kernels = region.work.items().iter().any(|w| !w.kernels.is_empty());
             assert!(has_kernels, "{app}: sampled region has no kernel refs");
             // Every referenced kernel must exist in the dictionary.
             for w in region.work.items() {

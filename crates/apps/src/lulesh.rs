@@ -170,16 +170,14 @@ impl AppModel for Lulesh {
             .map(|rank| {
                 let mut events = Vec::new();
                 for iter in 0..p.iterations {
-                    let imb =
-                        rank_imbalance(p.seed ^ (0x51 + iter as u64), rank, RANK_SPREAD);
+                    let imb = rank_imbalance(p.seed ^ (0x51 + iter as u64), rank, RANK_SPREAD);
                     let mut iteration_serial = 0.0;
                     for phase in 0..PHASES {
                         let mut rng =
                             rank_rng(p.seed, rank, 0x7000 + (iter * PHASES + phase) as u64);
                         let chunks: Vec<WorkItem> = (0..CHUNKS)
                             .map(|c| {
-                                let skew =
-                                    1.0 + CHUNK_SKEW * (rng.gen::<f64>() * 2.0 - 1.0);
+                                let skew = 1.0 + CHUNK_SKEW * (rng.gen::<f64>() * 2.0 - 1.0);
                                 let trips = (CHUNK_TRIPS as f64 * skew) as u32;
                                 WorkItem {
                                     id: c,
@@ -197,8 +195,7 @@ impl AppModel for Lulesh {
                                 }
                             })
                             .collect();
-                        iteration_serial +=
-                            chunks.iter().map(|c| c.duration_ns).sum::<f64>();
+                        iteration_serial += chunks.iter().map(|c| c.duration_ns).sum::<f64>();
                         events.push(BurstEvent::Compute(ComputeRegion {
                             region_id: region_id(iter, phase),
                             name: format!("lulesh_i{iter}_p{phase}"),
@@ -247,8 +244,7 @@ mod tests {
             .streams
             .iter()
             .filter(|s| {
-                matches!(s.pattern, AccessPattern::Sequential { .. })
-                    && s.footprint >= 1024 * 1024
+                matches!(s.pattern, AccessPattern::Sequential { .. }) && s.footprint >= 1024 * 1024
             })
             .count();
         assert_eq!(streamed, 5, "3 load + 2 store streams");
@@ -282,12 +278,7 @@ mod tests {
     fn chunks_are_imbalanced() {
         let trace = Lulesh.generate(&GenParams::tiny());
         let region = trace.sampled_region().unwrap();
-        let durations: Vec<f64> = region
-            .work
-            .items()
-            .iter()
-            .map(|w| w.duration_ns)
-            .collect();
+        let durations: Vec<f64> = region.work.items().iter().map(|w| w.duration_ns).collect();
         let mean = durations.iter().sum::<f64>() / durations.len() as f64;
         let max = durations.iter().copied().fold(0.0, f64::max);
         assert!(max / mean > 1.2, "imbalance {}", max / mean);
@@ -305,11 +296,7 @@ mod tests {
     fn rank_imbalance_is_strong() {
         let p = GenParams::tiny();
         let trace = Lulesh.generate(&p);
-        let serial: Vec<f64> = trace
-            .ranks
-            .iter()
-            .map(|r| r.serial_compute_ns())
-            .collect();
+        let serial: Vec<f64> = trace.ranks.iter().map(|r| r.serial_compute_ns()).collect();
         let mean = serial.iter().sum::<f64>() / serial.len() as f64;
         let max = serial.iter().copied().fold(0.0, f64::max);
         let min = serial.iter().copied().fold(f64::MAX, f64::min);

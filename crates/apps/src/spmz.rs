@@ -141,8 +141,7 @@ impl AppModel for Spmz {
             .map(|rank| {
                 let mut events = Vec::new();
                 for iter in 0..p.iterations {
-                    let imb =
-                        rank_imbalance(p.seed ^ (0x51 + iter as u64), rank, RANK_SPREAD);
+                    let imb = rank_imbalance(p.seed ^ (0x51 + iter as u64), rank, RANK_SPREAD);
                     let chunks: Vec<WorkItem> = sizes
                         .iter()
                         .enumerate()

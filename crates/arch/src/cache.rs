@@ -152,9 +152,15 @@ mod tests {
 
     #[test]
     fn larger_configs_have_higher_latency() {
-        let lat: Vec<u32> = CacheConfig::ALL.iter().map(|c| c.l3().latency_cycles).collect();
+        let lat: Vec<u32> = CacheConfig::ALL
+            .iter()
+            .map(|c| c.l3().latency_cycles)
+            .collect();
         assert!(lat.windows(2).all(|w| w[0] < w[1]));
-        let lat2: Vec<u32> = CacheConfig::ALL.iter().map(|c| c.l2().latency_cycles).collect();
+        let lat2: Vec<u32> = CacheConfig::ALL
+            .iter()
+            .map(|c| c.l2().latency_cycles)
+            .collect();
         assert!(lat2.windows(2).all(|w| w[0] < w[1]));
     }
 

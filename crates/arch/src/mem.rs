@@ -136,8 +136,7 @@ mod tests {
     #[test]
     fn hbm_outpaces_ddr4_at_equal_channels() {
         assert!(
-            MemConfig::HBM_16CH.peak_bandwidth_gbs()
-                > MemConfig::DDR4_16CH.peak_bandwidth_gbs()
+            MemConfig::HBM_16CH.peak_bandwidth_gbs() > MemConfig::DDR4_16CH.peak_bandwidth_gbs()
         );
     }
 

@@ -81,12 +81,7 @@ impl NodeConfig {
     pub fn label(&self) -> String {
         format!(
             "{}-{}-{}-{}-{}-{}",
-            self.cores,
-            self.core_class,
-            self.cache,
-            self.vector,
-            self.freq,
-            self.mem
+            self.cores, self.core_class, self.cache, self.vector, self.freq, self.mem
         )
     }
 

@@ -3,9 +3,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::{
-    CacheConfig, CoreClass, CoresPerNode, Frequency, MemConfig, NodeConfig, VectorWidth,
-};
+use crate::{CacheConfig, CoreClass, CoresPerNode, Frequency, MemConfig, NodeConfig, VectorWidth};
 
 /// One of the six explored architectural features. Used to drive the
 /// paired-normalisation analysis of §V-B: for each feature, every simulation

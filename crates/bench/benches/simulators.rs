@@ -12,8 +12,8 @@ use musa_core::MultiscaleSim;
 use musa_mem::DramSystem;
 use musa_net::{replay, BurstTimer, NetworkParams};
 use musa_tasksim::{
-    analyze_kernel, cycles_per_fused_iter, fuse, simulate_region_burst, CacheGeometry,
-    NodeSim, ServiceLatencies,
+    analyze_kernel, cycles_per_fused_iter, fuse, simulate_region_burst, CacheGeometry, NodeSim,
+    ServiceLatencies,
 };
 
 fn bench_dram(c: &mut Criterion) {
@@ -63,9 +63,7 @@ fn bench_replay(c: &mut Criterion) {
     let net = NetworkParams::marenostrum4();
     c.bench_function("mpi_replay_4_ranks", |b| {
         b.iter(|| {
-            black_box(
-                replay(black_box(&trace), &net, &mut BurstTimer { cores: 32 }).total_ns,
-            )
+            black_box(replay(black_box(&trace), &net, &mut BurstTimer { cores: 32 }).total_ns)
         })
     });
 }
@@ -92,7 +90,7 @@ fn bench_multiscale_point(c: &mut Criterion) {
 
 criterion_group! {
     name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    config = Criterion.sample_size(20).measurement_time(std::time::Duration::from_secs(3));
     targets = bench_dram, bench_locality, bench_pipeline, bench_scheduler, bench_replay,
               bench_detailed_region, bench_multiscale_point
 }

@@ -1,56 +1,142 @@
-//! The full design-space-exploration campaign as a CLI tool: runs all
-//! 864 configurations × 5 applications and exports the result table.
+//! The full design-space-exploration campaign as a CLI tool, backed by
+//! the persistent `musa-store` campaign store: runs the missing subset
+//! of the 864 configurations × 5 applications, then exports and
+//! summarises the result table.
 //!
 //! ```sh
-//! cargo run --release -p musa-bench --bin dse               # summary to stdout
-//! cargo run --release -p musa-bench --bin dse -- --csv out.csv
-//! cargo run --release -p musa-bench --bin dse -- --full     # 256-rank scale
+//! cargo run --release -p musa-bench --bin dse                 # fresh sweep
+//! cargo run --release -p musa-bench --bin dse -- --resume     # finish an interrupted sweep
+//! cargo run --release -p musa-bench --bin dse -- --shard 0/4 --resume   # 1 of 4 workers
+//! cargo run --release -p musa-bench --bin dse -- --csv out.csv --json out.json
+//! cargo run --release -p musa-bench --bin dse -- --store-dir /tmp/campaign --resume
+//! cargo run --release -p musa-bench --bin dse -- --full       # 256-rank paper scale
 //! ```
+//!
+//! The store directory holds one JSON-lines file per (shard) writer;
+//! disjoint `--shard i/n` runs (concurrent processes or machines
+//! sharing the directory) merge into the identical campaign a single
+//! run produces. All simulation, resume and export logic lives in
+//! `musa-store` / `musa-core`; this binary only parses arguments.
+
+use std::path::PathBuf;
 
 use musa_apps::AppId;
-use musa_bench::load_or_run_campaign;
+use musa_arch::DesignSpace;
+use musa_bench::{gen_params, store_dir};
 use musa_core::report::table;
+use musa_core::SweepOptions;
+use musa_store::{export, CampaignStore, FillOptions, Shard};
+
+const USAGE: &str = "\
+usage: dse [options]
+  --resume           keep existing store rows, simulate only missing points
+  --shard i/n        simulate only shard i of an n-way split (0-based)
+  --store-dir DIR    campaign store directory (default target/musa-store-<scale>)
+  --csv [PATH]       export the campaign as CSV (default dse_results.csv)
+  --json PATH        export the campaign as JSON
+  --full             paper scale (256 ranks) instead of the reduced scale
+  -h, --help         this help";
+
+fn flag_value(args: &[String], flag: &str) -> Option<Option<String>> {
+    let pos = args.iter().position(|a| a == flag)?;
+    Some(args.get(pos + 1).filter(|v| !v.starts_with("--")).cloned())
+}
 
 fn main() {
-    let campaign = load_or_run_campaign();
-
-    // Optional CSV export.
     let args: Vec<String> = std::env::args().collect();
-    if let Some(pos) = args.iter().position(|a| a == "--csv") {
-        let path = args
-            .get(pos + 1)
-            .cloned()
-            .unwrap_or_else(|| "dse_results.csv".into());
-        let mut csv = String::from(
-            "app,config,cores,class,cache,vector,freq,mem,time_ns,region_ns,\
-             power_w,core_l1_w,l2_l3_w,mem_w,energy_j,l1_mpki,l2_mpki,mem_mpki\n",
-        );
-        for r in &campaign.results {
-            let c = &r.config;
-            csv.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.6},{:.3},{:.3},{:.3}\n",
-                r.app,
-                c.label(),
-                c.cores.count(),
-                c.core_class,
-                c.cache,
-                c.vector,
-                c.freq,
-                c.mem,
-                r.time_ns,
-                r.region_ns,
-                r.power.total_w(),
-                r.power.core_l1_w,
-                r.power.l2_l3_w,
-                r.power.mem_w,
-                r.energy_j,
-                r.l1_mpki,
-                r.l2_mpki,
-                r.mem_mpki,
-            ));
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return;
+    }
+    let resume = args.iter().any(|a| a == "--resume");
+    let shard = flag_value(&args, "--shard").map(|v| {
+        let spec = v.unwrap_or_else(|| {
+            eprintln!("--shard needs a value, e.g. --shard 0/4");
+            std::process::exit(2);
+        });
+        Shard::parse(&spec).unwrap_or_else(|e| {
+            eprintln!("bad --shard: {e}");
+            std::process::exit(2);
+        })
+    });
+    let dir = flag_value(&args, "--store-dir")
+        .map(|v| {
+            PathBuf::from(v.unwrap_or_else(|| {
+                eprintln!("--store-dir needs a value");
+                std::process::exit(2);
+            }))
+        })
+        .unwrap_or_else(store_dir);
+
+    if !resume {
+        clear_store(&dir);
+    }
+
+    let opts = SweepOptions {
+        gen: gen_params(),
+        full_replay: true,
+    };
+    let mut store = match shard {
+        Some(s) => CampaignStore::open_sharded(&dir, s),
+        None => CampaignStore::open(&dir),
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("open campaign store {}: {e}", dir.display());
+        std::process::exit(1);
+    });
+
+    let configs = DesignSpace::all();
+    let fill = FillOptions {
+        shard,
+        ..FillOptions::new(opts)
+    };
+    let report = store
+        .fill(&AppId::ALL, &configs, &fill)
+        .unwrap_or_else(|e| {
+            eprintln!("fill campaign store {}: {e}", dir.display());
+            std::process::exit(1);
+        });
+    eprintln!(
+        "[dse] store {}: {} points in scope, {} cached, {} simulated",
+        dir.display(),
+        report.in_shard,
+        report.cached,
+        report.simulated
+    );
+
+    let campaign = store.campaign_for(&AppId::ALL, &configs, &opts);
+
+    if let Some(path) = flag_value(&args, "--csv") {
+        let path = path.unwrap_or_else(|| "dse_results.csv".into());
+        match export::write_csv(&campaign, &path) {
+            Ok(n) => println!("wrote {n} rows to {path}"),
+            Err(e) => {
+                eprintln!("CSV export to {path} failed: {e}");
+                std::process::exit(1);
+            }
         }
-        std::fs::write(&path, csv).expect("write CSV");
-        println!("wrote {} rows to {path}", campaign.results.len());
+    }
+    if let Some(path) = flag_value(&args, "--json") {
+        let path = path.unwrap_or_else(|| "dse_results.json".into());
+        match export::write_json(&campaign, &path) {
+            Ok(n) => println!("wrote {n} rows to {path}"),
+            Err(e) => {
+                eprintln!("JSON export to {path} failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let full_size = AppId::ALL.len() * configs.len();
+    if campaign.results.len() < full_size {
+        println!(
+            "partial campaign: {}/{} rows in {} — run the remaining shards \
+             (or re-run with --resume) to complete it",
+            campaign.results.len(),
+            full_size,
+            dir.display()
+        );
+        return;
     }
 
     // Per-app best configurations (the Best-DSE points of Table II).
@@ -61,7 +147,7 @@ fn main() {
             .best_for(app, |c| {
                 c.cores == musa_arch::CoresPerNode::C64 && c.freq == musa_arch::Frequency::F2_0
             })
-            .expect("campaign has results");
+            .expect("complete campaign has results");
         rows.push(vec![
             app.label().to_string(),
             best.config.label(),
@@ -72,11 +158,33 @@ fn main() {
     }
     println!(
         "{}",
-        table(&["app", "best configuration", "time", "power", "energy"], &rows)
+        table(
+            &["app", "best configuration", "time", "power", "energy"],
+            &rows
+        )
     );
     println!(
         "campaign: {} rows ({} per app)",
         campaign.results.len(),
         campaign.results.len() / AppId::ALL.len()
     );
+}
+
+/// A fresh (non-`--resume`) run discards previously stored rows.
+fn clear_store(dir: &std::path::Path) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return; // nothing to clear
+    };
+    let mut removed = 0usize;
+    for path in entries.filter_map(|e| e.ok()).map(|e| e.path()) {
+        if path.extension().is_some_and(|x| x == "jsonl") && std::fs::remove_file(&path).is_ok() {
+            removed += 1;
+        }
+    }
+    if removed > 0 {
+        eprintln!(
+            "[dse] cleared {removed} result file(s) from {} (use --resume to keep them)",
+            dir.display()
+        );
+    }
 }

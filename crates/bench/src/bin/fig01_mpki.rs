@@ -17,7 +17,11 @@ use musa_core::MultiscaleSim;
 fn main() {
     let gen = gen_params();
     for cores in [CoresPerNode::C32, CoresPerNode::C64] {
-        println!("== Fig. 1: {} cores × {} ranks ==", cores.count(), gen.ranks);
+        println!(
+            "== Fig. 1: {} cores × {} ranks ==",
+            cores.count(),
+            gen.ranks
+        );
         let mut rows = Vec::new();
         for app in AppId::ALL {
             let trace = generate(app, &gen);

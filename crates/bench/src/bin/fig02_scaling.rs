@@ -55,10 +55,7 @@ fn print_curves(curves: &[musa_core::ScalingCurve]) {
         for &n in &SCALING_CORES {
             row.push(format!("{:.1}", c.speedup(n).unwrap_or(0.0)));
         }
-        row.push(format!(
-            "{:.0} %",
-            100.0 * c.efficiency(64).unwrap_or(0.0)
-        ));
+        row.push(format!("{:.0} %", 100.0 * c.efficiency(64).unwrap_or(0.0)));
         rows.push(row);
     }
     println!(

@@ -11,7 +11,12 @@ use musa_bench::{load_or_run_campaign, print_feature_figure};
 fn main() {
     let campaign = load_or_run_campaign();
     println!("== Fig. 8: DDR4 memory channels ==\n");
-    print_feature_figure(&campaign, Feature::Memory, &["4chDDR4", "8chDDR4"], "4chDDR4");
+    print_feature_figure(
+        &campaign,
+        Feature::Memory,
+        &["4chDDR4", "8chDDR4"],
+        "4chDDR4",
+    );
     println!("paper: lulesh is the only winner; spec3d flat despite its");
     println!("bandwidth appetite (no concurrency to expose it).");
 }

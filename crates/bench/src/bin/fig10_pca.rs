@@ -17,15 +17,16 @@ fn main() {
     for app in [AppId::Hydro, AppId::Lulesh] {
         let subset: Vec<_> = campaign
             .for_app(app)
-            .filter(|r| {
-                r.config.freq == Frequency::F2_0 && r.config.cores == CoresPerNode::C64
-            })
+            .filter(|r| r.config.freq == Frequency::F2_0 && r.config.cores == CoresPerNode::C64)
             .cloned()
             .collect();
         assert_eq!(subset.len(), 72, "2 GHz / 64-core subset");
         let p = pca_of_results(&subset);
 
-        println!("== Fig. 10: PCA for {} (72 configs, 2 GHz, 64 cores) ==", app);
+        println!(
+            "== Fig. 10: PCA for {} (72 configs, 2 GHz, 64 cores) ==",
+            app
+        );
         println!(
             "PC0 explains {:.1} % of variance, PC1 {:.1} %\n",
             100.0 * p.explained(0),

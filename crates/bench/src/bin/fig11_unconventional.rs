@@ -11,10 +11,10 @@
 //! and −47 % energy; MEM++ up to 1.30× (no HBM energy numbers).
 
 use musa_apps::{generate, AppId};
+use musa_arch::{UNCONVENTIONAL_LULESH, UNCONVENTIONAL_SPMZ};
 use musa_bench::gen_params;
 use musa_core::report::table;
 use musa_core::MultiscaleSim;
-use musa_arch::{UNCONVENTIONAL_LULESH, UNCONVENTIONAL_SPMZ};
 
 fn main() {
     let gen = gen_params();
@@ -53,10 +53,7 @@ fn main() {
             .collect();
         println!(
             "{}",
-            table(
-                &["label", "config", "perf x", "power x", "energy x"],
-                &rows
-            )
+            table(&["label", "config", "perf x", "power x", "energy x"], &rows)
         );
         println!("{note}\n");
     }

@@ -52,7 +52,14 @@ fn main() {
     println!(
         "{}",
         table(
-            &["label", "ROB", "issue&commit", "store buffer", "#ALU/#FPU", "IRF/FRF"],
+            &[
+                "label",
+                "ROB",
+                "issue&commit",
+                "store buffer",
+                "#ALU/#FPU",
+                "IRF/FRF"
+            ],
             &rows
         )
     );

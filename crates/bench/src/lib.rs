@@ -2,18 +2,25 @@
 //!
 //! Every binary accepts `--full` (or env `MUSA_FULL=1`) to run at paper
 //! scale (256 ranks); the default is a reduced 64-rank scale that
-//! reproduces the same shapes in seconds. Campaign results are cached on
-//! disk so the per-feature figures (5–9) share one sweep.
+//! reproduces the same shapes in seconds. Campaign results live in a
+//! persistent [`musa_store::CampaignStore`] so the per-feature figures
+//! (5–11) share one sweep, re-runs simulate only missing points, and
+//! rows are keyed by the exact `GenParams` they were simulated at —
+//! editing the scale or the schema can never serve stale results.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use musa_apps::{AppId, GenParams};
-use musa_core::{run_design_space, Campaign, SweepOptions};
+use musa_arch::{DesignSpace, NodeConfig};
+use musa_core::{Campaign, SweepOptions};
+use musa_store::{CampaignStore, FillOptions};
 
 /// Scale selection from CLI args / environment.
 pub fn paper_scale() -> bool {
     std::env::args().any(|a| a == "--full")
-        || std::env::var("MUSA_FULL").map(|v| v == "1").unwrap_or(false)
+        || std::env::var("MUSA_FULL")
+            .map(|v| v == "1")
+            .unwrap_or(false)
 }
 
 /// Trace-generation parameters for the selected scale.
@@ -25,35 +32,48 @@ pub fn gen_params() -> GenParams {
     }
 }
 
-/// Cache path for the campaign at the current scale.
-fn campaign_path() -> PathBuf {
+/// Campaign store directory for the current scale (override with
+/// `MUSA_STORE_DIR`).
+pub fn store_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("MUSA_STORE_DIR") {
+        return PathBuf::from(dir);
+    }
     let scale = if paper_scale() { "paper" } else { "small" };
-    PathBuf::from(format!("target/musa-campaign-{scale}.json"))
+    PathBuf::from(format!("target/musa-store-{scale}"))
 }
 
-/// Load the cached 864-point campaign or run and cache it.
+/// Load the 864-point campaign from the store, simulating only the
+/// points missing at the current scale.
 pub fn load_or_run_campaign() -> Campaign {
-    let path = campaign_path();
-    if let Ok(s) = std::fs::read_to_string(&path) {
-        if let Ok(c) = Campaign::from_json(&s) {
-            if !c.results.is_empty() {
-                eprintln!("[campaign] loaded {} rows from {}", c.results.len(), path.display());
-                return c;
-            }
-        }
-    }
-    eprintln!("[campaign] running the 864-point design space × 5 apps …");
     let opts = SweepOptions {
         gen: gen_params(),
         full_replay: true,
     };
-    let c = run_design_space(&AppId::ALL, &opts);
-    if let Err(e) = std::fs::write(&path, c.to_json()) {
-        eprintln!("[campaign] cache write failed: {e}");
-    } else {
-        eprintln!("[campaign] cached to {}", path.display());
-    }
-    c
+    load_or_run_campaign_in(&store_dir(), &AppId::ALL, &DesignSpace::all(), &opts)
+}
+
+/// Store-backed campaign over an arbitrary point set: open (or create)
+/// the store at `dir`, fill the missing points of `apps × configs`
+/// under `opts`, and return the complete campaign view.
+pub fn load_or_run_campaign_in(
+    dir: &Path,
+    apps: &[AppId],
+    configs: &[NodeConfig],
+    opts: &SweepOptions,
+) -> Campaign {
+    let mut store = CampaignStore::open(dir)
+        .unwrap_or_else(|e| panic!("open campaign store {}: {e}", dir.display()));
+    let report = store
+        .fill(apps, configs, &FillOptions::new(*opts))
+        .unwrap_or_else(|e| panic!("fill campaign store {}: {e}", dir.display()));
+    eprintln!(
+        "[campaign] {} rows from {} ({} cached, {} simulated)",
+        report.cached + report.simulated,
+        dir.display(),
+        report.cached,
+        report.simulated
+    );
+    store.campaign_for(apps, configs, opts)
 }
 
 /// Format an `Option<f64>` table cell.
@@ -87,12 +107,7 @@ pub fn print_feature_figure(
             let results: Vec<_> = campaign.for_app(app).cloned().collect();
             let impact = feature_impact(&results, feature, metric, baseline);
             for (label, m32, m64) in panel_rows(&impact, labels) {
-                rows.push(vec![
-                    app.label().to_string(),
-                    label,
-                    cell(m32),
-                    cell(m64),
-                ]);
+                rows.push(vec![app.label().to_string(), label, cell(m32), cell(m64)]);
             }
         }
         println!(

@@ -110,12 +110,9 @@ pub fn feature_impact(
             continue;
         }
         let ratio = metric.ratio(metric.value(r), base);
-        acc.entry((
-            feature.value_label(&r.config),
-            r.config.cores.count(),
-        ))
-        .or_default()
-        .push(ratio);
+        acc.entry((feature.value_label(&r.config), r.config.cores.count()))
+            .or_default()
+            .push(ratio);
     }
 
     let bars = acc

@@ -31,15 +31,16 @@ impl Campaign {
     }
 
     /// The fastest configuration for an application (Best-DSE of
-    /// Table II), restricted by a filter.
+    /// Table II), restricted by a filter. Rows with a NaN time are
+    /// ignored rather than panicking the sweep.
     pub fn best_for(
         &self,
         app: AppId,
         mut filter: impl FnMut(&NodeConfig) -> bool,
     ) -> Option<&ConfigResult> {
         self.for_app(app)
-            .filter(|r| filter(&r.config))
-            .min_by(|a, b| a.time_ns.partial_cmp(&b.time_ns).expect("finite times"))
+            .filter(|r| filter(&r.config) && !r.time_ns.is_nan())
+            .min_by(|a, b| a.time_ns.total_cmp(&b.time_ns))
     }
 
     /// Serialise to JSON.
@@ -144,6 +145,29 @@ mod tests {
         let best = campaign.best_for(AppId::Spmz, |_| true).unwrap();
         // SPMZ's best slice must use 512-bit SIMD.
         assert_eq!(best.config.vector, VectorWidth::V512);
+    }
+
+    #[test]
+    fn best_for_ignores_nan_rows() {
+        let opts = SweepOptions {
+            gen: GenParams::tiny(),
+            full_replay: false,
+        };
+        let configs = small_configs();
+        let mut campaign = Campaign {
+            results: sweep_app(AppId::Hydro, &configs, &opts),
+        };
+        // Poison one row with a NaN time: best_for must neither panic
+        // nor select it.
+        campaign.results[0].time_ns = f64::NAN;
+        let poisoned = campaign.results[0].config;
+        let best = campaign.best_for(AppId::Hydro, |_| true).unwrap();
+        assert!(best.time_ns.is_finite());
+        assert_ne!(best.config, poisoned);
+        // A filter that only admits the NaN row finds nothing.
+        assert!(campaign
+            .best_for(AppId::Hydro, |c| *c == poisoned)
+            .is_none());
     }
 
     #[test]

@@ -26,7 +26,5 @@ pub mod sim;
 pub use analysis::{feature_impact, panel_rows, Bar, FeatureImpact, Metric};
 pub use dse::{run_design_space, sweep_app, Campaign, SweepOptions};
 pub use pca::{pca, pca_of_results, Pca, PCA_VARS};
-pub use scaling::{
-    full_app_scaling, mean_efficiency, region_scaling, ScalingCurve, SCALING_CORES,
-};
+pub use scaling::{full_app_scaling, mean_efficiency, region_scaling, ScalingCurve, SCALING_CORES};
 pub use sim::{ConfigResult, MultiscaleSim};

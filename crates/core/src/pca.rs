@@ -57,12 +57,17 @@ fn standardise(data: &mut [Vec<f64>]) {
         let var = data.iter().map(|r| (r[j] - mean).powi(2)).sum::<f64>() / n;
         let sd = var.sqrt();
         for row in data.iter_mut() {
-            row[j] = if sd > 1e-12 { (row[j] - mean) / sd } else { 0.0 };
+            row[j] = if sd > 1e-12 {
+                (row[j] - mean) / sd
+            } else {
+                0.0
+            };
         }
     }
 }
 
 /// Covariance matrix of standardised data.
+#[allow(clippy::needless_range_loop)] // triangular index math reads better with indices
 fn covariance(data: &[Vec<f64>]) -> Vec<Vec<f64>> {
     let n = data.len() as f64;
     let cols = data[0].len();
@@ -85,6 +90,7 @@ fn covariance(data: &[Vec<f64>]) -> Vec<Vec<f64>> {
 
 /// Cyclic Jacobi eigendecomposition of a symmetric matrix. Returns
 /// (eigenvalues, eigenvectors as columns), sorted descending.
+#[allow(clippy::needless_range_loop)] // simultaneous row/column rotations need indices
 fn jacobi_eigen(mut a: Vec<Vec<f64>>) -> (Vec<f64>, Vec<Vec<f64>>) {
     let n = a.len();
     let mut v = vec![vec![0.0; n]; n];
@@ -135,7 +141,7 @@ fn jacobi_eigen(mut a: Vec<Vec<f64>>) -> (Vec<f64>, Vec<Vec<f64>>) {
     }
 
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| a[j][j].partial_cmp(&a[i][i]).expect("finite eigenvalues"));
+    order.sort_by(|&i, &j| a[j][j].total_cmp(&a[i][i]));
     let eigenvalues: Vec<f64> = order.iter().map(|&i| a[i][i]).collect();
     let eigenvectors: Vec<Vec<f64>> = order
         .iter()

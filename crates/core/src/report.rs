@@ -1,12 +1,54 @@
 //! Plain-text rendering of the paper's tables, bar groups and timelines
-//! — the output side of every experiment harness.
+//! — the output side of every experiment harness — plus the CSV export
+//! of DSE campaigns.
 
 use musa_tasksim::Schedule;
+
+use crate::dse::Campaign;
+
+/// Column header of [`campaign_csv`].
+pub const CAMPAIGN_CSV_HEADER: &str = "app,config,cores,class,cache,vector,freq,mem,time_ns,\
+     region_ns,power_w,core_l1_w,l2_l3_w,mem_w,energy_j,l1_mpki,l2_mpki,mem_mpki";
+
+/// Render a campaign as CSV, one row per (application, configuration) —
+/// the export format of the `dse` binary.
+pub fn campaign_csv(campaign: &Campaign) -> String {
+    let mut csv = String::with_capacity(128 * (campaign.results.len() + 1));
+    csv.push_str(CAMPAIGN_CSV_HEADER);
+    csv.push('\n');
+    for r in &campaign.results {
+        let c = &r.config;
+        csv.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.6},{:.3},{:.3},{:.3}\n",
+            r.app,
+            c.label(),
+            c.cores.count(),
+            c.core_class,
+            c.cache,
+            c.vector,
+            c.freq,
+            c.mem,
+            r.time_ns,
+            r.region_ns,
+            r.power.total_w(),
+            r.power.core_l1_w,
+            r.power.l2_l3_w,
+            r.power.mem_w,
+            r.energy_j,
+            r.l1_mpki,
+            r.l2_mpki,
+            r.mem_mpki,
+        ));
+    }
+    csv
+}
 
 /// Render a labelled horizontal bar (max `width` characters at `scale`).
 pub fn bar(label: &str, value: f64, scale: f64, width: usize) -> String {
     let filled = if scale > 0.0 {
-        ((value / scale) * width as f64).round().clamp(0.0, width as f64) as usize
+        ((value / scale) * width as f64)
+            .round()
+            .clamp(0.0, width as f64) as usize
     } else {
         0
     };
@@ -70,11 +112,7 @@ pub fn core_occupancy(schedule: &Schedule, width: usize) -> String {
 
 /// Fraction of cores that executed at least one work item.
 pub fn occupancy_fraction(schedule: &Schedule) -> f64 {
-    let busy = schedule
-        .core_busy_ns()
-        .iter()
-        .filter(|&&b| b > 0.0)
-        .count();
+    let busy = schedule.core_busy_ns().iter().filter(|&&b| b > 0.0).count();
     busy as f64 / schedule.cores.max(1) as f64
 }
 
@@ -83,6 +121,34 @@ mod tests {
     use super::*;
     use musa_tasksim::simulate_region_burst;
     use musa_trace::{ComputeRegion, LoopSchedule, RegionWork, WorkItem};
+
+    #[test]
+    fn campaign_csv_has_header_and_one_line_per_row() {
+        use crate::dse::{sweep_app, SweepOptions};
+        use musa_apps::{AppId, GenParams};
+        use musa_arch::NodeConfig;
+
+        let opts = SweepOptions {
+            gen: GenParams::tiny(),
+            full_replay: false,
+        };
+        let configs = [
+            NodeConfig::REFERENCE,
+            NodeConfig::REFERENCE.with_vector(musa_arch::VectorWidth::V512),
+        ];
+        let campaign = Campaign {
+            results: sweep_app(AppId::Hydro, &configs, &opts),
+        };
+        let csv = campaign_csv(&campaign);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + campaign.results.len());
+        assert_eq!(lines[0], CAMPAIGN_CSV_HEADER);
+        assert_eq!(lines[0].split(',').count(), 18);
+        for line in &lines[1..] {
+            assert!(line.starts_with("hydro,"), "{line}");
+            assert_eq!(line.split(',').count(), 18, "{line}");
+        }
+    }
 
     #[test]
     fn bar_clamps_and_scales() {

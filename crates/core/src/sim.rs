@@ -96,7 +96,11 @@ impl<'a> MultiscaleSim<'a> {
 
         // Step 2: detailed/burst rescale ratio.
         let burst_ns = simulate_region_burst(&region, config.cores.count()).makespan_ns;
-        let ratio = if burst_ns > 0.0 { region_ns / burst_ns } else { 1.0 };
+        let ratio = if burst_ns > 0.0 {
+            region_ns / burst_ns
+        } else {
+            1.0
+        };
 
         // Step 3: full-application replay.
         let (time_ns, _replay) = if full_replay {
@@ -146,11 +150,7 @@ impl<'a> MultiscaleSim<'a> {
     /// Full replay of the trace in burst mode at a core count (used by
     /// the scaling study, Fig. 2b).
     pub fn burst_replay(&self, cores: u32) -> ReplayResult {
-        replay(
-            self.trace,
-            &self.net,
-            &mut musa_net::BurstTimer { cores },
-        )
+        replay(self.trace, &self.net, &mut musa_net::BurstTimer { cores })
     }
 }
 

@@ -223,10 +223,10 @@ impl Channel {
         let mut best_any: Option<(usize, f64)> = None;
         for (i, r) in self.pending.iter().enumerate() {
             let is_hit = self.banks[r.bank as usize].open_row == Some(r.row);
-            if is_hit && best_hit.map_or(true, |(_, t)| r.ready_ns < t) {
+            if is_hit && best_hit.is_none_or(|(_, t)| r.ready_ns < t) {
                 best_hit = Some((i, r.ready_ns));
             }
-            if best_any.map_or(true, |(_, t)| r.ready_ns < t) {
+            if best_any.is_none_or(|(_, t)| r.ready_ns < t) {
                 best_any = Some((i, r.ready_ns));
             }
         }
@@ -413,7 +413,7 @@ mod tests {
     fn fr_fcfs_prefers_row_hits() {
         let mut c = ch();
         let d0 = c.service_one(read(0, 0, 5, 0.0)); // opens row 5
-        // Conflict (row 9) arrives slightly earlier than a hit (row 5).
+                                                    // Conflict (row 9) arrives slightly earlier than a hit (row 5).
         c.push(read(1, 0, 9, d0));
         c.push(read(2, 0, 5, d0 + 0.1));
         let done = c.drain();
@@ -437,7 +437,7 @@ mod tests {
     fn completions_monotone_under_load() {
         let mut c = ch();
         for i in 0..64 {
-            c.push(read(i, (i % 16) as u32, (i / 16) as u64, 0.0));
+            c.push(read(i, (i % 16) as u32, i / 16, 0.0));
         }
         let done = c.drain();
         assert_eq!(done.len(), 64);

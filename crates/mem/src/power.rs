@@ -150,8 +150,7 @@ pub fn dram_energy(
     let ranks_total = (config.dimms() * p.ranks_per_dimm) as f64;
     let active_ns = stats.bus_busy_ns.min(span_ns);
     let idle_ns = (span_ns - active_ns).max(0.0);
-    let background_j = (config.channels as f64
-        * (p.idd3n * active_ns + p.idd2n * idle_ns)
+    let background_j = (config.channels as f64 * (p.idd3n * active_ns + p.idd2n * idle_ns)
         + (ranks_total - config.channels as f64).max(0.0) * p.idd2n * span_ns)
         * v
         * ma_ns_to_j;
@@ -231,9 +230,11 @@ mod tests {
     #[test]
     fn reads_cost_more_than_writes_at_same_count() {
         let t = DramTiming::ddr4_2400();
-        let mut s = ChannelStats::default();
-        s.reads = 1000;
-        s.writes = 1000;
+        let s = ChannelStats {
+            reads: 1000,
+            writes: 1000,
+            ..Default::default()
+        };
         let e = dram_energy(&s, &t, MemConfig::DDR4_4CH, 1e6);
         assert!(e.read_j > e.write_j); // IDD4R > IDD4W
     }

@@ -108,11 +108,7 @@ impl DramSystem {
     /// Schedule all queued requests on all channels; completions are
     /// returned sorted by id.
     pub fn drain(&mut self) -> Vec<Completion> {
-        let mut all: Vec<Completion> = self
-            .channels
-            .iter_mut()
-            .flat_map(|c| c.drain())
-            .collect();
+        let mut all: Vec<Completion> = self.channels.iter_mut().flat_map(|c| c.drain()).collect();
         all.sort_by_key(|c| c.id);
         all
     }
@@ -174,10 +170,7 @@ mod tests {
             for i in 0..4000u64 {
                 sys.push(i * CACHE_LINE_BYTES, false, 0.0);
             }
-            sys.drain()
-                .iter()
-                .map(|c| c.done_ns)
-                .fold(0.0, f64::max)
+            sys.drain().iter().map(|c| c.done_ns).fold(0.0, f64::max)
         };
         let t4 = run(MemConfig::DDR4_4CH);
         let t8 = run(MemConfig::DDR4_8CH);

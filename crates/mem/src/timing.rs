@@ -63,7 +63,7 @@ impl DramTiming {
             rp: 17,
             ras: 39,
             rc: 56,
-            rfc: 420,  // 350 ns @ 1.2 GHz
+            rfc: 420,   // 350 ns @ 1.2 GHz
             refi: 9363, // 7.8 µs
             wr: 18,
             rtp: 9,
@@ -123,7 +123,7 @@ impl DramTiming {
         if ps <= 0.0 {
             0
         } else {
-            ((ps as u64) + self.tck_ps - 1) / self.tck_ps
+            (ps as u64).div_ceil(self.tck_ps)
         }
     }
 
@@ -171,7 +171,7 @@ mod tests {
         assert!(h.row_hit_ns() < d.row_hit_ns());
         assert!(h.row_conflict_ns() < d.row_conflict_ns());
         assert!(h.peak_gbs() > d.peak_gbs() * 0.8); // 16 GB/s vs 19.2: per
-        // pseudo-channel HBM is comparable; aggregate wins on channel count.
+                                                    // pseudo-channel HBM is comparable; aggregate wins on channel count.
     }
 
     #[test]

@@ -6,12 +6,7 @@ use proptest::prelude::*;
 use musa_mem::{Channel, DramTiming, Request};
 
 fn arb_request(max_bank: u32) -> impl Strategy<Value = (u32, u64, bool, f64)> {
-    (
-        0..max_bank,
-        0u64..64,
-        any::<bool>(),
-        0.0f64..50_000.0,
-    )
+    (0..max_bank, 0u64..64, any::<bool>(), 0.0f64..50_000.0)
 }
 
 proptest! {

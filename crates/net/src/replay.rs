@@ -65,8 +65,7 @@ impl ReplayResult {
         if self.total_ns <= 0.0 {
             return 1.0;
         }
-        let mean: f64 =
-            self.compute_ns.iter().sum::<f64>() / self.compute_ns.len().max(1) as f64;
+        let mean: f64 = self.compute_ns.iter().sum::<f64>() / self.compute_ns.len().max(1) as f64;
         mean / self.total_ns
     }
 
@@ -75,8 +74,8 @@ impl ReplayResult {
         if self.total_ns <= 0.0 {
             return 0.0;
         }
-        let mean: f64 = self.mpi.iter().map(|m| m.total_ns()).sum::<f64>()
-            / self.mpi.len().max(1) as f64;
+        let mean: f64 =
+            self.mpi.iter().map(|m| m.total_ns()).sum::<f64>() / self.mpi.len().max(1) as f64;
         mean / self.total_ns
     }
 
@@ -99,11 +98,7 @@ impl ReplayResult {
 /// The trace must be SPMD-shaped: every rank has the same number of
 /// events with matching kinds per slot (the `musa-apps` generators
 /// guarantee this). Panics otherwise.
-pub fn replay(
-    trace: &AppTrace,
-    net: &NetworkParams,
-    timer: &mut dyn ComputeTimer,
-) -> ReplayResult {
+pub fn replay(trace: &AppTrace, net: &NetworkParams, timer: &mut dyn ComputeTimer) -> ReplayResult {
     let ranks = trace.ranks.len();
     assert!(ranks > 0, "empty trace");
     let n_events = trace.ranks[0].events.len();
@@ -121,7 +116,7 @@ pub fn replay(
     let mut mpi = vec![MpiBreakdown::default(); ranks];
     let mut timelines: Vec<Vec<Span>> = vec![Vec::with_capacity(n_events * 2); ranks];
 
-    let mut push_span = |timelines: &mut Vec<Vec<Span>>, r: usize, phase, start: f64, end: f64| {
+    let push_span = |timelines: &mut Vec<Vec<Span>>, r: usize, phase, start: f64, end: f64| {
         if end > start {
             timelines[r].push(Span {
                 phase,
@@ -140,7 +135,13 @@ pub fn replay(
                         panic!("non-SPMD trace at slot {slot}");
                     };
                     let t = timer.region_time_ns(rt.rank, region);
-                    push_span(&mut timelines, r, RankPhase::Compute, clock[r], clock[r] + t);
+                    push_span(
+                        &mut timelines,
+                        r,
+                        RankPhase::Compute,
+                        clock[r],
+                        clock[r] + t,
+                    );
                     clock[r] += t;
                     compute[r] += t;
                 }
@@ -202,13 +203,7 @@ pub fn replay(
                             };
                             mpi[r].wait_ns += block;
                             mpi[r].transfer_ns += cost;
-                            push_span(
-                                &mut timelines,
-                                r,
-                                RankPhase::Wait,
-                                old[r],
-                                old[r] + block,
-                            );
+                            push_span(&mut timelines, r, RankPhase::Wait, old[r], old[r] + block);
                             clock[r] = old[r] + block + cost;
                         }
                         BurstEvent::Mpi(MpiEvent::Recv { peer, bytes }) => {
@@ -309,14 +304,10 @@ mod tests {
             .compute_ns
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .unwrap()
             .0;
-        let min_wait = res
-            .mpi
-            .iter()
-            .map(|m| m.wait_ns)
-            .fold(f64::MAX, f64::min);
+        let min_wait = res.mpi.iter().map(|m| m.wait_ns).fold(f64::MAX, f64::min);
         assert!(
             res.mpi[slowest].wait_ns <= min_wait * 1.5 + 1e4,
             "slowest rank should wait little"

@@ -80,7 +80,11 @@ mod tests {
     #[test]
     fn ratio_timer_rescales() {
         let r = region();
-        let t = FixedRatioTimer { cores: 8, ratio: 1.5 }.region_time_ns(0, &r);
+        let t = FixedRatioTimer {
+            cores: 8,
+            ratio: 1.5,
+        }
+        .region_time_ns(0, &r);
         assert!((t - 150.0).abs() < 1e-9);
     }
 }

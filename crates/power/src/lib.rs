@@ -165,8 +165,7 @@ impl PowerModel {
         let idle_j = P_IDLE_CLOCK_W * (idle_ns * 1e-9) * dyn_scale;
 
         // Core + L1 leakage: every core leaks for the whole interval.
-        let leak_core_w =
-            (P_LEAK_CORE_W * size + P_LEAK_FPU128_W * width * fpus) * leak_scale;
+        let leak_core_w = (P_LEAK_CORE_W * size + P_LEAK_FPU128_W * width * fpus) * leak_scale;
         let leak_core_j = leak_core_w * cores * span_s;
 
         let core_l1_w = (dyn_core_j + idle_j + leak_core_j) / span_s;
@@ -174,10 +173,8 @@ impl PowerModel {
         // --- L2 + L3 ---
         let l2_cap = cfg.cache.l2().size_bytes as f64 / (512.0 * 1024.0);
         let l3_cap = cfg.cache.l3().size_bytes as f64 / (64.0 * 1024.0 * 1024.0);
-        let dyn_l2_j =
-            stats.l2.accesses * E_L2_PJ * l2_cap.sqrt() * 1e-12 * v2_scale;
-        let dyn_l3_j =
-            stats.l3.accesses * E_L3_PJ * l3_cap.sqrt() * 1e-12 * v2_scale;
+        let dyn_l2_j = stats.l2.accesses * E_L2_PJ * l2_cap.sqrt() * 1e-12 * v2_scale;
+        let dyn_l3_j = stats.l3.accesses * E_L3_PJ * l3_cap.sqrt() * 1e-12 * v2_scale;
         let leak_l2_j = P_LEAK_L2_W * l2_cap * cores * leak_scale * span_s;
         let leak_l3_j = P_LEAK_L3_W * l3_cap.powf(L3_LEAK_EXP) * leak_scale * span_s;
         let l2_l3_w = (dyn_l2_j + dyn_l3_j + leak_l2_j + leak_l3_j) / span_s;
@@ -279,10 +276,20 @@ mod tests {
         let c128 = cfg64();
         let c512 = cfg64().with_vector(VectorWidth::V512);
         let p128 = PowerModel::new(c128)
-            .node_power(&stats, &dram_for(&stats, span128, &c128), span128, span128 * 64.0)
+            .node_power(
+                &stats,
+                &dram_for(&stats, span128, &c128),
+                span128,
+                span128 * 64.0,
+            )
             .core_l1_w;
         let p512 = PowerModel::new(c512)
-            .node_power(&stats, &dram_for(&stats, span512, &c512), span512, span512 * 64.0)
+            .node_power(
+                &stats,
+                &dram_for(&stats, span512, &c512),
+                span512,
+                span512 * 64.0,
+            )
             .core_l1_w;
         let ratio = p512 / p128;
         assert!(
@@ -337,7 +344,10 @@ mod tests {
         let p4 = power(cfg64());
         let p8 = power(cfg64().with_mem(MemConfig::DDR4_8CH));
         let dram_ratio = p8.mem_w / p4.mem_w;
-        assert!(dram_ratio > 1.6 && dram_ratio < 2.2, "dram ratio {dram_ratio}");
+        assert!(
+            dram_ratio > 1.6 && dram_ratio < 2.2,
+            "dram ratio {dram_ratio}"
+        );
         let node_ratio = p8.total_w() / p4.total_w();
         assert!(node_ratio < 1.25, "node ratio {node_ratio}");
     }

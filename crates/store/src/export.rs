@@ -1,0 +1,41 @@
+//! File exports of campaigns (CSV and JSON).
+//!
+//! The CSV row format itself lives in [`musa_core::report::campaign_csv`]
+//! so every consumer shares one tested implementation; this module only
+//! adds the file plumbing the `dse` binary used to hand-roll.
+
+use std::io::Write;
+use std::path::Path;
+
+use musa_core::report::campaign_csv;
+use musa_core::Campaign;
+
+use crate::store::CampaignStore;
+
+/// Write a campaign as CSV. Returns the number of data rows written.
+pub fn write_csv(campaign: &Campaign, path: impl AsRef<Path>) -> std::io::Result<usize> {
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    file.write_all(campaign_csv(campaign).as_bytes())?;
+    file.flush()?;
+    Ok(campaign.results.len())
+}
+
+/// Write a campaign as a single JSON document (the `Campaign` serde
+/// format, readable back with `Campaign::from_json`).
+pub fn write_json(campaign: &Campaign, path: impl AsRef<Path>) -> std::io::Result<usize> {
+    std::fs::write(path, campaign.to_json())?;
+    Ok(campaign.results.len())
+}
+
+impl CampaignStore {
+    /// Export every stored row as CSV (see [`CampaignStore::campaign`]
+    /// for the ordering and multi-scale caveat).
+    pub fn export_csv(&self, path: impl AsRef<Path>) -> std::io::Result<usize> {
+        write_csv(&self.campaign(), path)
+    }
+
+    /// Export every stored row as a `Campaign` JSON document.
+    pub fn export_json(&self, path: impl AsRef<Path>) -> std::io::Result<usize> {
+        write_json(&self.campaign(), path)
+    }
+}

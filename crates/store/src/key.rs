@@ -1,0 +1,129 @@
+//! Content-addressed point keys.
+//!
+//! Every campaign row is identified by a deterministic 64-bit
+//! fingerprint of *everything that defines the simulation*: the
+//! application, the full [`NodeConfig`] label, the trace-generation
+//! parameters, whether the full-application replay ran, and the store
+//! schema version. Two rows with equal keys are the same simulation;
+//! rows produced under different `GenParams` (or an older schema) get
+//! different keys and can never be served for each other — the
+//! stale-cache class of bug is structurally impossible.
+
+use musa_apps::{AppId, GenParams};
+use musa_arch::NodeConfig;
+use musa_core::SweepOptions;
+
+/// Version of the on-disk row schema. Bump when [`crate::StoreRow`] (or
+/// anything inside `ConfigResult`) changes shape; old rows then stop
+/// matching and are re-simulated instead of being misparsed.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// 64-bit FNV-1a — deterministic across runs, processes and platforms
+/// (unlike `DefaultHasher`, which is not guaranteed stable), so shard
+/// partitions and resume runs agree on every key.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// The fingerprint of one campaign point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PointKey(pub u64);
+
+impl PointKey {
+    /// Fingerprint from the raw row coordinates (the app label as it
+    /// appears in a `ConfigResult`).
+    pub fn of(app: &str, config: &NodeConfig, gen: &GenParams, full_replay: bool) -> PointKey {
+        let canonical = format!(
+            "musa-store:v{SCHEMA_VERSION}|app={app}|cfg={}|ranks={}|iters={}|seed={}|replay={}",
+            config.label(),
+            gen.ranks,
+            gen.iterations,
+            gen.seed,
+            full_replay,
+        );
+        PointKey(fnv1a_64(canonical.as_bytes()))
+    }
+
+    /// Fingerprint for a (application, configuration) point under the
+    /// given sweep options.
+    pub fn for_point(app: AppId, config: &NodeConfig, opts: &SweepOptions) -> PointKey {
+        PointKey::of(app.label(), config, &opts.gen, opts.full_replay)
+    }
+
+    /// Fixed-width hex form used in the JSONL rows.
+    pub fn to_hex(self) -> String {
+        format!("{:016x}", self.0)
+    }
+
+    /// Parse the hex form back.
+    pub fn from_hex(s: &str) -> Option<PointKey> {
+        if s.len() != 16 {
+            return None;
+        }
+        u64::from_str_radix(s, 16).ok().map(PointKey)
+    }
+}
+
+impl std::fmt::Display for PointKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use musa_arch::{DesignSpace, VectorWidth};
+
+    #[test]
+    fn hex_roundtrip() {
+        let k = PointKey::of("hydro", &NodeConfig::REFERENCE, &GenParams::tiny(), true);
+        assert_eq!(PointKey::from_hex(&k.to_hex()), Some(k));
+        assert_eq!(PointKey::from_hex("xyz"), None);
+        assert_eq!(PointKey::from_hex(""), None);
+    }
+
+    #[test]
+    fn every_coordinate_changes_the_key() {
+        let base = PointKey::of("hydro", &NodeConfig::REFERENCE, &GenParams::tiny(), true);
+        let other_app = PointKey::of("spmz", &NodeConfig::REFERENCE, &GenParams::tiny(), true);
+        let other_cfg = PointKey::of(
+            "hydro",
+            &NodeConfig::REFERENCE.with_vector(VectorWidth::V512),
+            &GenParams::tiny(),
+            true,
+        );
+        let other_gen = PointKey::of(
+            "hydro",
+            &NodeConfig::REFERENCE,
+            &GenParams {
+                seed: 1,
+                ..GenParams::tiny()
+            },
+            true,
+        );
+        let other_replay = PointKey::of("hydro", &NodeConfig::REFERENCE, &GenParams::tiny(), false);
+        let keys = [base, other_app, other_cfg, other_gen, other_replay];
+        let set: std::collections::HashSet<_> = keys.iter().collect();
+        assert_eq!(set.len(), keys.len());
+    }
+
+    #[test]
+    fn all_864_points_have_distinct_keys() {
+        let gen = GenParams::small();
+        let mut set = std::collections::HashSet::new();
+        for app in AppId::ALL {
+            for cfg in DesignSpace::iter() {
+                set.insert(PointKey::of(app.label(), &cfg, &gen, true));
+            }
+        }
+        assert_eq!(set.len(), 5 * DesignSpace::SIZE);
+    }
+}

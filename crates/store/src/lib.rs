@@ -1,0 +1,48 @@
+//! # musa-store
+//!
+//! Persistent, resumable, sharded storage for DSE campaigns — the
+//! substrate under the 864-configuration × 5-application sweep (§IV–V
+//! of the paper) and everything that serves its results.
+//!
+//! * [`key`] — content-addressed [`PointKey`] fingerprints of
+//!   `(app, NodeConfig, GenParams, replay mode, schema version)`;
+//!   changing any coordinate changes the key, so stale results are
+//!   structurally unservable;
+//! * [`shard`] — key-based `i/n` partitioning of the point set for
+//!   multi-process sweeps whose output files merge cleanly;
+//! * [`store`] — the append-only JSONL [`CampaignStore`]: an in-memory
+//!   `HashMap` index over durable rows, with [`CampaignStore::fill`]
+//!   simulating only missing points (rayon-parallel, batched flushes,
+//!   progress/ETA on stderr) and [`Campaign`](musa_core::Campaign)
+//!   views for the figure harnesses;
+//! * [`export`] — CSV/JSON file exports.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use musa_apps::AppId;
+//! use musa_arch::DesignSpace;
+//! use musa_core::SweepOptions;
+//! use musa_store::{CampaignStore, FillOptions};
+//!
+//! let mut store = CampaignStore::open("target/musa-store-small").unwrap();
+//! let opts = SweepOptions::default();
+//! // First call simulates all missing points; a re-run (or a run after
+//! // a crash) only simulates what is not yet on disk.
+//! store
+//!     .fill(&AppId::ALL, &DesignSpace::all(), &FillOptions::new(opts))
+//!     .unwrap();
+//! let campaign = store.campaign_for(&AppId::ALL, &DesignSpace::all(), &opts);
+//! ```
+
+pub mod export;
+pub mod key;
+pub mod shard;
+pub mod store;
+
+pub use export::{write_csv, write_json};
+pub use key::{fnv1a_64, PointKey, SCHEMA_VERSION};
+pub use shard::Shard;
+pub use store::{
+    CampaignStore, FillOptions, FillReport, StoreRow, DEFAULT_BATCH, DEFAULT_WRITE_FILE,
+};

@@ -1,0 +1,100 @@
+//! Shard partitioning of the campaign point set.
+//!
+//! A shard `i/n` owns every point whose [`PointKey`] satisfies
+//! `key % n == i`. Ownership depends only on the key — never on
+//! enumeration order — so `n` independent processes each running one
+//! shard cover the space exactly once, and their per-shard JSONL files
+//! merge cleanly when any store re-opens the shared directory.
+
+use crate::key::PointKey;
+
+/// One slice of an `n`-way partition of the point set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shard {
+    /// Which slice this process owns, `0 <= index < count`.
+    pub index: u64,
+    /// Total number of slices.
+    pub count: u64,
+}
+
+impl Shard {
+    /// Validated constructor.
+    pub fn new(index: u64, count: u64) -> Result<Shard, String> {
+        if count == 0 {
+            return Err("shard count must be >= 1".into());
+        }
+        if index >= count {
+            return Err(format!("shard index {index} out of range 0..{count}"));
+        }
+        Ok(Shard { index, count })
+    }
+
+    /// Parse the CLI form `i/n` (0-based, e.g. `0/4` … `3/4`).
+    pub fn parse(s: &str) -> Result<Shard, String> {
+        let (i, n) = s
+            .split_once('/')
+            .ok_or_else(|| format!("expected i/n (e.g. 0/4), got {s:?}"))?;
+        let index: u64 = i
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad shard index {i:?}"))?;
+        let count: u64 = n
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad shard count {n:?}"))?;
+        Shard::new(index, count)
+    }
+
+    /// Does this shard own the point?
+    pub fn owns(&self, key: PointKey) -> bool {
+        key.0 % self.count == self.index
+    }
+
+    /// The JSONL file this shard appends to inside the store directory.
+    pub fn file_name(&self) -> String {
+        format!("shard-{:04}-of-{:04}.jsonl", self.index, self.count)
+    }
+}
+
+impl std::fmt::Display for Shard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_valid_and_rejects_invalid() {
+        assert_eq!(Shard::parse("0/4").unwrap(), Shard { index: 0, count: 4 });
+        assert_eq!(Shard::parse("3/4").unwrap(), Shard { index: 3, count: 4 });
+        assert!(Shard::parse("4/4").is_err());
+        assert!(Shard::parse("0/0").is_err());
+        assert!(Shard::parse("1").is_err());
+        assert!(Shard::parse("a/b").is_err());
+    }
+
+    #[test]
+    fn partition_is_exact_and_disjoint() {
+        let keys: Vec<PointKey> = (0..1000u64)
+            .map(|i| PointKey(crate::key::fnv1a_64(&i.to_le_bytes())))
+            .collect();
+        for n in 1..6 {
+            let shards: Vec<Shard> = (0..n).map(|i| Shard::new(i, n).unwrap()).collect();
+            for &k in &keys {
+                let owners = shards.iter().filter(|s| s.owns(k)).count();
+                assert_eq!(owners, 1, "key {k} owned by {owners} shards of {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_files_are_distinct() {
+        let names: std::collections::HashSet<String> = (0..8)
+            .map(|i| Shard::new(i, 8).unwrap().file_name())
+            .collect();
+        assert_eq!(names.len(), 8);
+    }
+}

@@ -1,0 +1,439 @@
+//! The append-only campaign store.
+//!
+//! On disk a store is a directory of JSON-lines files (`*.jsonl`), one
+//! row per simulated point. Rows are content-addressed by [`PointKey`]
+//! — see [`crate::key`] — so re-opening a directory after a crash, or
+//! after other processes wrote disjoint shard files into it, always
+//! reconstructs exactly the set of completed points. Appends are
+//! flushed once per batch: an interrupted sweep loses at most one batch
+//! of results, and a torn final line is skipped (with a warning) on the
+//! next open.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use musa_apps::{generate, AppId, GenParams};
+use musa_arch::NodeConfig;
+use musa_core::{Campaign, ConfigResult, MultiscaleSim, SweepOptions};
+
+use crate::key::{PointKey, SCHEMA_VERSION};
+use crate::shard::Shard;
+
+/// Default name of the JSONL file unsharded runs append to.
+pub const DEFAULT_WRITE_FILE: &str = "rows.jsonl";
+
+/// Default number of points simulated between flushes.
+pub const DEFAULT_BATCH: usize = 64;
+
+/// One persisted campaign row: the simulation result plus everything
+/// that went into its fingerprint, so stores are self-describing and
+/// every row can be integrity-checked on load.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoreRow {
+    /// Hex [`PointKey`] of this row.
+    pub key: String,
+    /// Row schema version at write time.
+    pub schema: u32,
+    /// Trace-generation parameters the row was simulated at.
+    pub gen: GenParams,
+    /// Whether the full-application replay (step 3) ran.
+    pub full_replay: bool,
+    /// The simulation result.
+    pub result: ConfigResult,
+}
+
+impl StoreRow {
+    /// Build a row (and its key) from a freshly simulated result.
+    pub fn new(gen: GenParams, full_replay: bool, result: ConfigResult) -> StoreRow {
+        let key = PointKey::of(&result.app, &result.config, &gen, full_replay);
+        StoreRow {
+            key: key.to_hex(),
+            schema: SCHEMA_VERSION,
+            gen,
+            full_replay,
+            result,
+        }
+    }
+
+    /// The parsed key, if the hex field is well-formed.
+    pub fn point_key(&self) -> Option<PointKey> {
+        PointKey::from_hex(&self.key)
+    }
+
+    /// A row is consistent when its schema is current and its stored
+    /// key matches the fingerprint recomputed from its own contents.
+    pub fn is_consistent(&self) -> bool {
+        self.schema == SCHEMA_VERSION
+            && self.point_key()
+                == Some(PointKey::of(
+                    &self.result.app,
+                    &self.result.config,
+                    &self.gen,
+                    self.full_replay,
+                ))
+    }
+}
+
+/// Options for [`CampaignStore::fill`].
+#[derive(Debug, Clone, Copy)]
+pub struct FillOptions {
+    /// Simulation scale and mode (part of every point's fingerprint).
+    pub sweep: SweepOptions,
+    /// If set, simulate only the points this shard owns.
+    pub shard: Option<Shard>,
+    /// Points simulated between flushes (crash loses at most one batch).
+    pub batch: usize,
+    /// Report per-batch progress and ETA on stderr.
+    pub progress: bool,
+}
+
+impl FillOptions {
+    /// Defaults: no shard, [`DEFAULT_BATCH`], progress on.
+    pub fn new(sweep: SweepOptions) -> FillOptions {
+        FillOptions {
+            sweep,
+            shard: None,
+            batch: DEFAULT_BATCH,
+            progress: true,
+        }
+    }
+}
+
+impl Default for FillOptions {
+    fn default() -> Self {
+        FillOptions::new(SweepOptions::default())
+    }
+}
+
+/// What one [`CampaignStore::fill`] call did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FillReport {
+    /// Points requested (`apps × configs`).
+    pub requested: usize,
+    /// Of those, points owned by this process's shard.
+    pub in_shard: usize,
+    /// In-shard points already present in the store.
+    pub cached: usize,
+    /// In-shard points simulated (and persisted) by this call.
+    pub simulated: usize,
+}
+
+/// A persistent, resumable campaign result store.
+///
+/// Lookups go through an in-memory index — `HashMap` by [`PointKey`]
+/// plus a secondary index by application — instead of the O(n) linear
+/// scans of [`Campaign`].
+pub struct CampaignStore {
+    dir: PathBuf,
+    write_path: PathBuf,
+    rows: Vec<StoreRow>,
+    index: HashMap<u64, usize>,
+    by_app: HashMap<String, Vec<usize>>,
+    writer: Option<BufWriter<File>>,
+}
+
+impl CampaignStore {
+    /// Open (or create) the store at `dir`, loading every `*.jsonl`
+    /// file in it. New rows are appended to [`DEFAULT_WRITE_FILE`].
+    pub fn open(dir: impl AsRef<Path>) -> std::io::Result<CampaignStore> {
+        Self::open_with_write_file(dir, DEFAULT_WRITE_FILE)
+    }
+
+    /// Open the store, appending new rows to this shard's own file so
+    /// concurrent shard processes never write to the same file.
+    pub fn open_sharded(dir: impl AsRef<Path>, shard: Shard) -> std::io::Result<CampaignStore> {
+        Self::open_with_write_file(dir, &shard.file_name())
+    }
+
+    /// Open the store, appending new rows to `write_file` (created on
+    /// first append).
+    pub fn open_with_write_file(
+        dir: impl AsRef<Path>,
+        write_file: &str,
+    ) -> std::io::Result<CampaignStore> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let mut store = CampaignStore {
+            write_path: dir.join(write_file),
+            dir,
+            rows: Vec::new(),
+            index: HashMap::new(),
+            by_app: HashMap::new(),
+            writer: None,
+        };
+        let mut files: Vec<PathBuf> = std::fs::read_dir(&store.dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "jsonl"))
+            .collect();
+        files.sort();
+        for file in files {
+            store.load_file(&file)?;
+        }
+        Ok(store)
+    }
+
+    fn load_file(&mut self, path: &Path) -> std::io::Result<()> {
+        let text = std::fs::read_to_string(path)?;
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match serde_json::from_str::<StoreRow>(line) {
+                Ok(row) if row.is_consistent() => {
+                    self.insert_mem(row);
+                }
+                Ok(_) => eprintln!(
+                    "[musa-store] {}:{}: stale schema or corrupt key, row skipped",
+                    path.display(),
+                    lineno + 1
+                ),
+                Err(e) => eprintln!(
+                    "[musa-store] {}:{}: unparsable row ({e}), skipped \
+                     (torn write from an interrupted run?)",
+                    path.display(),
+                    lineno + 1
+                ),
+            }
+        }
+        Ok(())
+    }
+
+    /// Directory this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of (distinct) rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// All rows, in load/insertion order.
+    pub fn rows(&self) -> &[StoreRow] {
+        &self.rows
+    }
+
+    /// O(1): is this point already simulated?
+    pub fn contains(&self, app: AppId, config: &NodeConfig, opts: &SweepOptions) -> bool {
+        self.index
+            .contains_key(&PointKey::for_point(app, config, opts).0)
+    }
+
+    /// O(1) lookup of one point's result.
+    pub fn get(
+        &self,
+        app: AppId,
+        config: &NodeConfig,
+        opts: &SweepOptions,
+    ) -> Option<&ConfigResult> {
+        self.get_by_key(PointKey::for_point(app, config, opts))
+    }
+
+    /// O(1) lookup by precomputed key.
+    pub fn get_by_key(&self, key: PointKey) -> Option<&ConfigResult> {
+        self.index.get(&key.0).map(|&i| &self.rows[i].result)
+    }
+
+    /// All rows of one application (secondary index, no full scan).
+    pub fn rows_for_app(&self, app: AppId) -> impl Iterator<Item = &StoreRow> {
+        self.by_app
+            .get(app.label())
+            .into_iter()
+            .flatten()
+            .map(|&i| &self.rows[i])
+    }
+
+    /// Insert into the in-memory index only. Returns false on duplicate
+    /// key (the existing row wins; simulations are deterministic, so
+    /// duplicates are identical).
+    fn insert_mem(&mut self, row: StoreRow) -> bool {
+        let Some(key) = row.point_key() else {
+            return false;
+        };
+        if self.index.contains_key(&key.0) {
+            return false;
+        }
+        let idx = self.rows.len();
+        self.index.insert(key.0, idx);
+        self.by_app
+            .entry(row.result.app.clone())
+            .or_default()
+            .push(idx);
+        self.rows.push(row);
+        true
+    }
+
+    fn writer(&mut self) -> std::io::Result<&mut BufWriter<File>> {
+        if self.writer.is_none() {
+            let file = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&self.write_path)?;
+            self.writer = Some(BufWriter::new(file));
+        }
+        Ok(self.writer.as_mut().expect("writer just created"))
+    }
+
+    /// Append one row (persisted on the next [`Self::flush`]). Returns
+    /// false if the key was already present.
+    pub fn append(&mut self, row: StoreRow) -> std::io::Result<bool> {
+        let line = serde_json::to_string(&row).expect("row serialises");
+        if !self.insert_mem(row) {
+            return Ok(false);
+        }
+        let w = self.writer()?;
+        w.write_all(line.as_bytes())?;
+        w.write_all(b"\n")?;
+        Ok(true)
+    }
+
+    /// Append a batch of rows and flush them to disk in one go.
+    pub fn append_batch(
+        &mut self,
+        rows: impl IntoIterator<Item = StoreRow>,
+    ) -> std::io::Result<usize> {
+        let mut added = 0;
+        for row in rows {
+            if self.append(row)? {
+                added += 1;
+            }
+        }
+        self.flush()?;
+        Ok(added)
+    }
+
+    /// Flush buffered appends to disk.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        if let Some(w) = self.writer.as_mut() {
+            w.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Simulate **only the missing points** of `apps × configs` (the
+    /// ones this shard owns, when sharded), in parallel over
+    /// configurations with rayon, persisting after every batch and
+    /// reporting progress/ETA on stderr.
+    pub fn fill(
+        &mut self,
+        apps: &[AppId],
+        configs: &[NodeConfig],
+        opts: &FillOptions,
+    ) -> std::io::Result<FillReport> {
+        let mut report = FillReport {
+            requested: apps.len() * configs.len(),
+            ..FillReport::default()
+        };
+        let mut work: Vec<(AppId, Vec<NodeConfig>)> = Vec::new();
+        for &app in apps {
+            let mut missing = Vec::new();
+            for cfg in configs {
+                let key = PointKey::for_point(app, cfg, &opts.sweep);
+                if !opts.shard.is_none_or(|s| s.owns(key)) {
+                    continue;
+                }
+                report.in_shard += 1;
+                if self.index.contains_key(&key.0) {
+                    report.cached += 1;
+                } else {
+                    missing.push(*cfg);
+                }
+            }
+            if !missing.is_empty() {
+                work.push((app, missing));
+            }
+        }
+
+        let total: usize = work.iter().map(|(_, m)| m.len()).sum();
+        if total == 0 {
+            return Ok(report);
+        }
+        let start = Instant::now();
+        let mut done = 0usize;
+        for (app, missing) in work {
+            if opts.progress {
+                eprintln!(
+                    "[musa-store] {app}: generating trace, {} missing point(s)",
+                    missing.len()
+                );
+            }
+            let trace = generate(app, &opts.sweep.gen);
+            let sim = MultiscaleSim::new(&trace);
+            for chunk in missing.chunks(opts.batch.max(1)) {
+                let rows: Vec<StoreRow> = chunk
+                    .par_iter()
+                    .map(|cfg| {
+                        let result = sim.simulate(*cfg, opts.sweep.full_replay);
+                        StoreRow::new(opts.sweep.gen, opts.sweep.full_replay, result)
+                    })
+                    .collect();
+                done += rows.len();
+                report.simulated += self.append_batch(rows)?;
+                if opts.progress {
+                    let elapsed = start.elapsed().as_secs_f64();
+                    let rate = done as f64 / elapsed.max(1e-9);
+                    let eta = (total - done) as f64 / rate.max(1e-9);
+                    eprintln!(
+                        "[musa-store] {app}: {done}/{total} points ({:.1}%) \
+                         elapsed {elapsed:.1}s eta {eta:.1}s",
+                        100.0 * done as f64 / total as f64,
+                    );
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// Every stored row as a [`Campaign`], sorted by (app, config
+    /// label) so the result is independent of file and insertion order.
+    /// Note this includes rows of *all* generation scales present in
+    /// the directory; use [`Self::campaign_for`] to select one sweep.
+    pub fn campaign(&self) -> Campaign {
+        let mut results: Vec<ConfigResult> = self.rows.iter().map(|r| r.result.clone()).collect();
+        results.sort_by(|a, b| {
+            a.app
+                .cmp(&b.app)
+                .then_with(|| a.config.label().cmp(&b.config.label()))
+        });
+        Campaign { results }
+    }
+
+    /// The [`Campaign`] view of one sweep: the stored results of
+    /// exactly `apps × configs` under `opts`, in enumeration order
+    /// (app-major). Points not yet simulated are omitted — call
+    /// [`Self::fill`] first for a complete campaign.
+    pub fn campaign_for(
+        &self,
+        apps: &[AppId],
+        configs: &[NodeConfig],
+        opts: &SweepOptions,
+    ) -> Campaign {
+        let mut results = Vec::with_capacity(apps.len() * configs.len());
+        for &app in apps {
+            for cfg in configs {
+                if let Some(r) = self.get(app, cfg, opts) {
+                    results.push(r.clone());
+                }
+            }
+        }
+        Campaign { results }
+    }
+}
+
+impl Drop for CampaignStore {
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}

@@ -1,0 +1,164 @@
+//! Property tests of the store's persistence layer, on synthetic rows
+//! (no simulation): JSONL round-trips are lossless, and merging
+//! disjoint shard files reconstructs the one-shot store regardless of
+//! write order.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use proptest::prelude::*;
+
+use musa_apps::{AppId, GenParams};
+use musa_arch::DesignSpace;
+use musa_core::ConfigResult;
+use musa_power::PowerBreakdown;
+use musa_store::{CampaignStore, PointKey, Shard, StoreRow};
+
+static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "musa-store-prop-{tag}-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A synthetic (but internally consistent) row for point
+/// (`app_idx`, `cfg_idx`) with result values derived from `x`.
+fn synth_row(
+    configs: &[musa_arch::NodeConfig],
+    app_idx: usize,
+    cfg_idx: usize,
+    x: f64,
+) -> StoreRow {
+    let app = AppId::ALL[app_idx % AppId::ALL.len()];
+    let config = configs[cfg_idx % configs.len()];
+    let result = ConfigResult {
+        app: app.label().to_string(),
+        config,
+        time_ns: 1.0 + x,
+        region_ns: 0.5 + x / 3.0,
+        power: PowerBreakdown {
+            core_l1_w: x / 7.0,
+            l2_l3_w: x / 11.0,
+            mem_w: x / 13.0,
+        },
+        energy_j: x / 17.0,
+        l1_mpki: x % 97.0,
+        l2_mpki: x % 23.0,
+        l3_mpki: x % 7.0,
+        mem_mpki: x % 5.0,
+        gmemreq_per_s: x / 1e6,
+        mem_stretch: 1.0 + x / 1e7,
+        region_efficiency: (x / 1e6).clamp(0.0, 1.0),
+    };
+    StoreRow::new(GenParams::tiny(), false, result)
+}
+
+/// Build rows from raw proptest points, deduplicated by key (duplicate
+/// (app, cfg) pairs would be one point simulated once).
+fn build_rows(points: &[(usize, usize, f64)]) -> Vec<StoreRow> {
+    let configs = DesignSpace::all();
+    let mut by_key: HashMap<String, StoreRow> = HashMap::new();
+    for &(a, c, x) in points {
+        let row = synth_row(&configs, a, c, x);
+        by_key.entry(row.key.clone()).or_insert(row);
+    }
+    let mut rows: Vec<StoreRow> = by_key.into_values().collect();
+    rows.sort_by(|a, b| a.key.cmp(&b.key));
+    rows
+}
+
+fn sorted_by_key(mut rows: Vec<StoreRow>) -> Vec<StoreRow> {
+    rows.sort_by(|a, b| a.key.cmp(&b.key));
+    rows
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Write → drop → re-open loses nothing and changes nothing (float
+    /// fields included: serde_json round-trips every finite f64
+    /// exactly).
+    #[test]
+    fn jsonl_roundtrip_is_lossless(
+        points in proptest::collection::vec((0usize..5, 0usize..864, 0.0f64..1e6), 1..30),
+    ) {
+        let rows = build_rows(&points);
+        let dir = tmp_dir("roundtrip");
+        {
+            let mut store = CampaignStore::open(&dir).unwrap();
+            store.append_batch(rows.clone()).unwrap();
+        }
+        let reopened = CampaignStore::open(&dir).unwrap();
+        prop_assert_eq!(sorted_by_key(reopened.rows().to_vec()), rows);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Splitting the rows into n shard files (each written by its own
+    /// store instance, in forward or reverse order) and re-opening the
+    /// directory reconstructs exactly the one-shot store.
+    #[test]
+    fn shard_merge_is_lossless_and_order_independent(
+        points in proptest::collection::vec((0usize..5, 0usize..864, 0.0f64..1e6), 1..30),
+        shard_count in 1u64..5,
+        reversed in any::<bool>(),
+    ) {
+        let rows = build_rows(&points);
+
+        // One-shot reference store.
+        let one_dir = tmp_dir("merge-one");
+        {
+            let mut store = CampaignStore::open(&one_dir).unwrap();
+            store.append_batch(rows.clone()).unwrap();
+        }
+
+        // Sharded writes into a shared directory.
+        let sharded_dir = tmp_dir("merge-sharded");
+        for i in 0..shard_count {
+            let shard = Shard::new(i, shard_count).unwrap();
+            let mut store = CampaignStore::open_sharded(&sharded_dir, shard).unwrap();
+            let mut own: Vec<StoreRow> = rows
+                .iter()
+                .filter(|r| shard.owns(r.point_key().unwrap()))
+                .cloned()
+                .collect();
+            if reversed {
+                own.reverse();
+            }
+            store.append_batch(own).unwrap();
+        }
+
+        let one = CampaignStore::open(&one_dir).unwrap();
+        let merged = CampaignStore::open(&sharded_dir).unwrap();
+        prop_assert_eq!(merged.len(), rows.len());
+        prop_assert_eq!(
+            sorted_by_key(merged.rows().to_vec()),
+            sorted_by_key(one.rows().to_vec())
+        );
+        // The Campaign views coincide too (they sort internally).
+        prop_assert_eq!(merged.campaign(), one.campaign());
+
+        let _ = std::fs::remove_dir_all(&one_dir);
+        let _ = std::fs::remove_dir_all(&sharded_dir);
+    }
+
+    /// Keys are stable: recomputing a row's fingerprint from its own
+    /// contents always matches, and hex round-trips.
+    #[test]
+    fn keys_recompute_and_roundtrip(
+        a in 0usize..5,
+        c in 0usize..864,
+        x in 0.0f64..1e6,
+    ) {
+        let configs = DesignSpace::all();
+        let row = synth_row(&configs, a, c, x);
+        prop_assert!(row.is_consistent());
+        let key = row.point_key().unwrap();
+        prop_assert_eq!(PointKey::from_hex(&key.to_hex()), Some(key));
+    }
+}

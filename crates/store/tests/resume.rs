@@ -1,0 +1,192 @@
+//! Resume and shard semantics, end-to-end with real simulations:
+//!
+//! * an interrupted sweep, re-opened and resumed, produces the exact
+//!   row set of a one-shot sweep (the acceptance criterion for
+//!   `dse --resume`);
+//! * disjoint shards filled by independent store instances merge into
+//!   the identical campaign a single run produces;
+//! * rows simulated under different `GenParams` are never reused.
+
+use std::path::PathBuf;
+
+use musa_apps::{AppId, GenParams};
+use musa_arch::{DesignSpace, NodeConfig};
+use musa_core::SweepOptions;
+use musa_store::{CampaignStore, FillOptions, Shard};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("musa-store-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn sweep() -> SweepOptions {
+    SweepOptions {
+        gen: GenParams::tiny(),
+        full_replay: false,
+    }
+}
+
+fn quiet(sweep: SweepOptions) -> FillOptions {
+    FillOptions {
+        progress: false,
+        batch: 4,
+        ..FillOptions::new(sweep)
+    }
+}
+
+/// An evenly spread slice of the 864-point space.
+fn config_slice(n: usize) -> Vec<NodeConfig> {
+    let all = DesignSpace::all();
+    all.iter().step_by(all.len() / n).take(n).copied().collect()
+}
+
+#[test]
+fn resume_completes_only_the_missing_points() {
+    let dir = tmp_dir("resume");
+    let apps = [AppId::Hydro, AppId::Spmz];
+    let configs = config_slice(12);
+
+    // Reference: one-shot sweep in a separate directory.
+    let ref_dir = tmp_dir("resume-ref");
+    let mut ref_store = CampaignStore::open(&ref_dir).unwrap();
+    let ref_report = ref_store.fill(&apps, &configs, &quiet(sweep())).unwrap();
+    assert_eq!(ref_report.simulated, 24);
+    assert_eq!(ref_report.cached, 0);
+    let reference = ref_store.campaign_for(&apps, &configs, &sweep());
+    assert_eq!(reference.results.len(), 24);
+
+    // Interrupted sweep: fill only half the configs, then drop the
+    // store (the process "dies").
+    {
+        let mut store = CampaignStore::open(&dir).unwrap();
+        let report = store.fill(&apps, &configs[..6], &quiet(sweep())).unwrap();
+        assert_eq!(report.simulated, 12);
+    }
+
+    // Resume: re-open, fill the full space — only the other half runs.
+    let mut store = CampaignStore::open(&dir).unwrap();
+    assert_eq!(store.len(), 12, "persisted rows survive the restart");
+    let report = store.fill(&apps, &configs, &quiet(sweep())).unwrap();
+    assert_eq!(report.cached, 12, "first half must come from disk");
+    assert_eq!(report.simulated, 12, "only the second half is simulated");
+
+    let resumed = store.campaign_for(&apps, &configs, &sweep());
+    assert_eq!(
+        resumed, reference,
+        "resumed sweep must equal the one-shot sweep row-for-row"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&ref_dir);
+}
+
+#[test]
+fn disjoint_shards_merge_into_the_one_shot_campaign() {
+    let dir = tmp_dir("shards");
+    let apps = [AppId::Btmz];
+    let configs = config_slice(16);
+    let shards = 3u64;
+
+    // Each "process" opens its own sharded store over the shared
+    // directory and fills only its slice.
+    let mut in_shard_total = 0;
+    for i in 0..shards {
+        let shard = Shard::new(i, shards).unwrap();
+        let mut store = CampaignStore::open_sharded(&dir, shard).unwrap();
+        let fill = FillOptions {
+            shard: Some(shard),
+            ..quiet(sweep())
+        };
+        let report = store.fill(&apps, &configs, &fill).unwrap();
+        assert_eq!(report.cached, 0);
+        assert_eq!(report.simulated, report.in_shard);
+        in_shard_total += report.in_shard;
+    }
+    assert_eq!(in_shard_total, 16, "shards partition the space exactly");
+
+    // A reader opening the shared directory sees the merged campaign…
+    let merged = CampaignStore::open(&dir).unwrap();
+    assert_eq!(merged.len(), 16);
+    let merged_campaign = merged.campaign_for(&apps, &configs, &sweep());
+
+    // …identical to a single unsharded run.
+    let ref_dir = tmp_dir("shards-ref");
+    let mut ref_store = CampaignStore::open(&ref_dir).unwrap();
+    ref_store.fill(&apps, &configs, &quiet(sweep())).unwrap();
+    let reference = ref_store.campaign_for(&apps, &configs, &sweep());
+    assert_eq!(merged_campaign, reference);
+
+    // Nothing left to do on a resumed merged store.
+    let mut merged = merged;
+    let report = merged.fill(&apps, &configs, &quiet(sweep())).unwrap();
+    assert_eq!(report.simulated, 0);
+    assert_eq!(report.cached, 16);
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&ref_dir);
+}
+
+#[test]
+fn changed_gen_params_are_resimulated_not_reused() {
+    let dir = tmp_dir("params");
+    let apps = [AppId::Hydro];
+    let configs = config_slice(4);
+    let sweep_a = sweep();
+    let sweep_b = SweepOptions {
+        gen: GenParams {
+            seed: 42,
+            ..GenParams::tiny()
+        },
+        ..sweep()
+    };
+
+    let mut store = CampaignStore::open(&dir).unwrap();
+    let report_a = store.fill(&apps, &configs, &quiet(sweep_a)).unwrap();
+    assert_eq!(report_a.simulated, 4);
+
+    // Same store, different params: nothing may be served from cache.
+    let report_b = store.fill(&apps, &configs, &quiet(sweep_b)).unwrap();
+    assert_eq!(report_b.cached, 0, "params changed, cache must not match");
+    assert_eq!(report_b.simulated, 4);
+
+    // Both sweeps are fully addressable, without cross-talk.
+    assert_eq!(store.len(), 8);
+    assert_eq!(
+        store.campaign_for(&apps, &configs, &sweep_a).results.len(),
+        4
+    );
+    assert_eq!(
+        store.campaign_for(&apps, &configs, &sweep_b).results.len(),
+        4
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_final_line_is_tolerated_on_reopen() {
+    let dir = tmp_dir("torn");
+    let apps = [AppId::Spmz];
+    let configs = config_slice(3);
+    {
+        let mut store = CampaignStore::open(&dir).unwrap();
+        store.fill(&apps, &configs, &quiet(sweep())).unwrap();
+    }
+    // Simulate a crash mid-write: truncate the file inside the last row.
+    let file = dir.join(musa_store::DEFAULT_WRITE_FILE);
+    let text = std::fs::read_to_string(&file).unwrap();
+    std::fs::write(&file, &text[..text.len() - 40]).unwrap();
+
+    let mut store = CampaignStore::open(&dir).unwrap();
+    assert_eq!(store.len(), 2, "intact rows load, the torn row is dropped");
+    let report = store.fill(&apps, &configs, &quiet(sweep())).unwrap();
+    assert_eq!(report.cached, 2);
+    assert_eq!(report.simulated, 1, "the torn point is re-simulated");
+    assert_eq!(
+        store.campaign_for(&apps, &configs, &sweep()).results.len(),
+        3
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

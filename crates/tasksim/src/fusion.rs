@@ -75,7 +75,11 @@ pub fn effective_factor(kernel: &Kernel, width: VectorWidth) -> u32 {
 ///
 /// `locality` must come from [`crate::locality::analyze_kernel`] on the
 /// same kernel.
-pub fn fuse(kernel: &Kernel, locality: &[Option<TemplateLocality>], width: VectorWidth) -> FusedBody {
+pub fn fuse(
+    kernel: &Kernel,
+    locality: &[Option<TemplateLocality>],
+    width: VectorWidth,
+) -> FusedBody {
     assert_eq!(kernel.body.len(), locality.len());
     let f_eff = effective_factor(kernel, width);
 
@@ -105,40 +109,39 @@ pub fn fuse(kernel: &Kernel, locality: &[Option<TemplateLocality>], width: Vecto
                 DepKind::Carried => (Some(idx as u16), true),
             };
             let lanes = if t.vector_marked { f_eff } else { 1 };
-        // A fused access covers F_eff consecutive lanes: it touches
-        // F_eff times the lines of one scalar lane (capped at one line
-        // per lane), and its per-access service mix deepens by the same
-        // factor — the per-line traffic is invariant, but each fused
-        // instruction is more likely to need a line fill.
-        let loc = locality[idx].map(|l| {
-            if t.vector_marked && f_eff > 1 {
-                let fused_lines = (l.lines_per_access * f_eff as f64).min(f_eff as f64);
-                let k = if l.lines_per_access > 0.0 {
-                    fused_lines / l.lines_per_access
+            // A fused access covers F_eff consecutive lanes: it touches
+            // F_eff times the lines of one scalar lane (capped at one line
+            // per lane), and its per-access service mix deepens by the same
+            // factor — the per-line traffic is invariant, but each fused
+            // instruction is more likely to need a line fill.
+            let loc = locality[idx].map(|l| {
+                if t.vector_marked && f_eff > 1 {
+                    let fused_lines = (l.lines_per_access * f_eff as f64).min(f_eff as f64);
+                    let k = if l.lines_per_access > 0.0 {
+                        fused_lines / l.lines_per_access
+                    } else {
+                        1.0
+                    };
+                    let beyond = 1.0 - l.mix.p_l1;
+                    let scale = if beyond > 0.0 {
+                        ((beyond * k).min(1.0)) / beyond
+                    } else {
+                        1.0
+                    };
+                    crate::locality::TemplateLocality {
+                        mix: crate::locality::AccessMix {
+                            p_l1: 1.0 - (l.mix.p_l2 + l.mix.p_l3 + l.mix.p_mem) * scale,
+                            p_l2: l.mix.p_l2 * scale,
+                            p_l3: l.mix.p_l3 * scale,
+                            p_mem: l.mix.p_mem * scale,
+                        },
+                        lines_per_access: fused_lines,
+                        ..l
+                    }
                 } else {
-                    1.0
-                };
-                let beyond = 1.0 - l.mix.p_l1;
-                let scale = if beyond > 0.0 {
-                    ((beyond * k).min(1.0)) / beyond
-                } else {
-                    1.0
-                };
-                crate::locality::TemplateLocality {
-                    mix: crate::locality::AccessMix {
-                        p_l1: 1.0
-                            - (l.mix.p_l2 + l.mix.p_l3 + l.mix.p_mem) * scale,
-                        p_l2: l.mix.p_l2 * scale,
-                        p_l3: l.mix.p_l3 * scale,
-                        p_mem: l.mix.p_mem * scale,
-                    },
-                    lines_per_access: fused_lines,
-                    ..l
+                    l
                 }
-            } else {
-                l
-            }
-        });
+            });
             let lines = loc.map(|l| l.lines_per_access).unwrap_or(0.0);
             instrs.push(FusedInstr {
                 op: t.op,
@@ -204,7 +207,10 @@ mod tests {
         let loc = analyze_kernel(&lulesh, &geom, 1e9);
         let b128 = fuse(&lulesh, &loc, VectorWidth::V128).instrs_per_orig_iter();
         let b512 = fuse(&lulesh, &loc, VectorWidth::V512).instrs_per_orig_iter();
-        assert!((b128 - b512).abs() < 1e-12, "LULESH gains nothing: {b128} vs {b512}");
+        assert!(
+            (b128 - b512).abs() < 1e-12,
+            "LULESH gains nothing: {b128} vs {b512}"
+        );
         // And 64-bit is *worse* (the native pairs cannot fuse).
         let b64 = fuse(&lulesh, &loc, VectorWidth::V64).instrs_per_orig_iter();
         assert!(b64 > b128);
@@ -216,11 +222,7 @@ mod tests {
         // the simulated width (same data, different instruction count).
         let per_orig_lines = |w: VectorWidth| -> f64 {
             let b = fused(w);
-            b.instrs
-                .iter()
-                .map(|i| i.lines_per_access)
-                .sum::<f64>()
-                / b.f_eff as f64
+            b.instrs.iter().map(|i| i.lines_per_access).sum::<f64>() / b.f_eff as f64
         };
         let l128 = per_orig_lines(VectorWidth::V128);
         let l512 = per_orig_lines(VectorWidth::V512);

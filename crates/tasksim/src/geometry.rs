@@ -45,10 +45,12 @@ impl CacheGeometry {
 
         // Unloaded DRAM latency by row-locality class: sequential streams
         // mostly hit the open row; random traffic mostly conflicts.
-        let seq =
-            0.70 * timing.row_hit_ns() + 0.20 * timing.row_closed_ns() + 0.10 * timing.row_conflict_ns();
-        let rand =
-            0.10 * timing.row_hit_ns() + 0.30 * timing.row_closed_ns() + 0.60 * timing.row_conflict_ns();
+        let seq = 0.70 * timing.row_hit_ns()
+            + 0.20 * timing.row_closed_ns()
+            + 0.10 * timing.row_conflict_ns();
+        let rand = 0.10 * timing.row_hit_ns()
+            + 0.30 * timing.row_closed_ns()
+            + 0.60 * timing.row_conflict_ns();
 
         CacheGeometry {
             l1_lines: L1_SIZE_BYTES as f64 / line,

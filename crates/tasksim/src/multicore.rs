@@ -254,7 +254,7 @@ mod tests {
     fn one_big_chunk_caps_speedup() {
         // SPMZ-shaped: one 2× boundary chunk first, then 43 unit chunks.
         let mut d = vec![20.5];
-        d.extend(std::iter::repeat(10.0).take(43));
+        d.extend(std::iter::repeat_n(10.0, 43));
         let r = par_for(&d, 0.0, LoopSchedule::Dynamic);
         let s32 = simulate_region_burst(&r, 32);
         let s64 = simulate_region_burst(&r, 64);
@@ -330,10 +330,13 @@ mod tests {
         // No overlapping items on the same core.
         let mut by_core: std::collections::HashMap<u32, Vec<(f64, f64)>> = Default::default();
         for t in &s.timeline {
-            by_core.entry(t.core).or_default().push((t.start_ns, t.end_ns));
+            by_core
+                .entry(t.core)
+                .or_default()
+                .push((t.start_ns, t.end_ns));
         }
         for (_, mut spans) in by_core {
-            spans.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            spans.sort_by(|a, b| a.0.total_cmp(&b.0));
             for w in spans.windows(2) {
                 assert!(w[1].0 >= w[0].1 - 1e-9, "overlap: {w:?}");
             }

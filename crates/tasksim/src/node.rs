@@ -35,7 +35,11 @@ pub fn effective_bandwidth_gbs(mem: musa_arch::MemConfig) -> f64 {
         musa_arch::MemTechnology::Ddr4 => UNCORE_DDR_GBS,
         musa_arch::MemTechnology::Hbm => UNCORE_HBM_GBS,
     };
-    let efficiency = if mem.channels > 8 { 0.78 } else { DDR_EFFICIENCY };
+    let efficiency = if mem.channels > 8 {
+        0.78
+    } else {
+        DDR_EFFICIENCY
+    };
     mem.peak_bandwidth_gbs().min(uncore) * efficiency
 }
 /// Contention fixed-point iterations.

@@ -86,8 +86,8 @@ impl LevelSampler {
     fn pick(&mut self, p: [f64; 4]) -> usize {
         let mut best = 0;
         let mut best_v = f64::MIN;
-        for i in 0..4 {
-            self.acc[i] += p[i];
+        for (i, &pi) in p.iter().enumerate() {
+            self.acc[i] += pi;
             if self.acc[i] > best_v {
                 best_v = self.acc[i];
                 best = i;

@@ -173,7 +173,10 @@ mod tests {
         // Fig. 1: L1 ≈ 13.5, L2 ≈ 4.6, mem requests ≈ 5.3 (> L2!).
         assert!(l1 > 8.0 && l1 < 25.0, "lulesh L1 MPKI {l1}");
         assert!(l2 > 2.0 && l2 < 9.0, "lulesh L2 MPKI {l2}");
-        assert!(l3wb > l2, "writeback traffic must top L2 MPKI: {l3wb} vs {l2}");
+        assert!(
+            l3wb > l2,
+            "writeback traffic must top L2 MPKI: {l3wb} vs {l2}"
+        );
     }
 
     #[test]
@@ -247,9 +250,7 @@ mod tests {
     fn mem_bytes_match_request_counts() {
         let p = profile(musa_apps::AppId::Lulesh, &NodeConfig::REFERENCE);
         let s = &p.stats_per_iter;
-        assert!(
-            (p.mem_bytes_per_iter - s.mem_requests() * 64.0).abs() < 1e-9
-        );
+        assert!((p.mem_bytes_per_iter - s.mem_requests() * 64.0).abs() < 1e-9);
         assert!(p.mem_bytes_per_iter > 0.0);
     }
 }

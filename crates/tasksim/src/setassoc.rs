@@ -131,9 +131,7 @@ pub fn run_kernel(kernel: &Kernel, hier: &mut Hierarchy, iters: u32) {
                     cursors[si as usize] = (off + stride as u64) % s.footprint.max(1);
                     s.base + off
                 }
-                AccessPattern::Random => {
-                    s.base + xorshift(&mut rng) % s.footprint.max(1)
-                }
+                AccessPattern::Random => s.base + xorshift(&mut rng) % s.footprint.max(1),
                 AccessPattern::Local => s.base + (xorshift(&mut rng) % 64) * 8 % s.footprint.max(1),
             };
             hier.access(addr);

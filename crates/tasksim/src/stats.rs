@@ -89,9 +89,8 @@ impl SimStats {
         // Weighted blend of the sequential fractions.
         let total = self_mem + o.mem_reads;
         if total > 0.0 {
-            self.mem_seq_fraction = (self.mem_seq_fraction * self_mem
-                + o.mem_seq_fraction * o.mem_reads)
-                / total;
+            self.mem_seq_fraction =
+                (self.mem_seq_fraction * self_mem + o.mem_seq_fraction * o.mem_reads) / total;
         }
         self.mem_reads += o.mem_reads;
         self.mem_writes += o.mem_writes;

@@ -4,8 +4,8 @@ use proptest::prelude::*;
 
 use musa_tasksim::{analyze_kernel, simulate_region_burst, CacheGeometry};
 use musa_trace::{
-    AccessPattern, ComputeRegion, InstrTemplate, Kernel, LoopSchedule, Op, RegionWork,
-    StreamDesc, WorkItem,
+    AccessPattern, ComputeRegion, InstrTemplate, Kernel, LoopSchedule, Op, RegionWork, StreamDesc,
+    WorkItem,
 };
 
 fn region_from(durations: Vec<f64>, dynamic: bool, spawn: f64, dispatch: f64) -> ComputeRegion {

@@ -131,19 +131,15 @@ impl ComputeRegion {
         let items = self.work.items();
         match &self.work {
             RegionWork::Serial { item } => item.duration_ns,
-            RegionWork::ParallelFor { chunks, .. } => chunks
-                .iter()
-                .map(|c| c.duration_ns)
-                .fold(0.0_f64, f64::max),
+            RegionWork::ParallelFor { chunks, .. } => {
+                chunks.iter().map(|c| c.duration_ns).fold(0.0_f64, f64::max)
+            }
             RegionWork::Tasks { .. } => {
                 // Longest path; items are topologically ordered by id
                 // (generators guarantee deps reference earlier ids).
                 let mut finish = vec![0.0_f64; items.len()];
-                let index: std::collections::HashMap<u32, usize> = items
-                    .iter()
-                    .enumerate()
-                    .map(|(i, w)| (w.id, i))
-                    .collect();
+                let index: std::collections::HashMap<u32, usize> =
+                    items.iter().enumerate().map(|(i, w)| (w.id, i)).collect();
                 for (i, w) in items.iter().enumerate() {
                     let ready = w
                         .deps

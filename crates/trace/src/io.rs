@@ -82,9 +82,7 @@ pub fn load_trace(path: impl AsRef<Path>) -> Result<AppTrace, TraceIoError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{
-        BurstEvent, ComputeRegion, RankTrace, RegionWork, TraceMeta, WorkItem,
-    };
+    use crate::{BurstEvent, ComputeRegion, RankTrace, RegionWork, TraceMeta, WorkItem};
 
     fn tiny_trace() -> AppTrace {
         AppTrace {

@@ -3,8 +3,7 @@
 use proptest::prelude::*;
 
 use musa_trace::{
-    AppTrace, BurstEvent, ComputeRegion, LoopSchedule, RankTrace, RegionWork, TraceMeta,
-    WorkItem,
+    AppTrace, BurstEvent, ComputeRegion, LoopSchedule, RankTrace, RegionWork, TraceMeta, WorkItem,
 };
 
 fn arb_region(n_items: usize, chained: bool) -> ComputeRegion {

@@ -38,10 +38,7 @@ fn main() {
     let mut power: HashMap<String, f64> = HashMap::new();
     for app in AppId::ALL {
         let results = sweep_app(app, &configs, &opts);
-        let worst = results
-            .iter()
-            .map(|r| r.time_ns)
-            .fold(0.0_f64, f64::max);
+        let worst = results.iter().map(|r| r.time_ns).fold(0.0_f64, f64::max);
         for r in &results {
             time.entry(r.config.label())
                 .or_default()
@@ -58,7 +55,7 @@ fn main() {
             (label.clone(), gmean.exp(), power[&label])
         })
         .collect();
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1));
 
     println!("== co-design advisor: 5-app mix, 64-core node, 2 GHz ==");
     println!("power budget: {POWER_BUDGET_W} W (max over apps)\n");
@@ -71,9 +68,7 @@ fn main() {
 
     let rows: Vec<Vec<String>> = scored
         .iter()
-        .filter(|(l, _, p)| {
-            *p <= POWER_BUDGET_W || l == &best_unlimited.0
-        })
+        .filter(|(l, _, p)| *p <= POWER_BUDGET_W || l == &best_unlimited.0)
         .take(8)
         .map(|(l, s, p)| {
             let tag = if l == &best_budget.0 {
@@ -83,7 +78,12 @@ fn main() {
             } else {
                 ""
             };
-            vec![l.clone(), format!("{s:.3}"), format!("{p:.0} W"), tag.into()]
+            vec![
+                l.clone(),
+                format!("{s:.3}"),
+                format!("{p:.0} W"),
+                tag.into(),
+            ]
         })
         .collect();
     println!(

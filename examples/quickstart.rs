@@ -41,7 +41,10 @@ fn main() {
     println!("\n-- results --");
     println!("sampled region makespan : {:9.3} ms", r.region_ns / 1e6);
     println!("full application time   : {:9.3} ms", r.time_ns / 1e6);
-    println!("region parallel eff.    : {:8.1} %", r.region_efficiency * 100.0);
+    println!(
+        "region parallel eff.    : {:8.1} %",
+        r.region_efficiency * 100.0
+    );
     println!(
         "node power              : {:9.1} W  (core+L1 {:.1} / L2+L3 {:.1} / DRAM {:.1})",
         r.power.total_w(),

@@ -31,9 +31,7 @@ fn main() {
             "task starvation (too few tasks)"
         } else if region.efficiency(64).unwrap_or(1.0) < 0.6 {
             "thread-level load imbalance"
-        } else if full.efficiency(64).unwrap_or(1.0)
-            < 0.8 * region.efficiency(64).unwrap_or(1.0)
-        {
+        } else if full.efficiency(64).unwrap_or(1.0) < 0.8 * region.efficiency(64).unwrap_or(1.0) {
             "serial segments / MPI sync"
         } else {
             "scales well"
@@ -50,7 +48,13 @@ fn main() {
     println!(
         "{}",
         table(
-            &["app", "region eff@64", "full eff@64", "core occupancy", "diagnosis"],
+            &[
+                "app",
+                "region eff@64",
+                "full eff@64",
+                "core occupancy",
+                "diagnosis"
+            ],
             &rows
         )
     );

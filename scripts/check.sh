@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Full local gate: formatting, lints (warnings are errors), and tests.
+# Run from anywhere inside the repository.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test =="
+cargo test -q
+
+echo "All checks passed."

@@ -17,6 +17,7 @@
 //! | [`power`] | node power modelling (McPAT substitute) |
 //! | [`net`] | MPI replay network simulation (Dimemas substitute) |
 //! | [`core`] | multiscale orchestration, DSE, analysis, PCA |
+//! | [`store`] | persistent, resumable, sharded campaign result store |
 //!
 //! See `examples/quickstart.rs` for the five-minute tour and
 //! `crates/bench/src/bin/` for the per-figure experiment harnesses.
@@ -27,6 +28,7 @@ pub use musa_core as core;
 pub use musa_mem as mem;
 pub use musa_net as net;
 pub use musa_power as power;
+pub use musa_store as store;
 pub use musa_tasksim as tasksim;
 pub use musa_trace as trace;
 
@@ -41,5 +43,6 @@ pub mod prelude {
         feature_impact, run_design_space, Campaign, ConfigResult, Metric, MultiscaleSim,
         SweepOptions,
     };
+    pub use musa_store::{CampaignStore, FillOptions, Shard};
     pub use musa_trace::AppTrace;
 }

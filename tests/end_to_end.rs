@@ -16,7 +16,11 @@ fn full_pipeline_completes_for_every_app_and_reference_config() {
         let r = sim.simulate(NodeConfig::REFERENCE, true);
         assert!(r.time_ns.is_finite() && r.time_ns > 0.0, "{app}");
         assert!(r.region_ns > 0.0, "{app}");
-        assert!(r.power.total_w() > 10.0 && r.power.total_w() < 500.0, "{app}: {} W", r.power.total_w());
+        assert!(
+            r.power.total_w() > 10.0 && r.power.total_w() < 500.0,
+            "{app}: {} W",
+            r.power.total_w()
+        );
         assert!(r.energy_j > 0.0, "{app}");
         assert!(r.l1_mpki > 0.0 && r.l1_mpki < 250.0, "{app}: {}", r.l1_mpki);
     }
@@ -92,7 +96,10 @@ fn campaign_slice_is_deterministic() {
         gen: tiny(),
         full_replay: true,
     };
-    let configs = [NodeConfig::REFERENCE, NodeConfig::REFERENCE.with_cores(CoresPerNode::C64)];
+    let configs = [
+        NodeConfig::REFERENCE,
+        NodeConfig::REFERENCE.with_cores(CoresPerNode::C64),
+    ];
     let a = musa::core::sweep_app(AppId::Btmz, &configs, &opts);
     let b = musa::core::sweep_app(AppId::Btmz, &configs, &opts);
     assert_eq!(a, b, "simulation must be deterministic");

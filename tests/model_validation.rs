@@ -31,12 +31,8 @@ fn compare(app: AppId, l2_bytes: u64, l2_assoc: u32, tol: f64) {
     let geom = CacheGeometry::new(&NodeConfig::REFERENCE.with_cache(cache), 32);
     let locality = analyze_kernel(kernel, &geom, ws * 100.0);
 
-    let mem_accesses: f64 = kernel
-        .body
-        .iter()
-        .filter(|t| t.op.is_mem())
-        .count() as f64
-        * iters as f64;
+    let mem_accesses: f64 =
+        kernel.body.iter().filter(|t| t.op.is_mem()).count() as f64 * iters as f64;
     let l1_miss_model: f64 = locality
         .iter()
         .flatten()

@@ -104,9 +104,8 @@ fn headline_scaling_efficiencies() {
 #[test]
 fn headline_energy_claims() {
     // §V-B1: 256-bit saves energy for SIMD-friendly codes; LULESH pays.
-    let energy = |app, v: VectorWidth| {
-        sweep_app(app, &[cfg64().with_vector(v)], &opts())[0].energy_j
-    };
+    let energy =
+        |app, v: VectorWidth| sweep_app(app, &[cfg64().with_vector(v)], &opts())[0].energy_j;
     let spmz = energy(AppId::Spmz, VectorWidth::V256) / energy(AppId::Spmz, VectorWidth::V128);
     assert!(spmz < 1.0, "spmz 256-bit energy ratio {spmz}");
     let lulesh =
