@@ -10,65 +10,68 @@
 //! cargo run --release -p musa-bench --bin dse -- --csv out.csv --json out.json
 //! cargo run --release -p musa-bench --bin dse -- --store-dir /tmp/campaign --resume
 //! cargo run --release -p musa-bench --bin dse -- --full       # 256-rank paper scale
+//! cargo run --release -p musa-bench --bin dse -- --progress --metrics m.json
 //! ```
 //!
 //! The store directory holds one JSON-lines file per (shard) writer;
 //! disjoint `--shard i/n` runs (concurrent processes or machines
 //! sharing the directory) merge into the identical campaign a single
 //! run produces. All simulation, resume and export logic lives in
-//! `musa-store` / `musa-core`; this binary only parses arguments.
+//! `musa-store` / `musa-core`; argument parsing is in
+//! [`musa_bench::cli`] (strict: unknown flags exit 2 with usage).
+//!
+//! With `--progress` and/or `--metrics`, the run ends with the
+//! "where did the time go" phase table on stderr; `--metrics PATH`
+//! additionally dumps the full metrics snapshot (per-app × per-phase
+//! wall time, cache-hit/resume-skip counts, batch-flush statistics) as
+//! schema-versioned JSON.
 
 use std::path::PathBuf;
 
 use musa_apps::AppId;
 use musa_arch::DesignSpace;
+use musa_bench::cli::{parse_dse_args, DseArgs, Parsed, USAGE};
 use musa_bench::{gen_params, store_dir};
 use musa_core::report::table;
 use musa_core::SweepOptions;
-use musa_store::{export, CampaignStore, FillOptions, Shard};
-
-const USAGE: &str = "\
-usage: dse [options]
-  --resume           keep existing store rows, simulate only missing points
-  --shard i/n        simulate only shard i of an n-way split (0-based)
-  --store-dir DIR    campaign store directory (default target/musa-store-<scale>)
-  --csv [PATH]       export the campaign as CSV (default dse_results.csv)
-  --json PATH        export the campaign as JSON
-  --full             paper scale (256 ranks) instead of the reduced scale
-  -h, --help         this help";
-
-fn flag_value(args: &[String], flag: &str) -> Option<Option<String>> {
-    let pos = args.iter().position(|a| a == flag)?;
-    Some(args.get(pos + 1).filter(|v| !v.starts_with("--")).cloned())
-}
+use musa_store::{export, CampaignStore, FillOptions};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    if args.iter().any(|a| a == "--help" || a == "-h") {
-        println!("{USAGE}");
-        return;
-    }
-    let resume = args.iter().any(|a| a == "--resume");
-    let shard = flag_value(&args, "--shard").map(|v| {
-        let spec = v.unwrap_or_else(|| {
-            eprintln!("--shard needs a value, e.g. --shard 0/4");
+    musa_obs::init_from_env();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_dse_args(&argv) {
+        Ok(Parsed::Help) => {
+            // Tolerate a closed pipe (`dse --help | head`): help must
+            // exit 0 even when the reader stops early.
+            use std::io::Write;
+            let _ = writeln!(std::io::stdout(), "{USAGE}");
+            std::process::exit(0);
+        }
+        Ok(Parsed::Run(args)) => args,
+        Err(e) => {
+            eprintln!("dse: {e}\n{USAGE}");
             std::process::exit(2);
-        });
-        Shard::parse(&spec).unwrap_or_else(|e| {
-            eprintln!("bad --shard: {e}");
-            std::process::exit(2);
-        })
-    });
-    let dir = flag_value(&args, "--store-dir")
-        .map(|v| {
-            PathBuf::from(v.unwrap_or_else(|| {
-                eprintln!("--store-dir needs a value");
-                std::process::exit(2);
-            }))
-        })
-        .unwrap_or_else(store_dir);
+        }
+    };
 
-    if !resume {
+    // Observability: CLI flags override the MUSA_LOG / MUSA_LOG_JSON /
+    // MUSA_METRICS environment read above.
+    if let Some(level) = args.log {
+        musa_obs::set_max_level(level);
+    }
+    if let Some(path) = &args.log_json {
+        if let Err(e) = musa_obs::set_json_path(path) {
+            eprintln!("dse: cannot open --log-json {}: {e}", path.display());
+            std::process::exit(2);
+        }
+    }
+    let want_report = args.metrics.is_some() || args.progress;
+    if want_report {
+        musa_obs::enable_metrics(true);
+    }
+
+    let dir: PathBuf = args.store_dir.clone().unwrap_or_else(store_dir);
+    if !args.resume {
         clear_store(&dir);
     }
 
@@ -76,7 +79,7 @@ fn main() {
         gen: gen_params(),
         full_replay: true,
     };
-    let mut store = match shard {
+    let mut store = match args.shard {
         Some(s) => CampaignStore::open_sharded(&dir, s),
         None => CampaignStore::open(&dir),
     }
@@ -87,7 +90,8 @@ fn main() {
 
     let configs = DesignSpace::all();
     let fill = FillOptions {
-        shard,
+        shard: args.shard,
+        progress: args.progress,
         ..FillOptions::new(opts)
     };
     let report = store
@@ -106,9 +110,8 @@ fn main() {
 
     let campaign = store.campaign_for(&AppId::ALL, &configs, &opts);
 
-    if let Some(path) = flag_value(&args, "--csv") {
-        let path = path.unwrap_or_else(|| "dse_results.csv".into());
-        match export::write_csv(&campaign, &path) {
+    if let Some(path) = &args.csv {
+        match export::write_csv(&campaign, path) {
             Ok(n) => println!("wrote {n} rows to {path}"),
             Err(e) => {
                 eprintln!("CSV export to {path} failed: {e}");
@@ -116,9 +119,8 @@ fn main() {
             }
         }
     }
-    if let Some(path) = flag_value(&args, "--json") {
-        let path = path.unwrap_or_else(|| "dse_results.json".into());
-        match export::write_json(&campaign, &path) {
+    if let Some(path) = &args.json {
+        match export::write_json(&campaign, path) {
             Ok(n) => println!("wrote {n} rows to {path}"),
             Err(e) => {
                 eprintln!("JSON export to {path} failed: {e}");
@@ -127,6 +129,16 @@ fn main() {
         }
     }
 
+    summarise(&campaign, &configs, &dir);
+    finish_observability(&args);
+}
+
+/// Print the Best-DSE summary (or the partial-campaign notice).
+fn summarise(
+    campaign: &musa_core::Campaign,
+    configs: &[musa_arch::NodeConfig],
+    dir: &std::path::Path,
+) {
     let full_size = AppId::ALL.len() * configs.len();
     if campaign.results.len() < full_size {
         println!(
@@ -168,6 +180,25 @@ fn main() {
         campaign.results.len(),
         campaign.results.len() / AppId::ALL.len()
     );
+}
+
+/// End-of-run telemetry: the phase table on stderr, the `--metrics`
+/// snapshot on disk, and a flushed JSONL sink.
+fn finish_observability(args: &DseArgs) {
+    if args.metrics.is_some() || args.progress {
+        let snap = musa_obs::snapshot();
+        eprintln!("{}", musa_obs::phase_table(&snap));
+        if let Some(path) = &args.metrics {
+            match snap.write_json_file(path) {
+                Ok(()) => eprintln!("[dse] wrote metrics snapshot to {}", path.display()),
+                Err(e) => {
+                    eprintln!("metrics dump to {} failed: {e}", path.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+    musa_obs::close_json();
 }
 
 /// A fresh (non-`--resume`) run discards previously stored rows.

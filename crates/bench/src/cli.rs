@@ -1,0 +1,211 @@
+//! Strict argument parsing for the `dse` binary.
+//!
+//! Parsing is separated from `main` so the rules are unit-testable:
+//! unknown flags and malformed values are **errors** (exit code 2 with
+//! usage, not silently ignored), `--help` short-circuits, and
+//! `--csv` / `--json` keep their optional-value semantics.
+
+use std::path::PathBuf;
+
+use musa_obs::Level;
+use musa_store::Shard;
+
+/// `dse` usage text (printed on `--help` and after a parse error).
+pub const USAGE: &str = "\
+usage: dse [options]
+  --resume           keep existing store rows, simulate only missing points
+  --shard i/n        simulate only shard i of an n-way split (0-based)
+  --store-dir DIR    campaign store directory (default target/musa-store-<scale>)
+  --csv [PATH]       export the campaign as CSV (default dse_results.csv)
+  --json [PATH]      export the campaign as JSON (default dse_results.json)
+  --full             paper scale (256 ranks) instead of the reduced scale
+  --progress         live fill heartbeat (points done/total, rows/s, ETA)
+  --metrics PATH     write the end-of-run metrics snapshot as JSON
+  --log LEVEL        stderr event level: error|warn|info|debug|trace|off
+  --log-json PATH    record every structured event to a JSONL file
+  -h, --help         this help";
+
+/// Parsed `dse` arguments.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DseArgs {
+    /// Keep existing store rows.
+    pub resume: bool,
+    /// Simulate only this shard of the point set.
+    pub shard: Option<Shard>,
+    /// Campaign store directory override.
+    pub store_dir: Option<PathBuf>,
+    /// CSV export path, when requested.
+    pub csv: Option<String>,
+    /// JSON export path, when requested.
+    pub json: Option<String>,
+    /// Paper scale (256 ranks).
+    pub full: bool,
+    /// Live fill heartbeat.
+    pub progress: bool,
+    /// Metrics snapshot output path.
+    pub metrics: Option<PathBuf>,
+    /// Stderr event level override; `Some(None)` is `--log off`.
+    pub log: Option<Option<Level>>,
+    /// JSONL event sink path.
+    pub log_json: Option<PathBuf>,
+}
+
+/// What a successful parse asks the binary to do.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Parsed {
+    /// Run the sweep with these arguments.
+    Run(DseArgs),
+    /// Print usage and exit 0.
+    Help,
+}
+
+fn required<'a, I: Iterator<Item = &'a str>>(
+    it: &mut std::iter::Peekable<I>,
+    flag: &str,
+) -> Result<&'a str, String> {
+    match it.peek() {
+        Some(v) if !v.starts_with('-') => Ok(it.next().unwrap()),
+        _ => Err(format!("{flag} needs a value")),
+    }
+}
+
+fn optional<'a, I: Iterator<Item = &'a str>>(
+    it: &mut std::iter::Peekable<I>,
+    default: &str,
+) -> String {
+    match it.peek() {
+        Some(v) if !v.starts_with('-') => it.next().unwrap().to_string(),
+        _ => default.to_string(),
+    }
+}
+
+/// Parse the argument list (without the program name).
+///
+/// Any token that is not a recognised flag — or a flag missing its
+/// required value — is an error; the binary reports it with [`USAGE`]
+/// and exits 2.
+pub fn parse_dse_args<S: AsRef<str>>(args: &[S]) -> Result<Parsed, String> {
+    let mut out = DseArgs::default();
+    let mut it = args.iter().map(AsRef::as_ref).peekable();
+    while let Some(arg) = it.next() {
+        match arg {
+            "-h" | "--help" => return Ok(Parsed::Help),
+            "--resume" => out.resume = true,
+            "--full" => out.full = true,
+            "--progress" => out.progress = true,
+            "--shard" => {
+                let spec =
+                    required(&mut it, "--shard").map_err(|e| format!("{e}, e.g. --shard 0/4"))?;
+                out.shard = Some(Shard::parse(spec).map_err(|e| format!("bad --shard: {e}"))?);
+            }
+            "--store-dir" => out.store_dir = Some(required(&mut it, "--store-dir")?.into()),
+            "--metrics" => out.metrics = Some(required(&mut it, "--metrics")?.into()),
+            "--log-json" => out.log_json = Some(required(&mut it, "--log-json")?.into()),
+            "--log" => {
+                let spec = required(&mut it, "--log")?;
+                let norm = spec.trim().to_ascii_lowercase();
+                out.log = Some(if norm == "off" || norm == "none" {
+                    None
+                } else {
+                    Some(
+                        Level::parse(spec)
+                            .ok_or_else(|| format!("bad --log level {spec:?} (see usage)"))?,
+                    )
+                });
+            }
+            "--csv" => out.csv = Some(optional(&mut it, "dse_results.csv")),
+            "--json" => out.json = Some(optional(&mut it, "dse_results.json")),
+            other if other.starts_with('-') => return Err(format!("unknown flag {other:?}")),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    Ok(Parsed::Run(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(args: &[&str]) -> DseArgs {
+        match parse_dse_args(args).unwrap() {
+            Parsed::Run(a) => a,
+            Parsed::Help => panic!("unexpected help"),
+        }
+    }
+
+    #[test]
+    fn empty_args_run_with_defaults() {
+        let a = run(&[]);
+        assert_eq!(a, DseArgs::default());
+    }
+
+    #[test]
+    fn help_short_circuits_even_with_bad_flags_after() {
+        assert_eq!(parse_dse_args(&["--help", "--nope"]), Ok(Parsed::Help));
+        assert_eq!(parse_dse_args(&["-h"]), Ok(Parsed::Help));
+        // ... but not when the junk comes first: errors are reported in
+        // argument order.
+        assert!(parse_dse_args(&["--nope", "--help"]).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        assert!(parse_dse_args(&["--reusme"]).is_err());
+        assert!(parse_dse_args(&["-x"]).is_err());
+        assert!(parse_dse_args(&["stray"]).is_err());
+    }
+
+    #[test]
+    fn required_values_are_enforced() {
+        assert!(parse_dse_args(&["--shard"]).is_err());
+        assert!(parse_dse_args(&["--shard", "--resume"]).is_err());
+        assert!(parse_dse_args(&["--shard", "nonsense"]).is_err());
+        assert!(parse_dse_args(&["--store-dir"]).is_err());
+        assert!(parse_dse_args(&["--metrics"]).is_err());
+        assert!(parse_dse_args(&["--log-json"]).is_err());
+        assert!(parse_dse_args(&["--log"]).is_err());
+        assert!(parse_dse_args(&["--log", "loud"]).is_err());
+    }
+
+    #[test]
+    fn csv_and_json_take_optional_values() {
+        let a = run(&["--csv", "--json"]);
+        assert_eq!(a.csv.as_deref(), Some("dse_results.csv"));
+        assert_eq!(a.json.as_deref(), Some("dse_results.json"));
+        let a = run(&["--csv", "out.csv", "--json", "out.json"]);
+        assert_eq!(a.csv.as_deref(), Some("out.csv"));
+        assert_eq!(a.json.as_deref(), Some("out.json"));
+    }
+
+    #[test]
+    fn full_argument_set_parses() {
+        let a = run(&[
+            "--resume",
+            "--full",
+            "--progress",
+            "--shard",
+            "1/4",
+            "--store-dir",
+            "/tmp/campaign",
+            "--metrics",
+            "m.json",
+            "--log",
+            "debug",
+            "--log-json",
+            "events.jsonl",
+        ]);
+        assert!(a.resume && a.full && a.progress);
+        assert_eq!(a.shard, Some(Shard::new(1, 4).unwrap()));
+        assert_eq!(
+            a.store_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/campaign"))
+        );
+        assert_eq!(a.metrics.as_deref(), Some(std::path::Path::new("m.json")));
+        assert_eq!(a.log, Some(Some(Level::Debug)));
+        assert_eq!(run(&["--log", "off"]).log, Some(None));
+        assert_eq!(
+            a.log_json.as_deref(),
+            Some(std::path::Path::new("events.jsonl"))
+        );
+    }
+}

@@ -8,6 +8,8 @@
 //! rows are keyed by the exact `GenParams` they were simulated at —
 //! editing the scale or the schema can never serve stale results.
 
+pub mod cli;
+
 use std::path::{Path, PathBuf};
 
 use musa_apps::{AppId, GenParams};

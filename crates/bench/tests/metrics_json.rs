@@ -1,0 +1,62 @@
+//! Smoke test of the `--metrics` dump: drive a reduced sweep through
+//! the same code path the `dse` binary uses (per-app `sweep_app` with
+//! metrics enabled, then `MetricsSnapshot::write_json_file`) and check
+//! the file is schema-valid, parseable JSON with per-app × per-phase
+//! wall-time rows.
+
+use musa_apps::{AppId, GenParams};
+use musa_arch::{CoresPerNode, NodeConfig};
+use musa_core::{sweep_app, SweepOptions};
+use musa_obs::{phase, MetricsSnapshot, METRICS_SCHEMA};
+
+#[test]
+fn metrics_dump_is_schema_valid_json_with_per_app_phase_rows() {
+    musa_obs::enable_metrics(true);
+    let opts = SweepOptions {
+        gen: GenParams::tiny(),
+        full_replay: true,
+    };
+    let configs = [NodeConfig::REFERENCE.with_cores(CoresPerNode::C64)];
+    for app in AppId::ALL {
+        let rows = sweep_app(app, &configs, &opts);
+        assert_eq!(rows.len(), 1);
+    }
+
+    let snap = musa_obs::snapshot();
+    let path = std::env::temp_dir().join(format!("musa-metrics-{}.json", std::process::id()));
+    snap.write_json_file(&path).unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+
+    let back = MetricsSnapshot::from_json(text.trim()).unwrap();
+    assert_eq!(back.schema, METRICS_SCHEMA);
+    assert_eq!(back, snap, "file round-trips losslessly");
+
+    // One wall-time row per pipeline phase per application.
+    for app in AppId::ALL {
+        for ph in [
+            phase::TRACE_GEN,
+            phase::DETAILED_SIM,
+            phase::POWER,
+            phase::NET_REPLAY,
+        ] {
+            let row = back
+                .phase(ph, app.label())
+                .unwrap_or_else(|| panic!("missing phase row ({ph}, {app})"));
+            assert!(row.count >= 1, "({ph}, {app}) count");
+            assert!(row.wall_ns >= 0.0);
+        }
+        // The DRAM estimate span runs inside detailed-sim.
+        assert!(back.phase(phase::DRAM, app.label()).is_some());
+    }
+    assert!(back.counter("sim.points") >= AppId::ALL.len() as u64);
+    assert!(back.counter("net.replays") >= AppId::ALL.len() as u64);
+    assert!(back.counter("tasksim.items_scheduled") > 0);
+
+    // The human phase table renders every pipeline phase that ran.
+    let table = musa_obs::phase_table(&back);
+    assert!(table.contains("where did the time go"));
+    for ph in [phase::TRACE_GEN, phase::DETAILED_SIM, phase::NET_REPLAY] {
+        assert!(table.contains(ph), "phase table missing {ph}:\n{table}");
+    }
+}

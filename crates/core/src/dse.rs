@@ -76,7 +76,18 @@ impl Default for SweepOptions {
 
 /// Run one application over a set of configurations.
 pub fn sweep_app(app: AppId, configs: &[NodeConfig], opts: &SweepOptions) -> Vec<ConfigResult> {
-    let trace = generate(app, &opts.gen);
+    let trace = {
+        let _gen = musa_obs::span_app(musa_obs::phase::TRACE_GEN, app.label());
+        generate(app, &opts.gen)
+    };
+    musa_obs::debug(
+        "musa-core",
+        "trace generated",
+        &[
+            ("app", app.label().into()),
+            ("configs", configs.len().into()),
+        ],
+    );
     let sim = MultiscaleSim::new(&trace);
     configs
         .par_iter()

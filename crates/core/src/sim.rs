@@ -90,6 +90,9 @@ impl<'a> MultiscaleSim<'a> {
             .expect("trace has a detailed trace");
 
         // Step 1: detailed simulation of the representative region.
+        // Steps 1+2 share the detailed-sim phase: the burst baseline is
+        // part of producing the rescale ratio, not a separate stage.
+        let _detailed = musa_obs::span_app(musa_obs::phase::DETAILED_SIM, &self.trace.meta.app);
         let mut node = NodeSim::new(config, detail, &region);
         let det = node.simulate_region(&region);
         let region_ns = det.schedule.makespan_ns;
@@ -101,6 +104,7 @@ impl<'a> MultiscaleSim<'a> {
         } else {
             1.0
         };
+        drop(_detailed);
 
         // Step 3: full-application replay.
         let (time_ns, _replay) = if full_replay {
@@ -115,13 +119,17 @@ impl<'a> MultiscaleSim<'a> {
         };
 
         // Step 4: power and energy.
-        let power = PowerModel::new(config).node_power(
-            &det.stats,
-            &det.dram,
-            region_ns,
-            det.schedule.busy_ns,
-        );
+        let power = {
+            let _power = musa_obs::span_app(musa_obs::phase::POWER, &self.trace.meta.app);
+            PowerModel::new(config).node_power(
+                &det.stats,
+                &det.dram,
+                region_ns,
+                det.schedule.busy_ns,
+            )
+        };
         let energy_j = power.energy_j(time_ns);
+        musa_obs::counter_add("sim.points", 1);
 
         let s = &det.stats;
         let instr_rate = if region_ns > 0.0 {

@@ -77,6 +77,7 @@ impl DramSystem {
     /// Service one cache-line request immediately (convenience API):
     /// returns the completion time in nanoseconds.
     pub fn access(&mut self, addr: u64, is_write: bool, ready_ns: f64) -> f64 {
+        musa_obs::counter_add("mem.requests", 1);
         let m = self.map(addr);
         let id = self.next_id;
         self.next_id += 1;
@@ -92,6 +93,7 @@ impl DramSystem {
     /// Queue a request for batched FR-FCFS scheduling; pair with
     /// [`Self::drain`]. Returns the request id.
     pub fn push(&mut self, addr: u64, is_write: bool, ready_ns: f64) -> u64 {
+        musa_obs::counter_add("mem.requests", 1);
         let m = self.map(addr);
         let id = self.next_id;
         self.next_id += 1;
@@ -110,6 +112,7 @@ impl DramSystem {
     pub fn drain(&mut self) -> Vec<Completion> {
         let mut all: Vec<Completion> = self.channels.iter_mut().flat_map(|c| c.drain()).collect();
         all.sort_by_key(|c| c.id);
+        musa_obs::counter_add("mem.drained", all.len() as u64);
         all
     }
 

@@ -99,6 +99,7 @@ impl ReplayResult {
 /// events with matching kinds per slot (the `musa-apps` generators
 /// guarantee this). Panics otherwise.
 pub fn replay(trace: &AppTrace, net: &NetworkParams, timer: &mut dyn ComputeTimer) -> ReplayResult {
+    let _replay = musa_obs::span_app(musa_obs::phase::NET_REPLAY, &trace.meta.app);
     let ranks = trace.ranks.len();
     assert!(ranks > 0, "empty trace");
     let n_events = trace.ranks[0].events.len();
@@ -110,6 +111,9 @@ pub fn replay(trace: &AppTrace, net: &NetworkParams, timer: &mut dyn ComputeTime
             r.rank
         );
     }
+
+    musa_obs::counter_add("net.replays", 1);
+    musa_obs::counter_add("net.events_replayed", (ranks * n_events) as u64);
 
     let mut clock = vec![0.0_f64; ranks];
     let mut compute = vec![0.0_f64; ranks];

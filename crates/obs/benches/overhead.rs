@@ -1,0 +1,41 @@
+//! The zero-overhead contract: with metrics disabled every
+//! instrumentation entry point must be branch-and-return (one relaxed
+//! atomic load, no allocation, no lock). `scripts/check.sh` runs this
+//! in `--test` mode so the disabled path cannot silently regress to
+//! something that compiles but pays; run it fully
+//! (`cargo bench -p musa-obs`) to read the actual numbers — the
+//! `*_disabled` benches should sit at ~1 ns, orders of magnitude under
+//! their `*_enabled` twins.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use musa_obs::{counter_add, enable_metrics, hist_observe, span, span_app};
+
+fn disabled_path(c: &mut Criterion) {
+    enable_metrics(false);
+    c.bench_function("counter_add_disabled", |b| {
+        b.iter(|| counter_add("bench.counter", black_box(1)))
+    });
+    c.bench_function("hist_observe_disabled", |b| {
+        b.iter(|| hist_observe("bench.hist", black_box(42.0)))
+    });
+    c.bench_function("span_disabled", |b| {
+        b.iter(|| span(black_box("bench-span")))
+    });
+}
+
+fn enabled_path(c: &mut Criterion) {
+    enable_metrics(true);
+    c.bench_function("counter_add_enabled", |b| {
+        b.iter(|| counter_add("bench.counter", black_box(1)))
+    });
+    c.bench_function("hist_observe_enabled", |b| {
+        b.iter(|| hist_observe("bench.hist", black_box(42.0)))
+    });
+    c.bench_function("span_enabled", |b| {
+        b.iter(|| span_app(black_box("bench-span"), black_box("app")))
+    });
+    enable_metrics(false);
+}
+
+criterion_group!(benches, disabled_path, enabled_path);
+criterion_main!(benches);

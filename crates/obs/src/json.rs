@@ -1,0 +1,385 @@
+//! Minimal, dependency-free JSON: a deterministic object writer for the
+//! JSONL event sink and metrics dumps, and a small recursive-descent
+//! parser used to validate what we emitted (tests, `--metrics` schema
+//! checks).
+//!
+//! The writer emits keys in call order, floats via Rust's shortest
+//! round-trip formatting, and maps non-finite floats to `null` — output
+//! is byte-deterministic for identical inputs, so telemetry files diff
+//! cleanly across runs.
+
+use std::collections::BTreeMap;
+
+/// Escape a string into a JSON string literal (quotes included).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Format a float as a JSON number (`null` for NaN/±inf).
+pub fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // `{}` prints integral floats without a dot; keep them numbers
+        // either way — JSON doesn't care, but parse-back consistency
+        // does not require the dot.
+        s
+    } else {
+        "null".into()
+    }
+}
+
+/// Incremental JSON object writer with deterministic key order (the
+/// order of the `field_*` calls).
+#[derive(Debug)]
+pub struct JsonObj {
+    buf: String,
+    first: bool,
+}
+
+impl JsonObj {
+    /// Start an object.
+    pub fn new() -> JsonObj {
+        JsonObj {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        self.buf.push_str(&escape(k));
+        self.buf.push(':');
+    }
+
+    /// String field.
+    pub fn field_str(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        self.buf.push_str(&escape(v));
+        self
+    }
+
+    /// Unsigned integer field.
+    pub fn field_u64(mut self, k: &str, v: u64) -> Self {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Signed integer field.
+    pub fn field_i64(mut self, k: &str, v: i64) -> Self {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Float field (`null` when non-finite).
+    pub fn field_f64(mut self, k: &str, v: f64) -> Self {
+        self.key(k);
+        self.buf.push_str(&fmt_f64(v));
+        self
+    }
+
+    /// Boolean field.
+    pub fn field_bool(mut self, k: &str, v: bool) -> Self {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Pre-serialised JSON (nested object/array) field.
+    pub fn field_raw(mut self, k: &str, raw: &str) -> Self {
+        self.key(k);
+        self.buf.push_str(raw);
+        self
+    }
+
+    /// Close the object and return the JSON text.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+impl Default for JsonObj {
+    fn default() -> Self {
+        JsonObj::new()
+    }
+}
+
+/// A parsed JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (parsed as f64).
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<JsonValue>),
+    /// Object (key-sorted).
+    Obj(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// Parse a complete JSON document (trailing whitespace allowed).
+    pub fn parse(s: &str) -> Result<JsonValue, String> {
+        let b = s.as_bytes();
+        let mut pos = 0;
+        let v = parse_value(b, &mut pos)?;
+        skip_ws(b, &mut pos);
+        if pos != b.len() {
+            return Err(format!("trailing bytes at offset {pos}"));
+        }
+        Ok(v)
+    }
+
+    /// Object member lookup.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// As float, if a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// As unsigned integer, if a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// As string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// As array slice.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// As object map.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, JsonValue>> {
+        match self {
+            JsonValue::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected {lit:?} at offset {pos}", pos = *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'n') => expect(b, pos, "null").map(|_| JsonValue::Null),
+        Some(b't') => expect(b, pos, "true").map(|_| JsonValue::Bool(true)),
+        Some(b'f') => expect(b, pos, "false").map(|_| JsonValue::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(JsonValue::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut out = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(JsonValue::Arr(out));
+            }
+            loop {
+                out.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Arr(out));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at offset {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut out = BTreeMap::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(JsonValue::Obj(out));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, ":")?;
+                let val = parse_value(b, pos)?;
+                out.insert(key, val);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Obj(out));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at offset {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos).map(JsonValue::Num),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at offset {pos}", pos = *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")
+                            .and_then(|h| std::str::from_utf8(h).map_err(|_| "bad \\u escape"))
+                            .map_err(String::from)?;
+                        let cp = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape hex")?;
+                        // Surrogate pairs are not needed for our own
+                        // output (we never escape above U+001F).
+                        out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err("bad escape".into()),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar.
+                let rest = std::str::from_utf8(&b[*pos..]).map_err(|_| "invalid utf-8")?;
+                let c = rest.chars().next().ok_or("unterminated string")?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<f64, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| "bad number")?;
+    text.parse::<f64>()
+        .map_err(|_| format!("bad number {text:?} at offset {start}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_and_parser_roundtrip() {
+        let line = JsonObj::new()
+            .field_str("msg", "torn \"row\"\nskipped")
+            .field_u64("line", 42)
+            .field_f64("secs", 1.5)
+            .field_f64("nan", f64::NAN)
+            .field_bool("ok", true)
+            .field_raw("nested", "[1,2,3]")
+            .finish();
+        let v = JsonValue::parse(&line).unwrap();
+        assert_eq!(
+            v.get("msg").unwrap().as_str(),
+            Some("torn \"row\"\nskipped")
+        );
+        assert_eq!(v.get("line").unwrap().as_u64(), Some(42));
+        assert_eq!(v.get("secs").unwrap().as_f64(), Some(1.5));
+        assert_eq!(v.get("nan"), Some(&JsonValue::Null));
+        assert_eq!(v.get("ok"), Some(&JsonValue::Bool(true)));
+        assert_eq!(v.get("nested").unwrap().as_arr().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(JsonValue::parse("{").is_err());
+        assert!(JsonValue::parse("{}extra").is_err());
+        assert!(JsonValue::parse("\"unterminated").is_err());
+        assert!(JsonValue::parse("[1,]").is_err());
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let mk = || {
+            JsonObj::new()
+                .field_str("a", "x")
+                .field_u64("b", 1)
+                .finish()
+        };
+        assert_eq!(mk(), mk());
+        assert_eq!(mk(), "{\"a\":\"x\",\"b\":1}");
+    }
+}

@@ -1,0 +1,100 @@
+//! Log levels and the `MUSA_LOG` filter.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Event severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// The run is probably producing wrong or no results.
+    Error,
+    /// Something was skipped or degraded (torn row, stale schema).
+    Warn,
+    /// Coarse lifecycle: store opened, trace generated, fill finished.
+    Info,
+    /// Per-batch / per-app detail.
+    Debug,
+    /// Per-point firehose.
+    Trace,
+}
+
+impl Level {
+    /// Fixed-width lowercase label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    /// Parse a `MUSA_LOG` value. `off`/`none` yield `None`.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+
+    /// Numeric rank used by the atomic filter: 1 = error … 5 = trace.
+    fn rank(self) -> u8 {
+        self as u8 + 1
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// 0 = off, 1..=5 = max enabled rank, `UNINIT` = read `MUSA_LOG` first.
+static MAX_RANK: AtomicU8 = AtomicU8::new(UNINIT);
+const UNINIT: u8 = 0xff;
+/// Default when `MUSA_LOG` is unset or unparsable: warnings still print.
+const DEFAULT_RANK: u8 = 2;
+
+fn env_rank() -> u8 {
+    match std::env::var("MUSA_LOG") {
+        Ok(v) if v.trim().eq_ignore_ascii_case("off") || v.trim().eq_ignore_ascii_case("none") => 0,
+        Ok(v) => Level::parse(&v).map(|l| l.rank()).unwrap_or(DEFAULT_RANK),
+        Err(_) => DEFAULT_RANK,
+    }
+}
+
+fn current_rank() -> u8 {
+    let r = MAX_RANK.load(Ordering::Relaxed);
+    if r != UNINIT {
+        return r;
+    }
+    let r = env_rank();
+    // Racing first calls compute the same value; last store wins.
+    MAX_RANK.store(r, Ordering::Relaxed);
+    r
+}
+
+/// Force the lazy `MUSA_LOG` read to happen now (see
+/// [`crate::init_from_env`]).
+pub(crate) fn force_env_init() {
+    let _ = current_rank();
+}
+
+/// Would an event at `level` reach the stderr sink?
+#[inline]
+pub fn log_enabled(level: Level) -> bool {
+    crate::COMPILED && level.rank() <= current_rank()
+}
+
+/// Override the maximum stderr level (`None` silences everything).
+/// Takes precedence over `MUSA_LOG`.
+pub fn set_max_level(level: Option<Level>) {
+    if !crate::COMPILED {
+        return;
+    }
+    MAX_RANK.store(level.map(|l| l.rank()).unwrap_or(0), Ordering::Relaxed);
+}

@@ -1,0 +1,131 @@
+//! The fill heartbeat: points done/total, rows/s and ETA on stderr,
+//! rate-limited so tiny batches don't spam the terminal.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::level::Level;
+use crate::sink::{event, FieldValue};
+
+/// Human-readable duration (`850ms`, `12.3s`, `2m 05s`, `1h 04m`).
+pub(crate) fn fmt_secs(secs: f64) -> String {
+    if !secs.is_finite() || secs < 0.0 {
+        return "?".into();
+    }
+    if secs < 1.0 {
+        format!("{:.0}ms", secs * 1e3)
+    } else if secs < 100.0 {
+        format!("{secs:.1}s")
+    } else if secs < 3600.0 {
+        format!("{}m {:02}s", (secs / 60.0) as u64, (secs % 60.0) as u64)
+    } else {
+        format!(
+            "{}h {:02}m",
+            (secs / 3600.0) as u64,
+            ((secs % 3600.0) / 60.0) as u64
+        )
+    }
+}
+
+/// A progress heartbeat over a known total.
+///
+/// Printing goes straight to stderr — the heartbeat is explicit opt-in
+/// (`--progress`), not subject to `MUSA_LOG` — and a copy of each beat
+/// is offered to the JSONL sink as a debug event.
+pub struct Progress {
+    label: String,
+    total: u64,
+    start: Instant,
+    last_print: Mutex<Option<Instant>>,
+    min_interval: Duration,
+}
+
+impl Progress {
+    /// New heartbeat for `total` points under a display label
+    /// (e.g. `"fill"` or `"fill[shard 2/4]"`).
+    pub fn new(label: impl Into<String>, total: u64) -> Progress {
+        Progress {
+            label: label.into(),
+            total,
+            start: Instant::now(),
+            last_print: Mutex::new(None),
+            min_interval: Duration::from_millis(200),
+        }
+    }
+
+    /// Report completion of `done` points so far (absolute, not delta).
+    /// Prints at most once per rate-limit window.
+    pub fn tick(&self, done: u64) {
+        self.beat(done, false);
+    }
+
+    /// Final beat; always prints.
+    pub fn finish(&self, done: u64) {
+        self.beat(done, true);
+    }
+
+    fn beat(&self, done: u64, force: bool) {
+        if !crate::COMPILED {
+            return;
+        }
+        {
+            let mut last = self.last_print.lock().unwrap_or_else(|e| e.into_inner());
+            let now = Instant::now();
+            if !force {
+                if let Some(prev) = *last {
+                    if now.duration_since(prev) < self.min_interval {
+                        return;
+                    }
+                }
+            }
+            *last = Some(now);
+        }
+        let elapsed = self.start.elapsed().as_secs_f64();
+        let rate = done as f64 / elapsed.max(1e-9);
+        let eta = if done >= self.total {
+            0.0
+        } else {
+            (self.total - done) as f64 / rate.max(1e-9)
+        };
+        let pct = if self.total == 0 {
+            100.0
+        } else {
+            100.0 * done as f64 / self.total as f64
+        };
+        eprintln!(
+            "[musa progress] {}: {}/{} ({:.1}%) {:.2} rows/s elapsed {} eta {}",
+            self.label,
+            done,
+            self.total,
+            pct,
+            rate,
+            fmt_secs(elapsed),
+            fmt_secs(eta),
+        );
+        event(
+            Level::Debug,
+            "progress",
+            &self.label,
+            &[
+                ("done", FieldValue::U64(done)),
+                ("total", FieldValue::U64(self.total)),
+                ("rows_per_s", FieldValue::F64(rate)),
+                ("eta_s", FieldValue::F64(eta)),
+            ],
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durations_format_humanely() {
+        assert_eq!(fmt_secs(0.25), "250ms");
+        assert_eq!(fmt_secs(12.34), "12.3s");
+        assert_eq!(fmt_secs(125.0), "2m 05s");
+        assert_eq!(fmt_secs(3840.0), "1h 04m");
+        assert_eq!(fmt_secs(f64::NAN), "?");
+    }
+}

@@ -1,0 +1,208 @@
+//! Structured events: a levelled human line on stderr plus an opt-in
+//! JSONL file sink.
+//!
+//! The stderr line respects `MUSA_LOG` (default `warn`, so diagnostics
+//! that used to be raw `eprintln!`s still show). The JSONL sink is
+//! explicit opt-in (`--log-json PATH` / `MUSA_LOG_JSON`) and records
+//! **every** event regardless of level — when you ask for a machine
+//! log you want all of it. One line per event:
+//!
+//! ```json
+//! {"ts_ms":1722860000000,"level":"warn","target":"musa-store",
+//!  "span":"","msg":"unparsable row skipped","fields":{"file":"...","line":7}}
+//! ```
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::json::JsonObj;
+use crate::level::{log_enabled, Level};
+use crate::span::current_path;
+
+/// A typed event field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// String.
+    Str(String),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Float.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+impl std::fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FieldValue::Str(s) => write!(f, "{s:?}"),
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v}"),
+            FieldValue::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+fn sink() -> &'static Mutex<Option<BufWriter<File>>> {
+    static S: OnceLock<Mutex<Option<BufWriter<File>>>> = OnceLock::new();
+    S.get_or_init(|| Mutex::new(None))
+}
+
+fn lock_sink() -> MutexGuard<'static, Option<BufWriter<File>>> {
+    sink().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Route a copy of every event to a JSONL file (truncating any existing
+/// file — one file per run).
+pub fn set_json_path(path: impl AsRef<Path>) -> std::io::Result<()> {
+    if !crate::COMPILED {
+        return Ok(());
+    }
+    let file = OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(true)
+        .open(path)?;
+    *lock_sink() = Some(BufWriter::new(file));
+    Ok(())
+}
+
+/// Flush and detach the JSONL sink (no-op when none is set).
+pub fn close_json() {
+    if !crate::COMPILED {
+        return;
+    }
+    if let Some(mut w) = lock_sink().take() {
+        let _ = w.flush();
+    }
+}
+
+fn json_sink_active() -> bool {
+    crate::COMPILED && lock_sink().is_some()
+}
+
+fn now_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// Emit a structured event.
+///
+/// Cheap when nothing listens: one level check plus one sink check,
+/// then return.
+pub fn event(level: Level, target: &str, msg: &str, fields: &[(&str, FieldValue)]) {
+    if !crate::COMPILED {
+        return;
+    }
+    let to_stderr = log_enabled(level);
+    let to_json = json_sink_active();
+    if !to_stderr && !to_json {
+        return;
+    }
+
+    if to_stderr {
+        let mut line = format!("[musa {:5} {}] {}", level.label(), target, msg);
+        for (k, v) in fields {
+            line.push_str(&format!(" {k}={v}"));
+        }
+        eprintln!("{line}");
+    }
+
+    if to_json {
+        let mut fobj = JsonObj::new();
+        for (k, v) in fields {
+            fobj = match v {
+                FieldValue::Str(s) => fobj.field_str(k, s),
+                FieldValue::I64(n) => fobj.field_i64(k, *n),
+                FieldValue::U64(n) => fobj.field_u64(k, *n),
+                FieldValue::F64(n) => fobj.field_f64(k, *n),
+                FieldValue::Bool(b) => fobj.field_bool(k, *b),
+            };
+        }
+        let line = JsonObj::new()
+            .field_u64("ts_ms", now_ms())
+            .field_str("level", level.label())
+            .field_str("target", target)
+            .field_str("span", &current_path())
+            .field_str("msg", msg)
+            .field_raw("fields", &fobj.finish())
+            .finish();
+        let mut sink = lock_sink();
+        if let Some(w) = sink.as_mut() {
+            let _ = w.write_all(line.as_bytes());
+            let _ = w.write_all(b"\n");
+            // Events are rare (level-gated); flush each so a crashed
+            // run keeps its last diagnostics.
+            let _ = w.flush();
+        }
+    }
+}
+
+/// [`event`] at [`Level::Error`].
+pub fn error(target: &str, msg: &str, fields: &[(&str, FieldValue)]) {
+    event(Level::Error, target, msg, fields);
+}
+
+/// [`event`] at [`Level::Warn`].
+pub fn warn(target: &str, msg: &str, fields: &[(&str, FieldValue)]) {
+    event(Level::Warn, target, msg, fields);
+}
+
+/// [`event`] at [`Level::Info`].
+pub fn info(target: &str, msg: &str, fields: &[(&str, FieldValue)]) {
+    event(Level::Info, target, msg, fields);
+}
+
+/// [`event`] at [`Level::Debug`].
+pub fn debug(target: &str, msg: &str, fields: &[(&str, FieldValue)]) {
+    event(Level::Debug, target, msg, fields);
+}

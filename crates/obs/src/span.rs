@@ -1,0 +1,105 @@
+//! Hierarchical wall-clock spans over the pipeline phases.
+//!
+//! A [`SpanGuard`] measures the wall time between its creation and its
+//! drop and folds it into the per-(phase, app) aggregate the
+//! end-of-run "where did the time go" table is built from
+//! ([`crate::report::phase_table`]). Spans nest: each thread keeps a
+//! stack of active phase names, and [`current_path`] names the current
+//! position (`"detailed-sim/dram"`); events record it so a warning can
+//! be placed inside the pipeline without grepping.
+//!
+//! Spans are active only while [`crate::metrics_enabled`] — the
+//! disabled constructor takes no timestamp and returns an inert guard.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use crate::metrics::{metrics_enabled, record_phase};
+
+/// Canonical phase names of the multiscale pipeline, in flow order.
+pub mod phase {
+    /// Synthetic two-level trace generation (`musa-apps`).
+    pub const TRACE_GEN: &str = "trace-gen";
+    /// Detailed µarch simulation of the sampled region (`musa-tasksim`),
+    /// including the burst-rescale reference run.
+    pub const DETAILED_SIM: &str = "detailed-sim";
+    /// DRAM command-stream estimation (`musa-mem` accounting).
+    pub const DRAM: &str = "dram";
+    /// Node power / energy modelling (`musa-power`).
+    pub const POWER: &str = "power";
+    /// Full-application MPI replay (`musa-net`).
+    pub const NET_REPLAY: &str = "net-replay";
+    /// Campaign-store serialisation + flush (`musa-store`).
+    pub const STORE_FLUSH: &str = "store-flush";
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The `/`-joined stack of active span phases on this thread
+/// (`""` when no span is active or instrumentation is off).
+pub fn current_path() -> String {
+    STACK.try_with(|s| s.borrow().join("/")).unwrap_or_default()
+}
+
+/// An active span; records its wall time on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    inner: Option<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    phase: &'static str,
+    app: String,
+    start: Instant,
+    /// Stack depth *after* pushing this span; drop pops back to
+    /// `depth - 1` so leaked inner guards cannot corrupt the stack.
+    depth: usize,
+}
+
+/// Open a span for `phase` with no application label.
+#[inline]
+pub fn span(phase: &'static str) -> SpanGuard {
+    span_app(phase, "")
+}
+
+/// Open a span for `phase` attributed to `app`.
+#[inline]
+pub fn span_app(phase: &'static str, app: &str) -> SpanGuard {
+    if !metrics_enabled() {
+        return SpanGuard { inner: None };
+    }
+    let depth = STACK
+        .try_with(|s| {
+            let mut s = s.borrow_mut();
+            s.push(phase);
+            s.len()
+        })
+        .unwrap_or(0);
+    SpanGuard {
+        inner: Some(Inner {
+            phase,
+            app: app.to_string(),
+            start: Instant::now(),
+            depth,
+        }),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        let wall_ns = inner.start.elapsed().as_nanos() as f64;
+        if inner.depth > 0 {
+            let _ = STACK.try_with(|s| {
+                let mut s = s.borrow_mut();
+                s.truncate(inner.depth.saturating_sub(1));
+            });
+        }
+        record_phase(inner.phase, &inner.app, wall_ns);
+    }
+}

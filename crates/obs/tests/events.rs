@@ -1,0 +1,81 @@
+//! The JSONL event sink: level filtering, field typing, escaping, and
+//! span attribution. Own process (integration test binary), so the
+//! global sink/level state cannot leak into other tests.
+
+#![cfg(feature = "runtime")]
+
+use musa_obs::json::JsonValue;
+use musa_obs::{
+    close_json, enable_metrics, event, log_enabled, set_json_path, set_max_level, span_app,
+    FieldValue, Level,
+};
+
+#[test]
+fn jsonl_sink_records_every_event_with_fields_and_span() {
+    let path = std::env::temp_dir().join(format!("musa-obs-events-{}.jsonl", std::process::id()));
+    set_max_level(Some(Level::Warn));
+    set_json_path(&path).unwrap();
+    enable_metrics(true);
+
+    // Below the stderr level, but the JSONL sink records it anyway.
+    event(
+        Level::Debug,
+        "musa-store",
+        "torn \"row\"\nskipped",
+        &[
+            ("file", FieldValue::from("rows.jsonl")),
+            ("line", FieldValue::from(7u64)),
+            ("recovered", FieldValue::from(true)),
+            ("ratio", FieldValue::from(0.5)),
+        ],
+    );
+    {
+        let _s = span_app("ev-phase", "hydro");
+        event(Level::Warn, "musa-core", "inside a span", &[]);
+    }
+    close_json();
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2, "both events recorded: {text}");
+
+    let first = JsonValue::parse(lines[0]).unwrap();
+    assert_eq!(first.get("level").unwrap().as_str(), Some("debug"));
+    assert_eq!(first.get("target").unwrap().as_str(), Some("musa-store"));
+    assert_eq!(
+        first.get("msg").unwrap().as_str(),
+        Some("torn \"row\"\nskipped")
+    );
+    let fields = first.get("fields").unwrap();
+    assert_eq!(fields.get("file").unwrap().as_str(), Some("rows.jsonl"));
+    assert_eq!(fields.get("line").unwrap().as_u64(), Some(7));
+    assert_eq!(fields.get("recovered"), Some(&JsonValue::Bool(true)));
+    assert_eq!(fields.get("ratio").unwrap().as_f64(), Some(0.5));
+    assert!(first.get("ts_ms").unwrap().as_u64().unwrap() > 0);
+
+    let second = JsonValue::parse(lines[1]).unwrap();
+    assert_eq!(second.get("span").unwrap().as_str(), Some("ev-phase"));
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn stderr_level_filter_is_a_cheap_gate() {
+    set_max_level(Some(Level::Warn));
+    assert!(log_enabled(Level::Error));
+    assert!(log_enabled(Level::Warn));
+    assert!(!log_enabled(Level::Info));
+    assert!(!log_enabled(Level::Debug));
+    set_max_level(None);
+    assert!(!log_enabled(Level::Error));
+    set_max_level(Some(Level::Warn));
+}
+
+#[test]
+fn level_parsing() {
+    assert_eq!(Level::parse("warn"), Some(Level::Warn));
+    assert_eq!(Level::parse("WARNING"), Some(Level::Warn));
+    assert_eq!(Level::parse("Debug"), Some(Level::Debug));
+    assert_eq!(Level::parse("nonsense"), None);
+    assert!(Level::Error < Level::Trace);
+}

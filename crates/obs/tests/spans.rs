@@ -1,0 +1,97 @@
+//! Span nesting, ordering and phase accounting.
+//!
+//! The span stack is thread-local and each `#[test]` runs on its own
+//! thread, so path assertions cannot interfere across tests; phase and
+//! counter names are unique per test because the registry is global.
+
+#![cfg(feature = "runtime")]
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use musa_obs::{current_path, enable_metrics, snapshot, span, span_app};
+
+/// Tests in one binary share the process-global registry and the
+/// enable flag; serialise them so toggling cannot interleave.
+fn serial() -> MutexGuard<'static, ()> {
+    static L: OnceLock<Mutex<()>> = OnceLock::new();
+    L.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn nesting_builds_and_unwinds_the_path() {
+    let _g = serial();
+    enable_metrics(true);
+    assert_eq!(current_path(), "");
+    {
+        let _outer = span("sp-outer");
+        assert_eq!(current_path(), "sp-outer");
+        {
+            let _mid = span("sp-mid");
+            let _inner = span("sp-inner");
+            assert_eq!(current_path(), "sp-outer/sp-mid/sp-inner");
+        }
+        // Guards drop LIFO: back to the outer span only.
+        assert_eq!(current_path(), "sp-outer");
+    }
+    assert_eq!(current_path(), "");
+}
+
+#[test]
+fn disabled_spans_are_inert() {
+    let _g = serial();
+    // Spans opened while metrics are off never touch the stack, even
+    // if metrics get flipped on before the guard drops.
+    enable_metrics(false);
+    let g = span("sp-off");
+    assert_eq!(current_path(), "");
+    enable_metrics(true);
+    drop(g);
+    assert!(snapshot().phase("sp-off", "").is_none());
+}
+
+#[test]
+fn drops_record_wall_time_per_phase_and_app() {
+    let _g = serial();
+    enable_metrics(true);
+    for _ in 0..3 {
+        let _s = span_app("sp-timed", "hydro");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    {
+        let _s = span_app("sp-timed", "spmz");
+    }
+    let snap = snapshot();
+    let hydro = snap.phase("sp-timed", "hydro").expect("hydro row");
+    assert_eq!(hydro.count, 3);
+    assert!(
+        hydro.wall_ns >= 3.0 * 2e6,
+        "three 2ms sleeps recorded {} ns",
+        hydro.wall_ns
+    );
+    let spmz = snap.phase("sp-timed", "spmz").expect("spmz row");
+    assert_eq!(spmz.count, 1);
+    assert!(spmz.wall_ns < hydro.wall_ns);
+}
+
+#[test]
+fn nested_child_wall_time_is_within_parent() {
+    let _g = serial();
+    enable_metrics(true);
+    {
+        let _p = span("sp-parent");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let _c = span("sp-child");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    let snap = snapshot();
+    let parent = snap.phase("sp-parent", "").unwrap();
+    let child = snap.phase("sp-child", "").unwrap();
+    assert!(parent.wall_ns >= child.wall_ns);
+    // Phases are sorted by (phase, app) in the snapshot.
+    let names: Vec<&str> = snap.phases.iter().map(|p| p.phase.as_str()).collect();
+    let mut sorted = names.clone();
+    sorted.sort();
+    assert_eq!(names, sorted);
+}

@@ -13,8 +13,8 @@ use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
-use std::time::Instant;
 
+use musa_obs::Progress;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -189,16 +189,22 @@ impl CampaignStore {
                 Ok(row) if row.is_consistent() => {
                     self.insert_mem(row);
                 }
-                Ok(_) => eprintln!(
-                    "[musa-store] {}:{}: stale schema or corrupt key, row skipped",
-                    path.display(),
-                    lineno + 1
+                Ok(_) => musa_obs::warn(
+                    "musa-store",
+                    "stale schema or corrupt key, row skipped",
+                    &[
+                        ("file", path.display().to_string().into()),
+                        ("line", (lineno + 1).into()),
+                    ],
                 ),
-                Err(e) => eprintln!(
-                    "[musa-store] {}:{}: unparsable row ({e}), skipped \
-                     (torn write from an interrupted run?)",
-                    path.display(),
-                    lineno + 1
+                Err(e) => musa_obs::warn(
+                    "musa-store",
+                    "unparsable row skipped (torn write from an interrupted run?)",
+                    &[
+                        ("file", path.display().to_string().into()),
+                        ("line", (lineno + 1).into()),
+                        ("error", e.to_string().into()),
+                    ],
                 ),
             }
         }
@@ -304,6 +310,7 @@ impl CampaignStore {
         &mut self,
         rows: impl IntoIterator<Item = StoreRow>,
     ) -> std::io::Result<usize> {
+        let _flush = musa_obs::span(musa_obs::phase::STORE_FLUSH);
         let mut added = 0;
         for row in rows {
             if self.append(row)? {
@@ -311,6 +318,9 @@ impl CampaignStore {
             }
         }
         self.flush()?;
+        musa_obs::counter_add("store.rows_appended", added as u64);
+        musa_obs::counter_add("store.flushes", 1);
+        musa_obs::hist_observe("store.batch_rows", added as f64);
         Ok(added)
     }
 
@@ -356,20 +366,33 @@ impl CampaignStore {
             }
         }
 
+        musa_obs::counter_add("store.cached_points", report.cached as u64);
+
         let total: usize = work.iter().map(|(_, m)| m.len()).sum();
         if total == 0 {
             return Ok(report);
         }
-        let start = Instant::now();
+        let heartbeat = opts.progress.then(|| {
+            let label = match opts.shard {
+                Some(s) => format!("fill[shard {s}]"),
+                None => "fill".to_string(),
+            };
+            Progress::new(label, total as u64)
+        });
         let mut done = 0usize;
         for (app, missing) in work {
-            if opts.progress {
-                eprintln!(
-                    "[musa-store] {app}: generating trace, {} missing point(s)",
-                    missing.len()
-                );
-            }
-            let trace = generate(app, &opts.sweep.gen);
+            musa_obs::info(
+                "musa-store",
+                "generating trace for missing points",
+                &[
+                    ("app", app.label().into()),
+                    ("missing", missing.len().into()),
+                ],
+            );
+            let trace = {
+                let _gen = musa_obs::span_app(musa_obs::phase::TRACE_GEN, app.label());
+                generate(app, &opts.sweep.gen)
+            };
             let sim = MultiscaleSim::new(&trace);
             for chunk in missing.chunks(opts.batch.max(1)) {
                 let rows: Vec<StoreRow> = chunk
@@ -381,17 +404,14 @@ impl CampaignStore {
                     .collect();
                 done += rows.len();
                 report.simulated += self.append_batch(rows)?;
-                if opts.progress {
-                    let elapsed = start.elapsed().as_secs_f64();
-                    let rate = done as f64 / elapsed.max(1e-9);
-                    let eta = (total - done) as f64 / rate.max(1e-9);
-                    eprintln!(
-                        "[musa-store] {app}: {done}/{total} points ({:.1}%) \
-                         elapsed {elapsed:.1}s eta {eta:.1}s",
-                        100.0 * done as f64 / total as f64,
-                    );
+                musa_obs::counter_add("store.simulated_points", chunk.len() as u64);
+                if let Some(hb) = &heartbeat {
+                    hb.tick(done as u64);
                 }
             }
+        }
+        if let Some(hb) = &heartbeat {
+            hb.finish(done as u64);
         }
         Ok(report)
     }

@@ -170,6 +170,7 @@ pub fn schedule_region(
         });
     }
 
+    musa_obs::counter_add("tasksim.items_scheduled", n as u64);
     Schedule {
         makespan_ns: makespan,
         timeline,

@@ -221,12 +221,15 @@ impl<'a> NodeSim<'a> {
         }
         let (schedule, demanded, stretch) = (schedule, demanded, stretch);
 
-        let dram = estimate_dram_stats(
-            &total_stats,
-            schedule.makespan_ns,
-            &DramTiming::for_tech(self.config.mem.tech),
-            self.config.mem.channels,
-        );
+        let dram = {
+            let _dram = musa_obs::span_app(musa_obs::phase::DRAM, &self.detail.app);
+            estimate_dram_stats(
+                &total_stats,
+                schedule.makespan_ns,
+                &DramTiming::for_tech(self.config.mem.tech),
+                self.config.mem.channels,
+            )
+        };
 
         DetailedRegionResult {
             schedule,

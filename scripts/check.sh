@@ -14,4 +14,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test -q
 
+echo "== build with observability disabled =="
+# The whole instrumentation layer must compile out cleanly.
+cargo build --workspace --no-default-features
+
+echo "== zero-overhead bench (smoke) =="
+# Criterion in --test mode: one pass over the disabled/enabled metric
+# paths, checking they run, not their timings.
+cargo bench -p musa-obs --bench overhead -- --test
+
 echo "All checks passed."

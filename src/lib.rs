@@ -18,6 +18,7 @@
 //! | [`net`] | MPI replay network simulation (Dimemas substitute) |
 //! | [`core`] | multiscale orchestration, DSE, analysis, PCA |
 //! | [`store`] | persistent, resumable, sharded campaign result store |
+//! | [`obs`] | structured instrumentation: spans, metrics, events, progress |
 //!
 //! See `examples/quickstart.rs` for the five-minute tour and
 //! `crates/bench/src/bin/` for the per-figure experiment harnesses.
@@ -27,6 +28,7 @@ pub use musa_arch as arch;
 pub use musa_core as core;
 pub use musa_mem as mem;
 pub use musa_net as net;
+pub use musa_obs as obs;
 pub use musa_power as power;
 pub use musa_store as store;
 pub use musa_tasksim as tasksim;
