@@ -11,6 +11,7 @@
 //! cargo run --release -p musa-bench --bin dse -- --store-dir /tmp/campaign --resume
 //! cargo run --release -p musa-bench --bin dse -- --full       # 256-rank paper scale
 //! cargo run --release -p musa-bench --bin dse -- --progress --metrics m.json
+//! cargo run --release -p musa-bench --bin dse -- serve --store-dir /tmp/campaign --port 8080
 //! ```
 //!
 //! The store directory holds one JSON-lines file per (shard) writer;
@@ -30,7 +31,7 @@ use std::path::PathBuf;
 
 use musa_apps::AppId;
 use musa_arch::DesignSpace;
-use musa_bench::cli::{parse_dse_args, DseArgs, Parsed, USAGE};
+use musa_bench::cli::{parse_dse_args, DseArgs, Parsed, ServeArgs, SERVE_USAGE, USAGE};
 use musa_bench::{gen_params, store_dir};
 use musa_core::report::table;
 use musa_core::SweepOptions;
@@ -46,6 +47,14 @@ fn main() {
             use std::io::Write;
             let _ = writeln!(std::io::stdout(), "{USAGE}");
             std::process::exit(0);
+        }
+        Ok(Parsed::ServeHelp) => {
+            use std::io::Write;
+            let _ = writeln!(std::io::stdout(), "{SERVE_USAGE}");
+            std::process::exit(0);
+        }
+        Ok(Parsed::Serve(args)) => {
+            serve_main(args);
         }
         Ok(Parsed::Run(args)) => args,
         Err(e) => {
@@ -131,6 +140,88 @@ fn main() {
 
     summarise(&campaign, &configs, &dir);
     finish_observability(&args);
+}
+
+/// `dse serve`: load the campaign once, serve queries until killed (or
+/// until an authorised `GET /quit` triggers a graceful drain).
+fn serve_main(args: ServeArgs) -> ! {
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    if let Some(level) = args.log {
+        musa_obs::set_max_level(level);
+    }
+    if let Some(path) = &args.log_json {
+        if let Err(e) = musa_obs::set_json_path(path) {
+            eprintln!("dse serve: cannot open --log-json {}: {e}", path.display());
+            std::process::exit(2);
+        }
+    }
+    // The /metrics endpoint is only useful with the registry on.
+    musa_obs::enable_metrics(true);
+
+    let engine = if args.synthetic {
+        musa_serve::QueryEngine::new(musa_serve::synth::synthetic_results(864))
+    } else {
+        let dir: PathBuf = args.store_dir.clone().unwrap_or_else(store_dir);
+        match musa_serve::QueryEngine::open(&dir) {
+            Ok(engine) => engine,
+            Err(e) => {
+                eprintln!(
+                    "dse serve: cannot load campaign store {}: {e}\n\
+                     (run `dse` first to fill it, or pass --synthetic for a demo campaign)",
+                    dir.display()
+                );
+                std::process::exit(1);
+            }
+        }
+    };
+
+    let config = musa_serve::ServerConfig {
+        addr: format!("{}:{}", args.addr, args.port),
+        workers: args.workers,
+        backlog: args.backlog,
+        read_timeout: Duration::from_millis(args.read_timeout_ms),
+        write_timeout: Duration::from_millis(args.write_timeout_ms),
+        max_request_bytes: args.max_request_bytes,
+        allow_quit: args.allow_quit,
+    };
+    let rows = engine.len();
+    let handle = match musa_serve::Server::start(Arc::new(engine), config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("dse serve: cannot bind {}:{}: {e}", args.addr, args.port);
+            std::process::exit(1);
+        }
+    };
+    // The smoke script greps this line for the resolved port; keep the
+    // format stable and flushed before blocking.
+    {
+        use std::io::Write;
+        let mut out = std::io::stdout();
+        let _ = writeln!(
+            out,
+            "[serve] listening on http://{} ({rows} rows, {} workers, backlog {})",
+            handle.addr(),
+            args.workers,
+            args.backlog
+        );
+        let _ = out.flush();
+    }
+
+    // Serve until /quit (when enabled). Without --allow-quit this loop
+    // runs until the process is killed, which is the intended
+    // production mode.
+    loop {
+        if handle.wait_quit(Duration::from_secs(3600)) {
+            break;
+        }
+    }
+    eprintln!("[serve] quit requested, draining");
+    handle.shutdown();
+    eprintln!("[serve] drained, exiting");
+    musa_obs::close_json();
+    std::process::exit(0);
 }
 
 /// Print the Best-DSE summary (or the partial-campaign notice).

@@ -13,6 +13,8 @@ use musa_store::Shard;
 /// `dse` usage text (printed on `--help` and after a parse error).
 pub const USAGE: &str = "\
 usage: dse [options]
+       dse serve [serve-options]   query service over a campaign store
+                                   (see dse serve --help)
   --resume           keep existing store rows, simulate only missing points
   --shard i/n        simulate only shard i of an n-way split (0-based)
   --store-dir DIR    campaign store directory (default target/musa-store-<scale>)
@@ -50,13 +52,83 @@ pub struct DseArgs {
     pub log_json: Option<PathBuf>,
 }
 
+/// `dse serve` usage text.
+pub const SERVE_USAGE: &str = "\
+usage: dse serve [options]
+  --store-dir DIR        campaign store to serve (default target/musa-store-<scale>)
+  --synthetic            serve a deterministic synthetic 864-point campaign
+                         instead of a store (demos, smoke tests)
+  --addr HOST            bind address (default 127.0.0.1)
+  --port N               TCP port; 0 picks an ephemeral port (default 8080)
+  --workers N            request worker threads (default 4)
+  --backlog N            queued-connection depth before 503 shedding (default 64)
+  --read-timeout-ms N    per-connection read timeout (default 5000)
+  --write-timeout-ms N   per-connection write timeout (default 5000)
+  --max-request-bytes N  request-head size cap (default 16384)
+  --allow-quit           honour GET /quit (graceful drain; for supervised runs)
+  --log LEVEL            stderr event level: error|warn|info|debug|trace|off
+  --log-json PATH        record every structured event to a JSONL file
+  -h, --help             this help";
+
+/// Parsed `dse serve` arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// Campaign store directory override.
+    pub store_dir: Option<PathBuf>,
+    /// Serve a synthetic campaign instead of a store.
+    pub synthetic: bool,
+    /// Bind address.
+    pub addr: String,
+    /// TCP port (0 = ephemeral).
+    pub port: u16,
+    /// Worker threads.
+    pub workers: usize,
+    /// Connection queue depth.
+    pub backlog: usize,
+    /// Read timeout, milliseconds.
+    pub read_timeout_ms: u64,
+    /// Write timeout, milliseconds.
+    pub write_timeout_ms: u64,
+    /// Request-head size cap.
+    pub max_request_bytes: usize,
+    /// Honour `GET /quit`.
+    pub allow_quit: bool,
+    /// Stderr event level override; `Some(None)` is `--log off`.
+    pub log: Option<Option<Level>>,
+    /// JSONL event sink path.
+    pub log_json: Option<PathBuf>,
+}
+
+impl Default for ServeArgs {
+    fn default() -> ServeArgs {
+        ServeArgs {
+            store_dir: None,
+            synthetic: false,
+            addr: "127.0.0.1".into(),
+            port: 8080,
+            workers: 4,
+            backlog: 64,
+            read_timeout_ms: 5000,
+            write_timeout_ms: 5000,
+            max_request_bytes: 16 * 1024,
+            allow_quit: false,
+            log: None,
+            log_json: None,
+        }
+    }
+}
+
 /// What a successful parse asks the binary to do.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Parsed {
     /// Run the sweep with these arguments.
     Run(DseArgs),
+    /// Run the query service with these arguments.
+    Serve(ServeArgs),
     /// Print usage and exit 0.
     Help,
+    /// Print serve usage and exit 0.
+    ServeHelp,
 }
 
 fn required<'a, I: Iterator<Item = &'a str>>(
@@ -85,6 +157,9 @@ fn optional<'a, I: Iterator<Item = &'a str>>(
 /// required value — is an error; the binary reports it with [`USAGE`]
 /// and exits 2.
 pub fn parse_dse_args<S: AsRef<str>>(args: &[S]) -> Result<Parsed, String> {
+    if args.first().map(AsRef::as_ref) == Some("serve") {
+        return parse_serve_args(&args[1..]);
+    }
     let mut out = DseArgs::default();
     let mut it = args.iter().map(AsRef::as_ref).peekable();
     while let Some(arg) = it.next() {
@@ -122,6 +197,76 @@ pub fn parse_dse_args<S: AsRef<str>>(args: &[S]) -> Result<Parsed, String> {
     Ok(Parsed::Run(out))
 }
 
+fn parse_number<T: std::str::FromStr>(flag: &str, raw: &str) -> Result<T, String> {
+    raw.parse()
+        .map_err(|_| format!("bad {flag} value {raw:?} (expected a number)"))
+}
+
+/// Parse `dse serve` arguments (after the `serve` token). Same
+/// strictness as the sweep: unknown flags and malformed values are
+/// errors, not warnings.
+pub fn parse_serve_args<S: AsRef<str>>(args: &[S]) -> Result<Parsed, String> {
+    let mut out = ServeArgs::default();
+    let mut it = args.iter().map(AsRef::as_ref).peekable();
+    while let Some(arg) = it.next() {
+        match arg {
+            "-h" | "--help" => return Ok(Parsed::ServeHelp),
+            "--synthetic" => out.synthetic = true,
+            "--allow-quit" => out.allow_quit = true,
+            "--store-dir" => out.store_dir = Some(required(&mut it, "--store-dir")?.into()),
+            "--addr" => out.addr = required(&mut it, "--addr")?.to_string(),
+            "--port" => out.port = parse_number("--port", required(&mut it, "--port")?)?,
+            "--workers" => {
+                out.workers = parse_number("--workers", required(&mut it, "--workers")?)?;
+                if out.workers == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+            }
+            "--backlog" => {
+                out.backlog = parse_number("--backlog", required(&mut it, "--backlog")?)?;
+                if out.backlog == 0 {
+                    return Err("--backlog must be at least 1".into());
+                }
+            }
+            "--read-timeout-ms" => {
+                out.read_timeout_ms =
+                    parse_number("--read-timeout-ms", required(&mut it, "--read-timeout-ms")?)?;
+            }
+            "--write-timeout-ms" => {
+                out.write_timeout_ms = parse_number(
+                    "--write-timeout-ms",
+                    required(&mut it, "--write-timeout-ms")?,
+                )?;
+            }
+            "--max-request-bytes" => {
+                out.max_request_bytes = parse_number(
+                    "--max-request-bytes",
+                    required(&mut it, "--max-request-bytes")?,
+                )?;
+            }
+            "--log-json" => out.log_json = Some(required(&mut it, "--log-json")?.into()),
+            "--log" => {
+                let spec = required(&mut it, "--log")?;
+                let norm = spec.trim().to_ascii_lowercase();
+                out.log = Some(if norm == "off" || norm == "none" {
+                    None
+                } else {
+                    Some(
+                        Level::parse(spec)
+                            .ok_or_else(|| format!("bad --log level {spec:?} (see usage)"))?,
+                    )
+                });
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag {other:?}")),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    if out.synthetic && out.store_dir.is_some() {
+        return Err("--synthetic and --store-dir are mutually exclusive".into());
+    }
+    Ok(Parsed::Serve(out))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,7 +274,14 @@ mod tests {
     fn run(args: &[&str]) -> DseArgs {
         match parse_dse_args(args).unwrap() {
             Parsed::Run(a) => a,
-            Parsed::Help => panic!("unexpected help"),
+            other => panic!("unexpected parse: {other:?}"),
+        }
+    }
+
+    fn serve(args: &[&str]) -> ServeArgs {
+        match parse_dse_args(args).unwrap() {
+            Parsed::Serve(a) => a,
+            other => panic!("unexpected parse: {other:?}"),
         }
     }
 
@@ -207,5 +359,58 @@ mod tests {
             a.log_json.as_deref(),
             Some(std::path::Path::new("events.jsonl"))
         );
+    }
+
+    #[test]
+    fn serve_subcommand_defaults_and_full_set() {
+        assert_eq!(serve(&["serve"]), ServeArgs::default());
+        let a = serve(&[
+            "serve",
+            "--store-dir",
+            "/tmp/campaign",
+            "--addr",
+            "0.0.0.0",
+            "--port",
+            "0",
+            "--workers",
+            "2",
+            "--backlog",
+            "8",
+            "--read-timeout-ms",
+            "250",
+            "--write-timeout-ms",
+            "300",
+            "--max-request-bytes",
+            "4096",
+            "--allow-quit",
+            "--log",
+            "info",
+        ]);
+        assert_eq!(
+            a.store_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/campaign"))
+        );
+        assert_eq!((a.addr.as_str(), a.port), ("0.0.0.0", 0));
+        assert_eq!((a.workers, a.backlog), (2, 8));
+        assert_eq!((a.read_timeout_ms, a.write_timeout_ms), (250, 300));
+        assert_eq!(a.max_request_bytes, 4096);
+        assert!(a.allow_quit && !a.synthetic);
+        assert_eq!(a.log, Some(Some(Level::Info)));
+        assert!(serve(&["serve", "--synthetic"]).synthetic);
+    }
+
+    #[test]
+    fn serve_subcommand_is_strict() {
+        assert!(parse_dse_args(&["serve", "--nope"]).is_err());
+        assert!(parse_dse_args(&["serve", "--port"]).is_err());
+        assert!(parse_dse_args(&["serve", "--port", "eighty"]).is_err());
+        assert!(parse_dse_args(&["serve", "--port", "99999"]).is_err());
+        assert!(parse_dse_args(&["serve", "--workers", "0"]).is_err());
+        assert!(parse_dse_args(&["serve", "--backlog", "0"]).is_err());
+        assert!(parse_dse_args(&["serve", "--synthetic", "--store-dir", "/x"]).is_err());
+        assert!(parse_dse_args(&["serve", "stray"]).is_err());
+        assert_eq!(parse_dse_args(&["serve", "--help"]), Ok(Parsed::ServeHelp));
+        // `serve` is only a subcommand in first position.
+        assert!(parse_dse_args(&["--resume", "serve"]).is_err());
     }
 }

@@ -24,7 +24,9 @@ pub mod scaling;
 pub mod sim;
 
 pub use analysis::{feature_impact, panel_rows, Bar, FeatureImpact, Metric};
-pub use dse::{run_design_space, sweep_app, Campaign, SweepOptions};
+pub use dse::{
+    pareto_front_indices, run_design_space, sweep_app, Campaign, MetricAgg, RowMetric, SweepOptions,
+};
 pub use pca::{pca, pca_of_results, Pca, PCA_VARS};
 pub use scaling::{full_app_scaling, mean_efficiency, region_scaling, ScalingCurve, SCALING_CORES};
 pub use sim::{ConfigResult, MultiscaleSim};

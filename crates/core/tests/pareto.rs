@@ -1,0 +1,121 @@
+//! The Pareto kernel against first principles: `pareto_front_indices`
+//! must select exactly the non-dominated set, where *a dominates b* iff
+//! a ≤ b in both coordinates and < in at least one. The property runs
+//! both as a proptest (random point clouds, including duplicates and
+//! non-finite coordinates) and over a deterministic LCG sweep so the
+//! check survives environments where the proptest runner is stubbed.
+
+use musa_core::pareto_front_indices;
+
+/// Brute-force O(n²) reference: keep every point no other point
+/// dominates. Non-finite points are excluded on both sides of the
+/// comparison, mirroring the kernel's contract.
+fn brute_force_front(points: &[(f64, f64)]) -> Vec<usize> {
+    let finite = |i: usize| points[i].0.is_finite() && points[i].1.is_finite();
+    let dominates =
+        |a: (f64, f64), b: (f64, f64)| a.0 <= b.0 && a.1 <= b.1 && (a.0 < b.0 || a.1 < b.1);
+    (0..points.len())
+        .filter(|&i| finite(i))
+        .filter(|&i| {
+            !(0..points.len()).any(|j| j != i && finite(j) && dominates(points[j], points[i]))
+        })
+        .collect()
+}
+
+fn sorted(mut v: Vec<usize>) -> Vec<usize> {
+    v.sort_unstable();
+    v
+}
+
+fn check(points: &[(f64, f64)]) {
+    let fast = pareto_front_indices(points);
+    // Output order contract: (x, y, index) ascending.
+    for w in fast.windows(2) {
+        let (a, b) = (points[w[0]], points[w[1]]);
+        assert!(
+            a.0.total_cmp(&b.0)
+                .then(a.1.total_cmp(&b.1))
+                .then(w[0].cmp(&w[1]))
+                .is_lt(),
+            "frontier not sorted: {a:?} !< {b:?}"
+        );
+    }
+    assert_eq!(
+        sorted(fast),
+        sorted(brute_force_front(points)),
+        "kernel disagrees with brute force on {points:?}"
+    );
+}
+
+#[test]
+fn pareto_matches_brute_force_lcg_sweep() {
+    // Deterministic xorshift point clouds: clustered values force x/y
+    // ties and exact duplicates; every 17th/23rd coordinate goes
+    // non-finite to exercise the NaN-safe path.
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for case in 0..200 {
+        let n = (next() % 40) as usize;
+        let mut points = Vec::with_capacity(n);
+        for k in 0..n {
+            let mut x = (next() % 8) as f64;
+            let mut y = (next() % 8) as f64;
+            if case % 3 == 0 && k % 17 == 5 {
+                x = f64::NAN;
+            }
+            if case % 3 == 1 && k % 23 == 7 {
+                y = f64::INFINITY;
+            }
+            points.push((x, y));
+        }
+        check(&points);
+    }
+}
+
+#[test]
+fn pareto_of_all_duplicates_keeps_everything() {
+    let points = vec![(2.0, 3.0); 9];
+    assert_eq!(pareto_front_indices(&points), (0..9).collect::<Vec<_>>());
+}
+
+mod prop {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Random clouds over a small integer grid (maximising ties and
+        /// duplicates): the sweep kernel equals the O(n²) dominance
+        /// definition.
+        #[test]
+        fn kernel_equals_brute_force(
+            raw in proptest::collection::vec((0u32..16, 0u32..16), 0..60),
+        ) {
+            let points: Vec<(f64, f64)> =
+                raw.iter().map(|&(x, y)| (x as f64, y as f64)).collect();
+            check(&points);
+        }
+
+        /// Scaling both coordinates by a positive factor never changes
+        /// the frontier membership.
+        #[test]
+        fn frontier_is_scale_invariant(
+            raw in proptest::collection::vec((0u32..16, 0u32..16), 0..40),
+            scale in 1u32..1000,
+        ) {
+            let points: Vec<(f64, f64)> =
+                raw.iter().map(|&(x, y)| (x as f64, y as f64)).collect();
+            let scaled: Vec<(f64, f64)> = points
+                .iter()
+                .map(|&(x, y)| (x * scale as f64, y * scale as f64))
+                .collect();
+            prop_assert_eq!(pareto_front_indices(&points), pareto_front_indices(&scaled));
+        }
+    }
+}

@@ -27,6 +27,27 @@ pub(crate) fn fmt_secs(secs: f64) -> String {
     }
 }
 
+/// Rate (rows/s) and ETA (seconds) for `done` of `total` points after
+/// `elapsed` seconds. Pure so the edge cases are unit-testable:
+///
+/// * `done == 0` (a first heartbeat firing before any point finished):
+///   the rate is 0 and the ETA is **unknown**, reported as `+inf` —
+///   which [`fmt_secs`] renders as `?` — never the absurd-but-finite
+///   `total / ε` horizon a naive guard produces;
+/// * `done >= total`: ETA 0;
+/// * `elapsed == 0`: treated as one nanosecond, keeping the rate finite.
+pub(crate) fn rate_eta(done: u64, total: u64, elapsed_secs: f64) -> (f64, f64) {
+    let rate = done as f64 / elapsed_secs.max(1e-9);
+    let eta = if done >= total {
+        0.0
+    } else if done == 0 {
+        f64::INFINITY
+    } else {
+        (total - done) as f64 / rate
+    };
+    (rate, eta)
+}
+
 /// A progress heartbeat over a known total.
 ///
 /// Printing goes straight to stderr — the heartbeat is explicit opt-in
@@ -81,12 +102,7 @@ impl Progress {
             *last = Some(now);
         }
         let elapsed = self.start.elapsed().as_secs_f64();
-        let rate = done as f64 / elapsed.max(1e-9);
-        let eta = if done >= self.total {
-            0.0
-        } else {
-            (self.total - done) as f64 / rate.max(1e-9)
-        };
+        let (rate, eta) = rate_eta(done, self.total, elapsed);
         let pct = if self.total == 0 {
             100.0
         } else {
@@ -127,5 +143,48 @@ mod tests {
         assert_eq!(fmt_secs(125.0), "2m 05s");
         assert_eq!(fmt_secs(3840.0), "1h 04m");
         assert_eq!(fmt_secs(f64::NAN), "?");
+    }
+
+    #[test]
+    fn duration_edges_and_unit_boundaries() {
+        assert_eq!(fmt_secs(0.0), "0ms");
+        assert_eq!(fmt_secs(0.9994), "999ms");
+        assert_eq!(fmt_secs(1.0), "1.0s");
+        assert_eq!(fmt_secs(99.99), "100.0s");
+        assert_eq!(fmt_secs(100.0), "1m 40s");
+        assert_eq!(fmt_secs(3599.0), "59m 59s");
+        assert_eq!(fmt_secs(3600.0), "1h 00m");
+        assert_eq!(fmt_secs(-1.0), "?");
+        assert_eq!(fmt_secs(f64::INFINITY), "?");
+        assert_eq!(fmt_secs(f64::NEG_INFINITY), "?");
+    }
+
+    #[test]
+    fn first_heartbeat_with_nothing_done_renders_sanely() {
+        // The fill loop's first beat can fire before any point lands:
+        // rate must be 0 (not NaN), the ETA unknown (rendered "?"),
+        // never a giant finite horizon.
+        let (rate, eta) = rate_eta(0, 864, 0.5);
+        assert_eq!(rate, 0.0);
+        assert!(eta.is_infinite());
+        assert_eq!(fmt_secs(eta), "?");
+        // Even at elapsed == 0 exactly.
+        let (rate, eta) = rate_eta(0, 864, 0.0);
+        assert!(rate == 0.0 && eta.is_infinite());
+    }
+
+    #[test]
+    fn rate_eta_midway_and_done() {
+        let (rate, eta) = rate_eta(100, 300, 10.0);
+        assert!((rate - 10.0).abs() < 1e-12);
+        assert!((eta - 20.0).abs() < 1e-9);
+        assert!(fmt_secs(eta).ends_with('s'));
+        // Complete (and overshooting) fills report ETA 0.
+        assert_eq!(rate_eta(300, 300, 10.0).1, 0.0);
+        assert_eq!(rate_eta(301, 300, 10.0).1, 0.0);
+        // Zero elapsed stays finite.
+        let (rate, eta) = rate_eta(10, 20, 0.0);
+        assert!(rate.is_finite() && eta.is_finite());
+        assert!(eta >= 0.0);
     }
 }

@@ -1,0 +1,42 @@
+//! Criterion benches for the query kernels on a full-size synthetic
+//! campaign: 864 configs × 5 apps, the paper's complete design space.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use musa_core::RowMetric;
+use musa_serve::engine::{Dim, QueryEngine, RowFilter};
+use musa_serve::synth::synthetic_results;
+
+fn bench_index_build(c: &mut Criterion) {
+    let rows = synthetic_results(864);
+    c.bench_function("serve/index_build_4320_rows", |b| {
+        b.iter(|| QueryEngine::new(black_box(rows.clone())))
+    });
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let engine = QueryEngine::new(synthetic_results(864));
+    let hydro = RowFilter::new().with(Dim::App, "hydro");
+    let narrow = RowFilter::new()
+        .with(Dim::App, "hydro")
+        .with(Dim::Cores, "64c")
+        .with(Dim::Freq, "2.0GHz");
+
+    c.bench_function("serve/select_one_dim", |b| {
+        b.iter(|| engine.select(black_box(&hydro)))
+    });
+    c.bench_function("serve/select_three_dims", |b| {
+        b.iter(|| engine.select(black_box(&narrow)))
+    });
+    c.bench_function("serve/top_k_10", |b| {
+        b.iter(|| engine.top_k(black_box(&hydro), RowMetric::TimeNs, 10))
+    });
+    c.bench_function("serve/pareto_time_energy", |b| {
+        b.iter(|| engine.pareto(black_box(&hydro), RowMetric::TimeNs, RowMetric::EnergyJ))
+    });
+    c.bench_function("serve/aggregate_energy", |b| {
+        b.iter(|| engine.aggregate(black_box(&hydro), RowMetric::EnergyJ))
+    });
+}
+
+criterion_group!(benches, bench_index_build, bench_queries);
+criterion_main!(benches);

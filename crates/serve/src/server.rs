@@ -1,0 +1,316 @@
+//! The std-only concurrent HTTP server: a fixed worker pool fed by a
+//! bounded connection queue.
+//!
+//! One accept thread `try_send`s connections into a
+//! [`std::sync::mpsc::sync_channel`] of depth `backlog`; when the queue
+//! is full the accept thread itself answers **503** and closes — the
+//! server sheds load instead of growing an unbounded queue or hanging
+//! clients. Per-connection read/write timeouts bound how long a slow or
+//! silent peer (slowloris) can pin a worker, and the request head is
+//! capped at `max_request_bytes`.
+//!
+//! Shutdown is graceful by construction: [`ServerHandle::shutdown`]
+//! sets the stop flag and wakes the accept thread with a loopback
+//! connection; the accept thread exits, dropping the queue sender;
+//! each worker drains what was already queued, then sees the channel
+//! disconnect and exits. Nothing accepted is ever dropped unanswered.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::api;
+use crate::engine::QueryEngine;
+use crate::http::{self, ParseError, Response};
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:8080` (`:0` for an ephemeral port).
+    pub addr: String,
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Accepted-connection queue depth; beyond it, new connections are
+    /// answered 503 immediately.
+    pub backlog: usize,
+    /// Per-connection socket read timeout (slowloris bound).
+    pub read_timeout: Duration,
+    /// Per-connection socket write timeout.
+    pub write_timeout: Duration,
+    /// Maximum request-head size; larger requests are answered 413.
+    pub max_request_bytes: usize,
+    /// Whether `GET /quit` is honoured (smoke tests and supervised
+    /// runs; off by default).
+    pub allow_quit: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:8080".into(),
+            workers: 4,
+            backlog: 64,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            max_request_bytes: 16 * 1024,
+            allow_quit: false,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Ephemeral-port localhost config with short timeouts — the shape
+    /// every test wants.
+    pub fn local_ephemeral() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            read_timeout: Duration::from_millis(400),
+            write_timeout: Duration::from_millis(400),
+            ..ServerConfig::default()
+        }
+    }
+}
+
+struct Shared {
+    engine: Arc<QueryEngine>,
+    allow_quit: bool,
+    quit_tx: mpsc::Sender<()>,
+    in_flight: AtomicI64,
+    read_timeout: Duration,
+    write_timeout: Duration,
+    max_request_bytes: usize,
+}
+
+/// Entry point: [`Server::start`].
+pub struct Server;
+
+impl Server {
+    /// Bind, spawn the worker pool and the accept thread, and return a
+    /// handle. The engine is shared — callers can keep querying it
+    /// in-process while the server runs.
+    pub fn start(engine: Arc<QueryEngine>, config: ServerConfig) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let workers = config.workers.max(1);
+        let backlog = config.backlog.max(1);
+
+        let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(backlog);
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        let (quit_tx, quit_rx) = mpsc::channel::<()>();
+        let stop = Arc::new(AtomicBool::new(false));
+        let shared = Arc::new(Shared {
+            engine,
+            allow_quit: config.allow_quit,
+            quit_tx,
+            in_flight: AtomicI64::new(0),
+            read_timeout: config.read_timeout,
+            write_timeout: config.write_timeout,
+            max_request_bytes: config.max_request_bytes,
+        });
+
+        let mut worker_handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let rx = Arc::clone(&conn_rx);
+            let shared = Arc::clone(&shared);
+            worker_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &shared))?,
+            );
+        }
+
+        let accept_stop = Arc::clone(&stop);
+        let accept_shared = Arc::clone(&shared);
+        let accept_handle = std::thread::Builder::new()
+            .name("serve-accept".into())
+            .spawn(move || accept_loop(&listener, conn_tx, &accept_stop, &accept_shared))?;
+
+        musa_obs::info(
+            "musa-serve",
+            "listening",
+            &[
+                ("addr", addr.to_string().into()),
+                ("workers", (workers as u64).into()),
+                ("backlog", (backlog as u64).into()),
+            ],
+        );
+        Ok(ServerHandle {
+            addr,
+            stop,
+            accept: Some(accept_handle),
+            workers: worker_handles,
+            quit_rx,
+        })
+    }
+}
+
+/// A running server. Dropping the handle shuts the server down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    quit_rx: Receiver<()>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves the port for `:0` binds).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Block until an authorised `GET /quit` arrives or `timeout`
+    /// elapses; `true` when quit was requested.
+    pub fn wait_quit(&self, timeout: Duration) -> bool {
+        match self.quit_rx.recv_timeout(timeout) {
+            Ok(()) => true,
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => false,
+        }
+    }
+
+    /// Stop accepting, drain every already-queued connection, join all
+    /// threads. Idempotent via [`Drop`].
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        let Some(accept) = self.accept.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept(); the dummy connection is dropped
+        // by the accept loop after it observes the stop flag.
+        let _ = TcpStream::connect(self.addr);
+        let _ = accept.join();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        musa_obs::info("musa-serve", "drained and stopped", &[]);
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    conn_tx: SyncSender<TcpStream>,
+    stop: &AtomicBool,
+    shared: &Shared,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        if stop.load(Ordering::SeqCst) {
+            // The shutdown wake-up (or a client racing it): close.
+            break;
+        }
+        match conn_tx.try_send(stream) {
+            Ok(()) => {}
+            Err(TrySendError::Full(stream)) => shed(stream, shared),
+            Err(TrySendError::Disconnected(_)) => break,
+        }
+    }
+    // Dropping `conn_tx` here disconnects the channel: workers finish
+    // what is queued, then exit.
+}
+
+/// Queue full: answer 503 from the accept thread and close.
+fn shed(mut stream: TcpStream, shared: &Shared) {
+    musa_obs::counter_add("serve.shed", 1);
+    let _ = stream.set_write_timeout(Some(shared.write_timeout));
+    let resp = Response::error(503, "server overloaded, retry shortly");
+    let _ = http::write_response(&mut stream, &resp);
+}
+
+fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, shared: &Shared) {
+    loop {
+        // Take the lock only to pull the next connection, never while
+        // serving it — workers block each other for nanoseconds, not
+        // request lifetimes.
+        let next = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => break,
+        };
+        match next {
+            Ok(stream) => handle_connection(stream, shared),
+            Err(_) => break, // disconnected and drained
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    let started = Instant::now();
+    let _span = musa_obs::span(musa_obs::phase::HTTP_REQUEST);
+    musa_obs::counter_add("serve.requests", 1);
+    musa_obs::gauge_set(
+        "serve.in_flight",
+        (shared.in_flight.fetch_add(1, Ordering::SeqCst) + 1) as f64,
+    );
+    let _ = stream.set_read_timeout(Some(shared.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.write_timeout));
+    let _ = stream.set_nodelay(true);
+
+    let (response, quit) = match http::read_head(&mut stream, shared.max_request_bytes)
+        .and_then(|head| http::parse_request(&head))
+    {
+        Ok(req) => api::respond(&shared.engine, shared.allow_quit, &req),
+        Err(ParseError::TooLarge) => (Response::error(413, "request head too large"), false),
+        Err(ParseError::TimedOut) => (Response::error(408, "timed out reading request"), false),
+        Err(ParseError::Malformed(why)) => (Response::error(400, why), false),
+        Err(ParseError::Disconnected) => {
+            musa_obs::counter_add("serve.disconnects", 1);
+            finish_request(shared, started, None);
+            return;
+        }
+    };
+    let _ = http::write_response(&mut stream, &response);
+    finish_request(shared, started, Some(response.status));
+    if quit {
+        // Response already flushed: the client that asked sees 200
+        // before the drain starts.
+        let _ = shared.quit_tx.send(());
+    }
+}
+
+fn finish_request(shared: &Shared, started: Instant, status: Option<u16>) {
+    if let Some(status) = status {
+        musa_obs::counter_add(status_counter(status), 1);
+    }
+    musa_obs::hist_observe("serve.latency_us", started.elapsed().as_secs_f64() * 1e6);
+    musa_obs::gauge_set(
+        "serve.in_flight",
+        (shared.in_flight.fetch_sub(1, Ordering::SeqCst) - 1) as f64,
+    );
+}
+
+/// Metric names must be `&'static str`; the emitted statuses are a
+/// closed set.
+fn status_counter(status: u16) -> &'static str {
+    match status {
+        200 => "serve.http_200",
+        400 => "serve.http_400",
+        404 => "serve.http_404",
+        405 => "serve.http_405",
+        408 => "serve.http_408",
+        413 => "serve.http_413",
+        503 => "serve.http_503",
+        _ => "serve.http_other",
+    }
+}

@@ -136,6 +136,7 @@ pub struct CampaignStore {
     index: HashMap<u64, usize>,
     by_app: HashMap<String, Vec<usize>>,
     writer: Option<BufWriter<File>>,
+    read_only: bool,
 }
 
 impl CampaignStore {
@@ -149,6 +150,23 @@ impl CampaignStore {
     /// concurrent shard processes never write to the same file.
     pub fn open_sharded(dir: impl AsRef<Path>, shard: Shard) -> std::io::Result<CampaignStore> {
         Self::open_with_write_file(dir, &shard.file_name())
+    }
+
+    /// Open the store **read-only** — the serving path. Unlike
+    /// [`Self::open`], a missing directory is an error (a query service
+    /// pointed at the wrong path should fail loudly, not silently serve
+    /// an empty campaign it just created), and every append is refused.
+    pub fn open_read_only(dir: impl AsRef<Path>) -> std::io::Result<CampaignStore> {
+        let dir = dir.as_ref();
+        if !dir.is_dir() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                format!("campaign store directory {} does not exist", dir.display()),
+            ));
+        }
+        let mut store = Self::open(dir)?;
+        store.read_only = true;
+        Ok(store)
     }
 
     /// Open the store, appending new rows to `write_file` (created on
@@ -166,6 +184,7 @@ impl CampaignStore {
             index: HashMap::new(),
             by_app: HashMap::new(),
             writer: None,
+            read_only: false,
         };
         let mut files: Vec<PathBuf> = std::fs::read_dir(&store.dir)?
             .filter_map(|e| e.ok())
@@ -188,6 +207,25 @@ impl CampaignStore {
             match serde_json::from_str::<StoreRow>(line) {
                 Ok(row) if row.is_consistent() => {
                     self.insert_mem(row);
+                }
+                // Forward compatibility: a row written by a *newer*
+                // musa-store (mixed-version shard directories, e.g. one
+                // worker upgraded mid-campaign) is healthy data this
+                // binary cannot interpret — skip it with its own
+                // message and counter so the operator sees an upgrade
+                // hint, not a corruption scare.
+                Ok(row) if row.schema > SCHEMA_VERSION => {
+                    musa_obs::counter_add("store.rows_newer_schema", 1);
+                    musa_obs::warn(
+                        "musa-store",
+                        "row written by a newer musa-store, skipped (upgrade this binary to read it)",
+                        &[
+                            ("file", path.display().to_string().into()),
+                            ("line", (lineno + 1).into()),
+                            ("row_schema", row.schema.into()),
+                            ("supported_schema", SCHEMA_VERSION.into()),
+                        ],
+                    );
                 }
                 Ok(_) => musa_obs::warn(
                     "musa-store",
@@ -292,9 +330,22 @@ impl CampaignStore {
         Ok(self.writer.as_mut().expect("writer just created"))
     }
 
+    /// Consume the store and hand over its rows (load/insertion order)
+    /// without cloning — how `musa-serve` moves a loaded campaign into
+    /// its columnar query engine.
+    pub fn into_rows(mut self) -> Vec<StoreRow> {
+        std::mem::take(&mut self.rows)
+    }
+
     /// Append one row (persisted on the next [`Self::flush`]). Returns
     /// false if the key was already present.
     pub fn append(&mut self, row: StoreRow) -> std::io::Result<bool> {
+        if self.read_only {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::PermissionDenied,
+                "campaign store opened read-only",
+            ));
+        }
         let line = serde_json::to_string(&row).expect("row serialises");
         if !self.insert_mem(row) {
             return Ok(false);

@@ -18,6 +18,14 @@ echo "== build with observability disabled =="
 # The whole instrumentation layer must compile out cleanly.
 cargo build --workspace --no-default-features
 
+echo "== serve without observability =="
+# The HTTP service must behave identically with instrumentation
+# compiled out — the full e2e suite runs both ways.
+cargo test -q -p musa-serve --no-default-features
+
+echo "== serve smoke (real binary, ephemeral port) =="
+bash scripts/serve_smoke.sh
+
 echo "== zero-overhead bench (smoke) =="
 # Criterion in --test mode: one pass over the disabled/enabled metric
 # paths, checking they run, not their timings.

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Smoke test for `dse serve`: spawn the service on an ephemeral port,
+# hit /healthz and a real query, then drain it via /quit and check the
+# process exits cleanly. Exercises the wire path the unit and e2e tests
+# already cover, but through the actual shipped binary.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+DSE_BIN="${DSE_BIN:-target/release/dse}"
+if [[ ! -x "$DSE_BIN" ]]; then
+    echo "serve_smoke: building $DSE_BIN"
+    cargo build --release -p musa-bench --bin dse
+fi
+
+OUT="$(mktemp)"
+trap 'rm -f "$OUT"; kill "$SRV_PID" 2>/dev/null || true' EXIT
+
+# --synthetic: a deterministic in-memory campaign, so the smoke test
+# needs no pre-filled store and no (de)serialisation support.
+"$DSE_BIN" serve --synthetic --port 0 --allow-quit --workers 2 >"$OUT" 2>/dev/null &
+SRV_PID=$!
+
+# Wait for the (flushed) listening line and extract the resolved port.
+PORT=""
+for _ in $(seq 1 50); do
+    PORT="$(grep -o 'http://[0-9.]*:[0-9]*' "$OUT" 2>/dev/null | head -n1 | sed 's/.*://')" || true
+    [[ -n "$PORT" ]] && break
+    sleep 0.1
+done
+if [[ -z "$PORT" ]]; then
+    echo "serve_smoke: server never printed its listening line" >&2
+    exit 1
+fi
+BASE="http://127.0.0.1:$PORT"
+
+fetch() { curl -sf --max-time 5 "$1"; }
+
+HEALTH="$(fetch "$BASE/healthz")"
+echo "serve_smoke: /healthz -> $HEALTH"
+grep -q '"status":"ok"' <<<"$HEALTH"
+grep -q '"rows":4320' <<<"$HEALTH"
+
+BEST="$(fetch "$BASE/best?app=hydro&metric=energy_j&k=1")"
+grep -q '"endpoint":"best"' <<<"$BEST"
+grep -q '"count":1' <<<"$BEST"
+
+PARETO="$(fetch "$BASE/pareto?app=spmz&x=time_ns&y=energy_j")"
+grep -q '"endpoint":"pareto"' <<<"$PARETO"
+
+# Malformed input must be a structured 400, not a hang.
+CODE="$(curl -s --max-time 5 -o /dev/null -w '%{http_code}' "$BASE/best?metric=bogus")"
+[[ "$CODE" == "400" ]]
+
+# Graceful drain: /quit answers 200 and the process exits 0.
+fetch "$BASE/quit" | grep -q '"status":"draining"'
+WAITED=0
+while kill -0 "$SRV_PID" 2>/dev/null; do
+    sleep 0.1
+    WAITED=$((WAITED + 1))
+    if [[ "$WAITED" -gt 100 ]]; then
+        echo "serve_smoke: server did not exit after /quit" >&2
+        exit 1
+    fi
+done
+wait "$SRV_PID"
+echo "serve_smoke: clean drain, exit 0"

@@ -19,6 +19,7 @@
 //! | [`core`] | multiscale orchestration, DSE, analysis, PCA |
 //! | [`store`] | persistent, resumable, sharded campaign result store |
 //! | [`obs`] | structured instrumentation: spans, metrics, events, progress |
+//! | [`serve`] | columnar query engine + HTTP service over the campaign store |
 //!
 //! See `examples/quickstart.rs` for the five-minute tour and
 //! `crates/bench/src/bin/` for the per-figure experiment harnesses.
@@ -30,6 +31,7 @@ pub use musa_mem as mem;
 pub use musa_net as net;
 pub use musa_obs as obs;
 pub use musa_power as power;
+pub use musa_serve as serve;
 pub use musa_store as store;
 pub use musa_tasksim as tasksim;
 pub use musa_trace as trace;
@@ -41,10 +43,12 @@ pub mod prelude {
         CacheConfig, CoreClass, CoresPerNode, DesignSpace, Feature, Frequency, MemConfig,
         NodeConfig, VectorWidth,
     };
+    pub use musa_core::RowMetric;
     pub use musa_core::{
         feature_impact, run_design_space, Campaign, ConfigResult, Metric, MultiscaleSim,
         SweepOptions,
     };
+    pub use musa_serve::{QueryEngine, RowFilter, Server, ServerConfig};
     pub use musa_store::{CampaignStore, FillOptions, Shard};
     pub use musa_trace::AppTrace;
 }
