@@ -39,6 +39,12 @@ use musa_store::{export, CampaignStore, FillOptions};
 
 fn main() {
     musa_obs::init_from_env();
+    // MUSA_FAULTS / MUSA_FAULT_SEED: a set-but-invalid chaos spec must
+    // refuse to start, exactly like a bad --faults flag.
+    if let Err(e) = musa_fault::init_from_env() {
+        eprintln!("dse: {e}\n{USAGE}");
+        std::process::exit(2);
+    }
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = match parse_dse_args(&argv) {
         Ok(Parsed::Help) => {
@@ -78,6 +84,15 @@ fn main() {
     if want_report {
         musa_obs::enable_metrics(true);
     }
+    if let Some(plan) = &args.faults {
+        if !musa_fault::COMPILED {
+            eprintln!(
+                "dse: note: --faults given but fault injection is compiled out \
+                 (build with the 'fault' feature); nothing will fire"
+            );
+        }
+        musa_fault::set_plan(Some(plan.clone()));
+    }
 
     let dir: PathBuf = args.store_dir.clone().unwrap_or_else(store_dir);
     if !args.resume {
@@ -101,6 +116,8 @@ fn main() {
     let fill = FillOptions {
         shard: args.shard,
         progress: args.progress,
+        max_retries: args.max_retries,
+        fail_fast: args.fail_fast,
         ..FillOptions::new(opts)
     };
     let report = store
@@ -116,6 +133,23 @@ fn main() {
         report.cached,
         report.simulated
     );
+    if !report.poisoned.is_empty() {
+        eprintln!(
+            "[dse] {} point(s) poisoned (simulation panicked); completed rows \
+             are persisted — re-run with --resume to retry them:",
+            report.poisoned.len()
+        );
+        for p in &report.poisoned {
+            eprintln!("[dse]   {}/{}: {}", p.app, p.config, p.reason);
+        }
+    }
+    if report.retries > 0 {
+        eprintln!(
+            "[dse] {} flush retr{} recovered transient I/O errors",
+            report.retries,
+            if report.retries == 1 { "y" } else { "ies" }
+        );
+    }
 
     let campaign = store.campaign_for(&AppId::ALL, &configs, &opts);
 

@@ -7,8 +7,9 @@
 
 use std::path::PathBuf;
 
+use musa_fault::FaultPlan;
 use musa_obs::Level;
-use musa_store::Shard;
+use musa_store::{Shard, DEFAULT_MAX_RETRIES};
 
 /// `dse` usage text (printed on `--help` and after a parse error).
 pub const USAGE: &str = "\
@@ -23,12 +24,20 @@ usage: dse [options]
   --full             paper scale (256 ranks) instead of the reduced scale
   --progress         live fill heartbeat (points done/total, rows/s, ETA)
   --metrics PATH     write the end-of-run metrics snapshot as JSON
+  --max-retries N    flush retries before a transient I/O error is fatal
+                     (default 2)
+  --fail-fast        abort the sweep on the first panicking point instead
+                     of recording it and continuing
+  --faults SPEC      inject deterministic faults, e.g.
+                     'seed=7,store.flush=io@0.02,sim.point=panic@0.001'
+                     (actions: io, panic, delay:<n><us|ms|s>; needs the
+                     'fault' build feature to actually fire)
   --log LEVEL        stderr event level: error|warn|info|debug|trace|off
   --log-json PATH    record every structured event to a JSONL file
   -h, --help         this help";
 
 /// Parsed `dse` arguments.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DseArgs {
     /// Keep existing store rows.
     pub resume: bool,
@@ -46,10 +55,37 @@ pub struct DseArgs {
     pub progress: bool,
     /// Metrics snapshot output path.
     pub metrics: Option<PathBuf>,
+    /// Flush retry budget for transient I/O errors.
+    pub max_retries: u32,
+    /// Abort on the first poisoned point.
+    pub fail_fast: bool,
+    /// Parsed `--faults` plan (validated at parse time: a bad spec is
+    /// exit 2, never a silently fault-free chaos run).
+    pub faults: Option<FaultPlan>,
     /// Stderr event level override; `Some(None)` is `--log off`.
     pub log: Option<Option<Level>>,
     /// JSONL event sink path.
     pub log_json: Option<PathBuf>,
+}
+
+impl Default for DseArgs {
+    fn default() -> DseArgs {
+        DseArgs {
+            resume: false,
+            shard: None,
+            store_dir: None,
+            csv: None,
+            json: None,
+            full: false,
+            progress: false,
+            metrics: None,
+            max_retries: DEFAULT_MAX_RETRIES,
+            fail_fast: false,
+            faults: None,
+            log: None,
+            log_json: None,
+        }
+    }
 }
 
 /// `dse serve` usage text.
@@ -175,6 +211,16 @@ pub fn parse_dse_args<S: AsRef<str>>(args: &[S]) -> Result<Parsed, String> {
             }
             "--store-dir" => out.store_dir = Some(required(&mut it, "--store-dir")?.into()),
             "--metrics" => out.metrics = Some(required(&mut it, "--metrics")?.into()),
+            "--max-retries" => {
+                out.max_retries =
+                    parse_number("--max-retries", required(&mut it, "--max-retries")?)?;
+            }
+            "--fail-fast" => out.fail_fast = true,
+            "--faults" => {
+                let spec = required(&mut it, "--faults")?;
+                out.faults =
+                    Some(FaultPlan::parse(spec).map_err(|e| format!("bad --faults: {e}"))?);
+            }
             "--log-json" => out.log_json = Some(required(&mut it, "--log-json")?.into()),
             "--log" => {
                 let spec = required(&mut it, "--log")?;
@@ -327,6 +373,46 @@ mod tests {
         let a = run(&["--csv", "out.csv", "--json", "out.json"]);
         assert_eq!(a.csv.as_deref(), Some("out.csv"));
         assert_eq!(a.json.as_deref(), Some("out.json"));
+    }
+
+    #[test]
+    fn robustness_flags_parse() {
+        assert_eq!(run(&[]).max_retries, DEFAULT_MAX_RETRIES);
+        assert!(!run(&[]).fail_fast);
+        assert_eq!(run(&["--max-retries", "7"]).max_retries, 7);
+        assert_eq!(run(&["--max-retries", "0"]).max_retries, 0);
+        assert!(run(&["--fail-fast"]).fail_fast);
+
+        let a = run(&[
+            "--faults",
+            "seed=9,sim.point=panic@0.001,store.flush=io@0.02",
+        ]);
+        let plan = a.faults.expect("plan parsed");
+        assert_eq!(plan.seed, 9);
+        assert_eq!(plan.points.len(), 2);
+    }
+
+    #[test]
+    fn robustness_flags_are_strict() {
+        assert!(parse_dse_args(&["--max-retries"]).is_err());
+        assert!(parse_dse_args(&["--max-retries", "many"]).is_err());
+        assert!(parse_dse_args(&["--max-retries", "-1"]).is_err());
+        assert!(parse_dse_args(&["--faults"]).is_err());
+        // Every malformation the grammar rejects must surface as a
+        // parse error (the binary exits 2), never a silent no-fault run.
+        for bad in [
+            "nonsense",
+            "sim.point=panic",       // missing probability
+            "sim.point=panic@0",     // out of range
+            "sim.point=panic@2",     // out of range
+            "sim.point=boom@0.5",    // unknown action
+            "nope.flush=io@0.5",     // unknown failpoint
+            "sim.point=delay:5@0.5", // missing duration unit
+            "seed=banana,sim.point=panic@0.5",
+        ] {
+            let err = parse_dse_args(&["--faults", bad]).unwrap_err();
+            assert!(err.starts_with("bad --faults:"), "{bad:?} gave {err:?}");
+        }
     }
 
     #[test]

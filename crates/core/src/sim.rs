@@ -78,6 +78,14 @@ impl<'a> MultiscaleSim<'a> {
     /// of the sampled region at `config.cores` (computed otherwise).
     /// `full_replay`, if false, skips step 3 (region-only studies).
     pub fn simulate(&self, config: NodeConfig, full_replay: bool) -> ConfigResult {
+        // `sim.point` failpoint: keyed by (app, config label) so chaos
+        // runs poison the same points regardless of thread order.
+        if musa_fault::active() {
+            musa_fault::failpoint(
+                "sim.point",
+                musa_fault::key_of(&[self.trace.meta.app.as_bytes(), config.label().as_bytes()]),
+            );
+        }
         let region = self
             .trace
             .sampled_region()

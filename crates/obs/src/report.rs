@@ -300,7 +300,41 @@ pub fn phase_table(snap: &MetricsSnapshot) -> String {
             out.push('\n');
         }
     }
+    if let Some(robustness) = robustness_table(snap) {
+        out.push('\n');
+        out.push_str(&robustness);
+    }
     out
+}
+
+/// Fault-injection and self-healing counters that are usually all
+/// zero; the section only appears when at least one event happened.
+const ROBUSTNESS_COUNTERS: [(&str, &str); 5] = [
+    ("fault.injected", "faults injected"),
+    ("fill.poisoned", "points poisoned (panic caught)"),
+    ("fill.retries", "flush retries"),
+    ("store.quarantined", "rows quarantined"),
+    ("store.tail_truncated", "torn tails truncated"),
+];
+
+/// The "what went wrong (and was survived)" companion of the phase
+/// table: one line per nonzero robustness counter, `None` when a run
+/// saw no faults, panics, retries or corruption at all.
+fn robustness_table(snap: &MetricsSnapshot) -> Option<String> {
+    let nonzero: Vec<(&str, &str, u64)> = ROBUSTNESS_COUNTERS
+        .iter()
+        .map(|&(name, label)| (name, label, snap.counter(name)))
+        .filter(|&(_, _, v)| v > 0)
+        .collect();
+    if nonzero.is_empty() {
+        return None;
+    }
+    let width = nonzero.iter().map(|(_, l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::from("== what went wrong (and was survived) ==\n");
+    for (_, label, value) in nonzero {
+        out.push_str(&format!("{label:<width$}  {value}\n"));
+    }
+    Some(out)
 }
 
 #[cfg(test)]
@@ -354,6 +388,26 @@ mod tests {
         assert!(t.contains("detailed-sim (total)"));
         // Per-phase total of 2.5s + 1.5s.
         assert!(t.contains("4.0s"), "table was:\n{t}");
+    }
+
+    #[test]
+    fn robustness_section_only_when_something_went_wrong() {
+        // A clean run shows no robustness section at all.
+        let clean = phase_table(&sample());
+        assert!(!clean.contains("what went wrong"), "table was:\n{clean}");
+
+        let mut s = sample();
+        s.counters.insert("fault.injected".into(), 3);
+        s.counters.insert("fill.poisoned".into(), 1);
+        s.counters.insert("store.quarantined".into(), 2);
+        let t = phase_table(&s);
+        assert!(t.contains("what went wrong (and was survived)"));
+        assert!(t.contains("faults injected"));
+        assert!(t.contains("points poisoned (panic caught)"));
+        assert!(t.contains("rows quarantined"));
+        // Zero counters stay out of the table.
+        assert!(!t.contains("flush retries"), "table was:\n{t}");
+        assert!(!t.contains("torn tails truncated"));
     }
 
     #[test]

@@ -105,12 +105,18 @@ pub fn respond(engine: &QueryEngine, allow_quit: bool, req: &Request) -> (Respon
         return (Response::error(405, "only GET is supported"), false);
     }
     let resp = match req.path.as_str() {
-        "/healthz" => Ok(Response::ok(
-            JsonObj::new()
-                .field_str("status", "ok")
-                .field_u64("rows", engine.len() as u64)
-                .finish(),
-        )),
+        "/healthz" => {
+            let health = engine.health();
+            Ok(Response::ok(
+                JsonObj::new()
+                    .field_str("status", if health.degraded() { "degraded" } else { "ok" })
+                    .field_u64("rows", engine.len() as u64)
+                    .field_u64("quarantined", health.quarantined)
+                    .field_u64("files_skipped", health.files_skipped)
+                    .field_u64("tails_repaired", health.tails_repaired)
+                    .finish(),
+            ))
+        }
         "/metrics" => Ok(Response::ok(
             JsonObj::new()
                 .field_bool("observability", musa_obs::COMPILED)

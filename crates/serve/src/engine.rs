@@ -14,7 +14,7 @@ use std::io;
 use std::path::Path;
 
 use musa_core::{pareto_front_indices, ConfigResult, MetricAgg, RowMetric};
-use musa_store::CampaignStore;
+use musa_store::{CampaignStore, StoreHealth};
 
 /// Number of filterable dimensions ([`Dim::ALL`]).
 pub const DIMENSIONS: usize = 7;
@@ -148,6 +148,9 @@ pub struct QueryEngine {
     columns: Vec<Vec<f64>>,
     /// `postings[d][value]` = ascending row ids with that value.
     postings: Vec<HashMap<String, Vec<u32>>>,
+    /// What loading found wrong with the backing store (healthy when
+    /// built from in-memory rows).
+    health: StoreHealth,
 }
 
 impl QueryEngine {
@@ -174,14 +177,26 @@ impl QueryEngine {
             labels,
             columns,
             postings,
+            health: StoreHealth::default(),
         }
     }
 
-    /// Load a campaign store read-only and index every row.
+    /// Load a campaign store read-only and index every row. Corrupt
+    /// rows or unreadable shard files do not fail the open: the engine
+    /// serves what loaded and reports the damage via [`Self::health`]
+    /// (surfaced as `"degraded"` on `/healthz`).
     pub fn open(dir: &Path) -> io::Result<QueryEngine> {
         let store = CampaignStore::open_read_only(dir)?;
+        let health = store.health().clone();
         let rows = store.into_rows().into_iter().map(|r| r.result).collect();
-        Ok(QueryEngine::new(rows))
+        let mut engine = QueryEngine::new(rows);
+        engine.health = health;
+        Ok(engine)
+    }
+
+    /// Load-time damage report of the backing store.
+    pub fn health(&self) -> &StoreHealth {
+        &self.health
     }
 
     /// Number of indexed rows.

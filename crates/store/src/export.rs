@@ -3,27 +3,35 @@
 //! The CSV row format itself lives in [`musa_core::report::campaign_csv`]
 //! so every consumer shares one tested implementation; this module only
 //! adds the file plumbing the `dse` binary used to hand-roll.
+//!
+//! Exports are written through [`crate::integrity::atomic_write`]: a
+//! crash (or an injected `export.write` fault) mid-export leaves the
+//! previous file intact, never a truncated one a plotting script would
+//! silently mis-read.
 
-use std::io::Write;
 use std::path::Path;
 
 use musa_core::report::campaign_csv;
 use musa_core::Campaign;
 
+use crate::integrity::atomic_write;
 use crate::store::CampaignStore;
 
-/// Write a campaign as CSV. Returns the number of data rows written.
+/// Write a campaign as CSV, atomically. Returns the number of data
+/// rows written.
 pub fn write_csv(campaign: &Campaign, path: impl AsRef<Path>) -> std::io::Result<usize> {
-    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
-    file.write_all(campaign_csv(campaign).as_bytes())?;
-    file.flush()?;
+    atomic_write(
+        path.as_ref(),
+        campaign_csv(campaign).as_bytes(),
+        "export.write",
+    )?;
     Ok(campaign.results.len())
 }
 
 /// Write a campaign as a single JSON document (the `Campaign` serde
-/// format, readable back with `Campaign::from_json`).
+/// format, readable back with `Campaign::from_json`), atomically.
 pub fn write_json(campaign: &Campaign, path: impl AsRef<Path>) -> std::io::Result<usize> {
-    std::fs::write(path, campaign.to_json())?;
+    atomic_write(path.as_ref(), campaign.to_json().as_bytes(), "export.write")?;
     Ok(campaign.results.len())
 }
 

@@ -15,7 +15,20 @@
 //!   simulating only missing points (rayon-parallel, batched flushes,
 //!   progress/ETA on stderr) and [`Campaign`](musa_core::Campaign)
 //!   views for the figure harnesses;
-//! * [`export`] — CSV/JSON file exports.
+//! * [`integrity`] — CRC32 row checksums and crash-atomic file
+//!   replacement (tmp + fsync + rename);
+//! * [`export`] — CSV/JSON file exports (written atomically).
+//!
+//! ## Failure model
+//!
+//! Rows carry a CRC32 sealed at append time and verified on load.
+//! Opening a writable store self-heals: torn final lines (interrupted
+//! appends) are truncated away, corrupt rows are moved to
+//! `quarantine.jsonl` with provenance and the shard is rewritten
+//! atomically. A read-only open never writes — it skips the same rows,
+//! degrades past unreadable files and reports it all via
+//! [`CampaignStore::health`]. See [`store`] for the full model and
+//! `musa-fault` for the failpoints that chaos-test it.
 //!
 //! ## Example
 //!
@@ -36,13 +49,16 @@
 //! ```
 
 pub mod export;
+pub mod integrity;
 pub mod key;
 pub mod shard;
 pub mod store;
 
 pub use export::{write_csv, write_json};
+pub use integrity::{atomic_write, crc32};
 pub use key::{fnv1a_64, PointKey, SCHEMA_VERSION};
 pub use shard::Shard;
 pub use store::{
-    CampaignStore, FillOptions, FillReport, StoreRow, DEFAULT_BATCH, DEFAULT_WRITE_FILE,
+    CampaignStore, FillOptions, FillReport, PoisonedPoint, QuarantineRecord, StoreHealth, StoreRow,
+    DEFAULT_BATCH, DEFAULT_MAX_RETRIES, DEFAULT_WRITE_FILE, QUARANTINE_FILE,
 };

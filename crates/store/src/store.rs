@@ -6,13 +6,34 @@
 //! after other processes wrote disjoint shard files into it, always
 //! reconstructs exactly the set of completed points. Appends are
 //! flushed once per batch: an interrupted sweep loses at most one batch
-//! of results, and a torn final line is skipped (with a warning) on the
-//! next open.
+//! of results.
+//!
+//! ## Failure model
+//!
+//! Every written row carries a CRC32 of its canonical JSON, verified
+//! on load. Opening a store **repairs** what a crash can legitimately
+//! leave behind and **quarantines** what it cannot:
+//!
+//! * a torn final line (interrupted append, no trailing newline) is
+//!   truncated away and re-simulated on the next fill — a normal crash
+//!   artifact, not corruption;
+//! * a row that parses but fails its checksum or key fingerprint, or a
+//!   mid-file line that does not parse at all, is moved to
+//!   [`QUARANTINE_FILE`] with its provenance and the shard is rewritten
+//!   atomically without it — reopening is then stable (quarantine runs
+//!   at most once per bad row);
+//! * rows written by a newer or older schema stay on disk untouched and
+//!   are skipped in memory.
+//!
+//! A read-only open ([`CampaignStore::open_read_only`]) never writes:
+//! it skips the same rows, counts them in [`StoreHealth`], and
+//! degrades past unreadable files instead of failing the whole load.
 
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 use musa_obs::Progress;
 use rayon::prelude::*;
@@ -22,14 +43,22 @@ use musa_apps::{generate, AppId, GenParams};
 use musa_arch::NodeConfig;
 use musa_core::{Campaign, ConfigResult, MultiscaleSim, SweepOptions};
 
+use crate::integrity::{atomic_write, crc32};
 use crate::key::{PointKey, SCHEMA_VERSION};
 use crate::shard::Shard;
 
 /// Default name of the JSONL file unsharded runs append to.
 pub const DEFAULT_WRITE_FILE: &str = "rows.jsonl";
 
+/// File corrupt rows are moved to on open (one [`QuarantineRecord`]
+/// per line). Never loaded as campaign data.
+pub const QUARANTINE_FILE: &str = "quarantine.jsonl";
+
 /// Default number of points simulated between flushes.
 pub const DEFAULT_BATCH: usize = 64;
+
+/// Default flush retry budget for transient I/O errors.
+pub const DEFAULT_MAX_RETRIES: u32 = 2;
 
 /// One persisted campaign row: the simulation result plus everything
 /// that went into its fingerprint, so stores are self-describing and
@@ -46,6 +75,12 @@ pub struct StoreRow {
     pub full_replay: bool,
     /// The simulation result.
     pub result: ConfigResult,
+    /// CRC32 of the row's canonical JSON with this field absent.
+    /// Written on append, verified then stripped on load; `None` in
+    /// memory and on rows from pre-checksum stores (grandfathered in
+    /// unverified rather than rejected).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub crc: Option<u32>,
 }
 
 impl StoreRow {
@@ -58,6 +93,7 @@ impl StoreRow {
             gen,
             full_replay,
             result,
+            crc: None,
         }
     }
 
@@ -78,6 +114,118 @@ impl StoreRow {
                     self.full_replay,
                 ))
     }
+
+    /// The row's canonical JSON — its serialisation with `crc` absent,
+    /// which is both the written byte prefix and the checksum input.
+    fn canonical_json(&self) -> Option<String> {
+        if self.crc.is_none() {
+            return serde_json::to_string(self).ok();
+        }
+        let mut unsealed = self.clone();
+        unsealed.crc = None;
+        serde_json::to_string(&unsealed).ok()
+    }
+
+    /// Verify the stored checksum. Rows without one (pre-checksum
+    /// stores) pass: the field was introduced after the first
+    /// campaigns shipped and old rows are grandfathered in.
+    pub fn crc_matches(&self) -> bool {
+        match self.crc {
+            None => true,
+            Some(c) => self
+                .canonical_json()
+                .is_some_and(|json| crc32(json.as_bytes()) == c),
+        }
+    }
+}
+
+/// Append `,"crc":N` to a canonical row serialisation — exactly the
+/// bytes serde would emit for the row with `crc: Some(N)`, in one
+/// serialisation pass instead of two.
+fn seal_line(canonical: &str) -> String {
+    debug_assert!(canonical.ends_with('}'));
+    format!(
+        "{},\"crc\":{}}}",
+        &canonical[..canonical.len() - 1],
+        crc32(canonical.as_bytes())
+    )
+}
+
+fn file_name_of(path: &Path) -> String {
+    path.file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.display().to_string())
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_reason(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Provenance of one quarantined row: where it sat, why it was pulled,
+/// and its raw bytes (nothing is silently destroyed — an operator can
+/// still inspect or salvage the line).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuarantineRecord {
+    /// File the row was quarantined from.
+    pub file: String,
+    /// 1-based line number at quarantine time.
+    pub line: usize,
+    /// Why the row was rejected.
+    pub reason: String,
+    /// The verbatim rejected line.
+    pub raw: String,
+}
+
+/// What loading found wrong with the on-disk store — the health the
+/// serving layer reports from `/healthz`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StoreHealth {
+    /// Corrupt rows moved to [`QUARANTINE_FILE`] (write mode) or
+    /// skipped in memory (read-only).
+    pub quarantined: u64,
+    /// Torn final lines truncated away (write mode) or skipped
+    /// (read-only).
+    pub tails_repaired: u64,
+    /// Unreadable result files skipped (read-only opens only; a write
+    /// open fails instead).
+    pub files_skipped: u64,
+    /// Rows written by a newer schema, skipped in memory.
+    pub rows_newer_schema: u64,
+    /// Rows written by an older schema, skipped in memory.
+    pub rows_stale_schema: u64,
+}
+
+impl StoreHealth {
+    /// `true` when the loaded campaign is incomplete for reasons a
+    /// resume cannot heal on its own: corrupt rows or unreadable
+    /// files. A repaired torn tail is a *normal* crash artifact and
+    /// does not degrade the store.
+    pub fn degraded(&self) -> bool {
+        self.quarantined > 0 || self.files_skipped > 0
+    }
+}
+
+/// One simulation point that panicked during [`CampaignStore::fill`]:
+/// recorded (and skipped) instead of aborting the other 863 points.
+/// Poisoned points are absent from the store, so a later `--resume`
+/// re-attempts exactly these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoisonedPoint {
+    /// Application label.
+    pub app: String,
+    /// Configuration label.
+    pub config: String,
+    /// Hex [`PointKey`] of the point.
+    pub key: String,
+    /// The caught panic payload.
+    pub reason: String,
 }
 
 /// Options for [`CampaignStore::fill`].
@@ -91,16 +239,26 @@ pub struct FillOptions {
     pub batch: usize,
     /// Report per-batch progress and ETA on stderr.
     pub progress: bool,
+    /// Flush retries (with backoff) before a transient I/O error is
+    /// fatal.
+    pub max_retries: u32,
+    /// Abort the sweep on the first poisoned point instead of
+    /// recording it and continuing. Rows already simulated in the
+    /// failing batch are persisted first.
+    pub fail_fast: bool,
 }
 
 impl FillOptions {
-    /// Defaults: no shard, [`DEFAULT_BATCH`], progress on.
+    /// Defaults: no shard, [`DEFAULT_BATCH`], progress on,
+    /// [`DEFAULT_MAX_RETRIES`], keep going past poisoned points.
     pub fn new(sweep: SweepOptions) -> FillOptions {
         FillOptions {
             sweep,
             shard: None,
             batch: DEFAULT_BATCH,
             progress: true,
+            max_retries: DEFAULT_MAX_RETRIES,
+            fail_fast: false,
         }
     }
 }
@@ -112,7 +270,7 @@ impl Default for FillOptions {
 }
 
 /// What one [`CampaignStore::fill`] call did.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FillReport {
     /// Points requested (`apps × configs`).
     pub requested: usize,
@@ -122,6 +280,11 @@ pub struct FillReport {
     pub cached: usize,
     /// In-shard points simulated (and persisted) by this call.
     pub simulated: usize,
+    /// Points whose simulation panicked — recorded, skipped, healed by
+    /// a later `--resume`.
+    pub poisoned: Vec<PoisonedPoint>,
+    /// Flush retries spent on transient I/O errors.
+    pub retries: u32,
 }
 
 /// A persistent, resumable campaign result store.
@@ -137,6 +300,8 @@ pub struct CampaignStore {
     by_app: HashMap<String, Vec<usize>>,
     writer: Option<BufWriter<File>>,
     read_only: bool,
+    health: StoreHealth,
+    flush_seq: u64,
 }
 
 impl CampaignStore {
@@ -156,6 +321,9 @@ impl CampaignStore {
     /// [`Self::open`], a missing directory is an error (a query service
     /// pointed at the wrong path should fail loudly, not silently serve
     /// an empty campaign it just created), and every append is refused.
+    /// Nothing on disk is repaired: corrupt rows, torn tails and even
+    /// unreadable files are skipped and counted in [`Self::health`] so
+    /// the service can come up degraded instead of not at all.
     pub fn open_read_only(dir: impl AsRef<Path>) -> std::io::Result<CampaignStore> {
         let dir = dir.as_ref();
         if !dir.is_dir() {
@@ -164,9 +332,7 @@ impl CampaignStore {
                 format!("campaign store directory {} does not exist", dir.display()),
             ));
         }
-        let mut store = Self::open(dir)?;
-        store.read_only = true;
-        Ok(store)
+        Self::open_impl(dir.to_path_buf(), DEFAULT_WRITE_FILE, true)
     }
 
     /// Open the store, appending new rows to `write_file` (created on
@@ -177,6 +343,14 @@ impl CampaignStore {
     ) -> std::io::Result<CampaignStore> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
+        Self::open_impl(dir, write_file, false)
+    }
+
+    fn open_impl(
+        dir: PathBuf,
+        write_file: &str,
+        read_only: bool,
+    ) -> std::io::Result<CampaignStore> {
         let mut store = CampaignStore {
             write_path: dir.join(write_file),
             dir,
@@ -184,12 +358,15 @@ impl CampaignStore {
             index: HashMap::new(),
             by_app: HashMap::new(),
             writer: None,
-            read_only: false,
+            read_only,
+            health: StoreHealth::default(),
+            flush_seq: 0,
         };
         let mut files: Vec<PathBuf> = std::fs::read_dir(&store.dir)?
             .filter_map(|e| e.ok())
             .map(|e| e.path())
             .filter(|p| p.extension().is_some_and(|x| x == "jsonl"))
+            .filter(|p| p.file_name().is_none_or(|n| n != QUARANTINE_FILE))
             .collect();
         files.sort();
         for file in files {
@@ -198,15 +375,45 @@ impl CampaignStore {
         Ok(store)
     }
 
+    /// Load one result file, classifying every line; in write mode,
+    /// repair the file afterwards (truncate a torn tail, quarantine
+    /// corrupt rows) so the next open is clean.
     fn load_file(&mut self, path: &Path) -> std::io::Result<()> {
-        let text = std::fs::read_to_string(path)?;
-        for (lineno, line) in text.lines().enumerate() {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) if self.read_only => {
+                self.health.files_skipped += 1;
+                musa_obs::warn(
+                    "musa-store",
+                    "unreadable result file skipped (read-only open serves the rest, degraded)",
+                    &[
+                        ("file", path.display().to_string().into()),
+                        ("error", e.to_string().into()),
+                    ],
+                );
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
+        let ends_with_newline = text.ends_with('\n');
+        let lines: Vec<&str> = text.lines().collect();
+        let last = lines.len().saturating_sub(1);
+        // Lines preserved verbatim if the file has to be rewritten:
+        // loadable rows plus other-schema rows (healthy data for a
+        // different binary, not ours to destroy).
+        let mut kept: Vec<&str> = Vec::new();
+        let mut quarantined: Vec<QuarantineRecord> = Vec::new();
+        let mut torn_tail = false;
+        for (i, &line) in lines.iter().enumerate() {
             if line.trim().is_empty() {
                 continue;
             }
             match serde_json::from_str::<StoreRow>(line) {
-                Ok(row) if row.is_consistent() => {
+                Ok(row) if row.is_consistent() && row.crc_matches() => {
+                    let mut row = row;
+                    row.crc = None; // checksums live on disk, not in memory
                     self.insert_mem(row);
+                    kept.push(line);
                 }
                 // Forward compatibility: a row written by a *newer*
                 // musa-store (mixed-version shard directories, e.g. one
@@ -215,38 +422,133 @@ impl CampaignStore {
                 // message and counter so the operator sees an upgrade
                 // hint, not a corruption scare.
                 Ok(row) if row.schema > SCHEMA_VERSION => {
+                    self.health.rows_newer_schema += 1;
                     musa_obs::counter_add("store.rows_newer_schema", 1);
                     musa_obs::warn(
                         "musa-store",
                         "row written by a newer musa-store, skipped (upgrade this binary to read it)",
                         &[
                             ("file", path.display().to_string().into()),
-                            ("line", (lineno + 1).into()),
+                            ("line", (i + 1).into()),
                             ("row_schema", row.schema.into()),
                             ("supported_schema", SCHEMA_VERSION.into()),
                         ],
                     );
+                    kept.push(line);
                 }
-                Ok(_) => musa_obs::warn(
-                    "musa-store",
-                    "stale schema or corrupt key, row skipped",
-                    &[
-                        ("file", path.display().to_string().into()),
-                        ("line", (lineno + 1).into()),
-                    ],
-                ),
-                Err(e) => musa_obs::warn(
-                    "musa-store",
-                    "unparsable row skipped (torn write from an interrupted run?)",
-                    &[
-                        ("file", path.display().to_string().into()),
-                        ("line", (lineno + 1).into()),
-                        ("error", e.to_string().into()),
-                    ],
-                ),
+                Ok(row) if row.schema < SCHEMA_VERSION => {
+                    self.health.rows_stale_schema += 1;
+                    musa_obs::warn(
+                        "musa-store",
+                        "stale-schema row skipped",
+                        &[
+                            ("file", path.display().to_string().into()),
+                            ("line", (i + 1).into()),
+                            ("row_schema", row.schema.into()),
+                        ],
+                    );
+                    kept.push(line);
+                }
+                // Current schema but provably wrong content: the key
+                // fingerprint or the checksum does not match. This is
+                // corruption, not a crash artifact — quarantine it.
+                Ok(row) => {
+                    let reason = if row.crc_matches() {
+                        "stored key does not match the recomputed fingerprint"
+                    } else {
+                        "checksum mismatch (row bytes altered after write)"
+                    };
+                    quarantined.push(QuarantineRecord {
+                        file: file_name_of(path),
+                        line: i + 1,
+                        reason: reason.to_string(),
+                        raw: line.to_string(),
+                    });
+                }
+                Err(e) => {
+                    // A final line without its newline is the signature
+                    // of an append cut short by a crash: repair by
+                    // truncation. Unparsable bytes anywhere else (or a
+                    // *complete* garbage final line) are corruption.
+                    if i == last && !ends_with_newline {
+                        torn_tail = true;
+                        self.health.tails_repaired += 1;
+                        musa_obs::counter_add("store.tail_truncated", 1);
+                        musa_obs::warn(
+                            "musa-store",
+                            "torn final line from an interrupted write, truncated",
+                            &[
+                                ("file", path.display().to_string().into()),
+                                ("line", (i + 1).into()),
+                            ],
+                        );
+                    } else {
+                        quarantined.push(QuarantineRecord {
+                            file: file_name_of(path),
+                            line: i + 1,
+                            reason: format!("unparsable row: {e}"),
+                            raw: line.to_string(),
+                        });
+                    }
+                }
             }
         }
-        Ok(())
+
+        if !quarantined.is_empty() {
+            self.health.quarantined += quarantined.len() as u64;
+            musa_obs::counter_add("store.quarantined", quarantined.len() as u64);
+            for q in &quarantined {
+                musa_obs::warn(
+                    "musa-store",
+                    if self.read_only {
+                        "corrupt row skipped (read-only open; a writable open would quarantine it)"
+                    } else {
+                        "corrupt row quarantined"
+                    },
+                    &[
+                        ("file", q.file.clone().into()),
+                        ("line", q.line.into()),
+                        ("reason", q.reason.clone().into()),
+                    ],
+                );
+            }
+        }
+        // A file needing no repair: nothing torn, nothing corrupt, and
+        // (unless empty) newline-terminated. The last condition matters
+        // even when every row parsed: a crash can cut the write exactly
+        // between the final `}` and its newline, and a later append
+        // would concatenate onto that complete row and destroy it.
+        let clean = !torn_tail && quarantined.is_empty() && (ends_with_newline || text.is_empty());
+        if self.read_only || clean {
+            return Ok(());
+        }
+
+        // Repair: corrupt rows move to the quarantine file first (so a
+        // crash between the two steps loses nothing), then the shard is
+        // atomically replaced by its surviving lines.
+        if !quarantined.is_empty() {
+            self.append_quarantine(&quarantined)?;
+        }
+        let mut repaired = String::with_capacity(text.len());
+        for line in kept {
+            repaired.push_str(line);
+            repaired.push('\n');
+        }
+        atomic_write(path, repaired.as_bytes(), "store.rewrite")
+    }
+
+    fn append_quarantine(&self, records: &[QuarantineRecord]) -> std::io::Result<()> {
+        let mut out = String::new();
+        for record in records {
+            out.push_str(&serde_json::to_string(record).expect("record serialises"));
+            out.push('\n');
+        }
+        let mut file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.dir.join(QUARANTINE_FILE))?;
+        file.write_all(out.as_bytes())?;
+        file.sync_all()
     }
 
     /// Directory this store lives in.
@@ -346,10 +648,13 @@ impl CampaignStore {
                 "campaign store opened read-only",
             ));
         }
-        let line = serde_json::to_string(&row).expect("row serialises");
+        let mut row = row;
+        row.crc = None;
+        let canonical = serde_json::to_string(&row).expect("row serialises");
         if !self.insert_mem(row) {
             return Ok(false);
         }
+        let line = seal_line(&canonical);
         let w = self.writer()?;
         w.write_all(line.as_bytes())?;
         w.write_all(b"\n")?;
@@ -361,6 +666,18 @@ impl CampaignStore {
         &mut self,
         rows: impl IntoIterator<Item = StoreRow>,
     ) -> std::io::Result<usize> {
+        self.append_batch_retrying(rows, 0).map(|(added, _)| added)
+    }
+
+    /// [`Self::append_batch`] with a flush retry budget: a transient
+    /// flush error is retried with exponential backoff up to
+    /// `max_retries` times before it propagates. Returns the rows
+    /// added and the retries spent.
+    pub fn append_batch_retrying(
+        &mut self,
+        rows: impl IntoIterator<Item = StoreRow>,
+        max_retries: u32,
+    ) -> std::io::Result<(usize, u32)> {
         let _flush = musa_obs::span(musa_obs::phase::STORE_FLUSH);
         let mut added = 0;
         for row in rows {
@@ -368,19 +685,52 @@ impl CampaignStore {
                 added += 1;
             }
         }
-        self.flush()?;
+        let mut retries = 0u32;
+        loop {
+            match self.flush() {
+                Ok(()) => break,
+                Err(e) if retries < max_retries => {
+                    retries += 1;
+                    musa_obs::counter_add("fill.retries", 1);
+                    musa_obs::warn(
+                        "musa-store",
+                        "flush failed, retrying",
+                        &[
+                            ("error", e.to_string().into()),
+                            ("attempt", retries.into()),
+                            ("max_retries", max_retries.into()),
+                        ],
+                    );
+                    std::thread::sleep(Duration::from_millis(2u64 << retries.min(5)));
+                }
+                Err(e) => return Err(e),
+            }
+        }
         musa_obs::counter_add("store.rows_appended", added as u64);
         musa_obs::counter_add("store.flushes", 1);
         musa_obs::hist_observe("store.batch_rows", added as f64);
-        Ok(added)
+        Ok((added, retries))
     }
 
     /// Flush buffered appends to disk.
+    ///
+    /// Carries the `store.flush` failpoint; the fault-decision key is
+    /// the flush sequence number, so under a partial-probability I/O
+    /// fault each retry rolls a fresh (but deterministic) decision.
     pub fn flush(&mut self) -> std::io::Result<()> {
+        if self.writer.is_some() {
+            self.flush_seq += 1;
+            musa_fault::fail_io("store.flush", self.flush_seq)?;
+        }
         if let Some(w) = self.writer.as_mut() {
             w.flush()?;
         }
         Ok(())
+    }
+
+    /// What loading found wrong with the on-disk store.
+    pub fn health(&self) -> &StoreHealth {
+        &self.health
     }
 
     /// Simulate **only the missing points** of `apps × configs` (the
@@ -446,16 +796,60 @@ impl CampaignStore {
             };
             let sim = MultiscaleSim::new(&trace);
             for chunk in missing.chunks(opts.batch.max(1)) {
-                let rows: Vec<StoreRow> = chunk
+                // A panic inside one simulation (a bug — or an injected
+                // `sim.point` fault) poisons that point only: the other
+                // points of the chunk are still persisted, and because a
+                // poisoned point never reaches the store, `--resume`
+                // re-attempts exactly the poisoned set.
+                let outcomes: Vec<Result<StoreRow, PoisonedPoint>> = chunk
                     .par_iter()
                     .map(|cfg| {
-                        let result = sim.simulate(*cfg, opts.sweep.full_replay);
-                        StoreRow::new(opts.sweep.gen, opts.sweep.full_replay, result)
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            let result = sim.simulate(*cfg, opts.sweep.full_replay);
+                            StoreRow::new(opts.sweep.gen, opts.sweep.full_replay, result)
+                        }))
+                        .map_err(|payload| PoisonedPoint {
+                            app: app.label().to_string(),
+                            config: cfg.label(),
+                            key: PointKey::for_point(app, cfg, &opts.sweep).to_hex(),
+                            reason: panic_reason(payload),
+                        })
                     })
                     .collect();
-                done += rows.len();
-                report.simulated += self.append_batch(rows)?;
-                musa_obs::counter_add("store.simulated_points", chunk.len() as u64);
+                done += outcomes.len();
+                let mut rows = Vec::with_capacity(outcomes.len());
+                let mut poisoned = Vec::new();
+                for outcome in outcomes {
+                    match outcome {
+                        Ok(row) => rows.push(row),
+                        Err(p) => poisoned.push(p),
+                    }
+                }
+                musa_obs::counter_add("store.simulated_points", rows.len() as u64);
+                let (added, retries) = self.append_batch_retrying(rows, opts.max_retries)?;
+                report.simulated += added;
+                report.retries += retries;
+                for p in &poisoned {
+                    musa_obs::counter_add("fill.poisoned", 1);
+                    musa_obs::warn(
+                        "musa-store",
+                        "simulation panicked, point poisoned (re-attempted on --resume)",
+                        &[
+                            ("app", p.app.clone().into()),
+                            ("config", p.config.clone().into()),
+                            ("reason", p.reason.clone().into()),
+                        ],
+                    );
+                }
+                let abort = opts.fail_fast && !poisoned.is_empty();
+                report.poisoned.extend(poisoned);
+                if abort {
+                    let p = report.poisoned.last().expect("nonempty");
+                    return Err(std::io::Error::other(format!(
+                        "--fail-fast: simulation of {}/{} panicked: {}",
+                        p.app, p.config, p.reason
+                    )));
+                }
                 if let Some(hb) = &heartbeat {
                     hb.tick(done as u64);
                 }

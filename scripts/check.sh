@@ -18,6 +18,15 @@ echo "== build with observability disabled =="
 # The whole instrumentation layer must compile out cleanly.
 cargo build --workspace --no-default-features
 
+echo "== build with fault injection disabled (obs kept) =="
+# Failpoints must compile out independently of observability.
+cargo build -p musa-store --no-default-features --features obs
+cargo build -p musa-bench --no-default-features --features obs
+
+echo "== fault harness without the runtime =="
+# Parsing and decisions stay testable with the injectors compiled out.
+cargo test -q -p musa-fault --no-default-features
+
 echo "== serve without observability =="
 # The HTTP service must behave identically with instrumentation
 # compiled out — the full e2e suite runs both ways.
@@ -30,5 +39,12 @@ echo "== zero-overhead bench (smoke) =="
 # Criterion in --test mode: one pass over the disabled/enabled metric
 # paths, checking they run, not their timings.
 cargo bench -p musa-obs --bench overhead -- --test
+
+if [[ "${CHAOS:-0}" == "1" ]]; then
+    echo "== chaos: kill -9 mid-flush (CHAOS=1) =="
+    # Spawns a child fill, kills it mid-write, and checks that resume
+    # reconstructs the campaign byte-for-byte.
+    CHAOS=1 cargo test -q -p musa-store --test chaos
+fi
 
 echo "All checks passed."

@@ -27,6 +27,7 @@
 pub use musa_apps as apps;
 pub use musa_arch as arch;
 pub use musa_core as core;
+pub use musa_fault as fault;
 pub use musa_mem as mem;
 pub use musa_net as net;
 pub use musa_obs as obs;
