@@ -27,15 +27,23 @@
 //! wall time, cache-hit/resume-skip counts, batch-flush statistics) as
 //! schema-versioned JSON.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use musa_apps::AppId;
-use musa_arch::DesignSpace;
 use musa_bench::cli::{parse_dse_args, DseArgs, Parsed, ServeArgs, SERVE_USAGE, USAGE};
-use musa_bench::{gen_params, store_dir};
+use musa_bench::{configs, gen_params, store_dir};
 use musa_core::report::table;
 use musa_core::SweepOptions;
-use musa_store::{export, CampaignStore, FillOptions};
+use musa_pool::{signals, WorkerStatus};
+use musa_store::{export, CampaignStore, FillOptions, LeaseEvent, LeaseJournal};
+
+/// Exit code for a sweep that completed but holds poisoned points:
+/// partial success, distinguishable from both success (0) and fatal
+/// errors (1) so supervising scripts can decide to retry.
+const EXIT_PARTIAL: i32 = 3;
+
+/// Exit code after a graceful SIGINT/SIGTERM drain (128 + SIGINT).
+const EXIT_INTERRUPTED: i32 = 130;
 
 fn main() {
     musa_obs::init_from_env();
@@ -61,6 +69,9 @@ fn main() {
         }
         Ok(Parsed::Serve(args)) => {
             serve_main(args);
+        }
+        Ok(Parsed::PoolWorker(cfg)) => {
+            worker_main(cfg);
         }
         Ok(Parsed::Run(args)) => args,
         Err(e) => {
@@ -103,6 +114,17 @@ fn main() {
         gen: gen_params(),
         full_replay: true,
     };
+    let configs = configs();
+
+    if let Some(workers) = args.workers {
+        pool_main(&args, &dir, &configs, &opts, workers);
+    }
+
+    // Sequential fill. SIGINT/SIGTERM is latched, polled between
+    // batches: the in-flight batch is flushed, the interruption is
+    // journalled, and the exit code says "stopped early", so a pipeline
+    // around `dse` can tell a clean Ctrl-C from a crash.
+    signals::install_term_handlers();
     let mut store = match args.shard {
         Some(s) => CampaignStore::open_sharded(&dir, s),
         None => CampaignStore::open(&dir),
@@ -112,12 +134,12 @@ fn main() {
         std::process::exit(1);
     });
 
-    let configs = DesignSpace::all();
     let fill = FillOptions {
         shard: args.shard,
         progress: args.progress,
         max_retries: args.max_retries,
         fail_fast: args.fail_fast,
+        cancel: Some(signals::termination_requested),
         ..FillOptions::new(opts)
     };
     let report = store
@@ -150,11 +172,143 @@ fn main() {
             if report.retries == 1 { "y" } else { "ies" }
         );
     }
+    if report.interrupted {
+        // Everything simulated so far is flushed; leave a durable
+        // journal marker and report the interruption in the exit code.
+        match LeaseJournal::open(&dir) {
+            Ok((mut journal, _)) => {
+                let _ = journal.append(&LeaseEvent::Interrupted {
+                    reason: "SIGINT/SIGTERM during sequential fill".to_string(),
+                });
+            }
+            Err(e) => eprintln!("[dse] cannot journal the interruption: {e}"),
+        }
+        eprintln!(
+            "[dse] interrupted: {} point(s) flushed, the rest resume with --resume",
+            report.cached + report.simulated
+        );
+        finish_observability(&args);
+        std::process::exit(EXIT_INTERRUPTED);
+    }
 
     let campaign = store.campaign_for(&AppId::ALL, &configs, &opts);
+    export_campaign(&args, &campaign);
+    summarise(&campaign, &configs, &dir);
+    finish_observability(&args);
+    if !report.poisoned.is_empty() {
+        std::process::exit(EXIT_PARTIAL);
+    }
+}
 
+/// `dse --workers N`: supervised multi-process fill, then the same
+/// exports and summary as the sequential path, computed from a final
+/// repairing re-open of the store (the supervisor holds no writer by
+/// then, so this open also truncates any torn tail a kill -9'd worker
+/// left behind).
+fn pool_main(
+    args: &DseArgs,
+    dir: &Path,
+    configs: &[musa_arch::NodeConfig],
+    opts: &SweepOptions,
+    workers: usize,
+) -> ! {
+    let exe = std::env::current_exe().unwrap_or_else(|e| {
+        eprintln!("dse: cannot locate own binary for worker re-exec: {e}");
+        std::process::exit(1);
+    });
+    let mut env: Vec<(String, String)> = Vec::new();
+    if let Some(spec) = &args.faults_spec {
+        // Workers run the *identical* fault plan: the spec (seed
+        // included) rides the environment verbatim and is re-parsed by
+        // each worker's own init.
+        env.push(("MUSA_FAULTS".to_string(), spec.clone()));
+    }
+    let pool_opts = musa_pool::PoolOptions {
+        workers,
+        point_timeout: args.point_timeout,
+        poison_cap: args.poison_cap,
+        lease_batch: args.lease_batch,
+        max_retries: args.max_retries,
+        progress: args.progress,
+        env,
+    };
+    let report = musa_pool::run_pool(&exe, dir, &AppId::ALL, configs, opts, &pool_opts)
+        .unwrap_or_else(|e| {
+            eprintln!("dse: pool fill in {} failed: {e}", dir.display());
+            std::process::exit(1);
+        });
+    eprintln!(
+        "[dse] pool {}: {} requested, {} cached, {} completed by {} workers \
+         ({} rows flushed, {} requeues, {} worker deaths, {} deadline kills)",
+        dir.display(),
+        report.requested,
+        report.cached,
+        report.completed,
+        workers,
+        report.rows_flushed,
+        report.requeues,
+        report.worker_deaths,
+        report.deadline_kills,
+    );
+    for p in &report.pool_poisoned {
+        eprintln!(
+            "[dse]   poisoned (killed {} workers): {}/{}: {}",
+            p.strikes, p.app, p.config, p.reason
+        );
+    }
+    for p in &report.worker_poisoned {
+        eprintln!(
+            "[dse]   poisoned (in-worker panic): {}/{}: {}",
+            p.app, p.config, p.reason
+        );
+    }
+
+    if report.interrupted {
+        eprintln!("[dse] interrupted: workers drained, resume with --resume");
+        finish_observability(args);
+        std::process::exit(EXIT_INTERRUPTED);
+    }
+
+    // Final repairing open: no other process holds a writer now.
+    let store = CampaignStore::open(dir).unwrap_or_else(|e| {
+        eprintln!("open campaign store {}: {e}", dir.display());
+        std::process::exit(1);
+    });
+    let campaign = store.campaign_for(&AppId::ALL, configs, opts);
+    export_campaign(args, &campaign);
+    summarise(&campaign, configs, dir);
+    finish_observability(args);
+    if report.poisoned_total() > 0 {
+        std::process::exit(EXIT_PARTIAL);
+    }
+    std::process::exit(0);
+}
+
+/// Hidden `pool-worker` mode: execute one lease and exit with the
+/// status the supervisor expects (0 complete, 130 interrupted by a
+/// drain, anything else a death). The sweep geometry (scale, config
+/// slice, fault plan) comes from the environment inherited from the
+/// supervisor, so both processes enumerate identical point keys.
+fn worker_main(cfg: musa_pool::WorkerConfig) -> ! {
+    let opts = SweepOptions {
+        gen: gen_params(),
+        full_replay: true,
+    };
+    let configs = configs();
+    match musa_pool::run_worker(&cfg, &AppId::ALL, &configs, &opts) {
+        Ok(WorkerStatus::Complete) => std::process::exit(0),
+        Ok(WorkerStatus::Interrupted) => std::process::exit(EXIT_INTERRUPTED),
+        Err(e) => {
+            eprintln!("dse pool-worker (lease {}): {e}", cfg.lease);
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `--csv` / `--json` exports, shared by the sequential and pool paths.
+fn export_campaign(args: &DseArgs, campaign: &musa_core::Campaign) {
     if let Some(path) = &args.csv {
-        match export::write_csv(&campaign, path) {
+        match export::write_csv(campaign, path) {
             Ok(n) => println!("wrote {n} rows to {path}"),
             Err(e) => {
                 eprintln!("CSV export to {path} failed: {e}");
@@ -163,7 +317,7 @@ fn main() {
         }
     }
     if let Some(path) = &args.json {
-        match export::write_json(&campaign, path) {
+        match export::write_json(campaign, path) {
             Ok(n) => println!("wrote {n} rows to {path}"),
             Err(e) => {
                 eprintln!("JSON export to {path} failed: {e}");
@@ -171,9 +325,6 @@ fn main() {
             }
         }
     }
-
-    summarise(&campaign, &configs, &dir);
-    finish_observability(&args);
 }
 
 /// `dse serve`: load the campaign once, serve queries until killed (or
@@ -326,7 +477,9 @@ fn finish_observability(args: &DseArgs) {
     musa_obs::close_json();
 }
 
-/// A fresh (non-`--resume`) run discards previously stored rows.
+/// A fresh (non-`--resume`) run discards previously stored rows, the
+/// lease journal (with its poisoned set — a fresh sweep re-attempts
+/// everything) and the pool scratch directory.
 fn clear_store(dir: &std::path::Path) {
     let Ok(entries) = std::fs::read_dir(dir) else {
         return; // nothing to clear
@@ -337,6 +490,10 @@ fn clear_store(dir: &std::path::Path) {
             removed += 1;
         }
     }
+    if std::fs::remove_file(dir.join(musa_store::LEASE_JOURNAL_FILE)).is_ok() {
+        removed += 1;
+    }
+    let _ = std::fs::remove_dir_all(dir.join(musa_pool::lease::SCRATCH_DIR));
     if removed > 0 {
         eprintln!(
             "[dse] cleared {removed} result file(s) from {} (use --resume to keep them)",

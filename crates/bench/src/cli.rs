@@ -6,9 +6,11 @@
 //! `--csv` / `--json` keep their optional-value semantics.
 
 use std::path::PathBuf;
+use std::time::Duration;
 
 use musa_fault::FaultPlan;
 use musa_obs::Level;
+use musa_pool::{WorkerConfig, DEFAULT_LEASE_BATCH, DEFAULT_POISON_CAP};
 use musa_store::{Shard, DEFAULT_MAX_RETRIES};
 
 /// `dse` usage text (printed on `--help` and after a parse error).
@@ -28,6 +30,16 @@ usage: dse [options]
                      (default 2)
   --fail-fast        abort the sweep on the first panicking point instead
                      of recording it and continuing
+  --workers N        supervised multi-process fill: N worker processes lease
+                     point batches from a crash-safe journal; worker deaths
+                     are re-queued with backoff and the final store is
+                     byte-identical to a sequential run
+  --point-timeout D  per-point wall-clock deadline in a --workers run
+                     (e.g. 500ms, 10s); a worker stuck longer is killed and
+                     its unfinished points re-queued (default: no deadline)
+  --poison-cap N     quarantine a point after it kills N workers instead of
+                     retrying it forever (default 3)
+  --lease-batch N    points per worker lease (default 16)
   --faults SPEC      inject deterministic faults, e.g.
                      'seed=7,store.flush=io@0.02,sim.point=panic@0.001'
                      (actions: io, panic, delay:<n><us|ms|s>; needs the
@@ -62,6 +74,18 @@ pub struct DseArgs {
     /// Parsed `--faults` plan (validated at parse time: a bad spec is
     /// exit 2, never a silently fault-free chaos run).
     pub faults: Option<FaultPlan>,
+    /// The raw `--faults` spec, kept verbatim so a pool supervisor can
+    /// hand the *identical* plan to its workers via the environment.
+    pub faults_spec: Option<String>,
+    /// Pool mode: run the fill with this many supervised worker
+    /// processes. `None` is the in-process sequential fill.
+    pub workers: Option<usize>,
+    /// Per-point wall-clock deadline in a pool run.
+    pub point_timeout: Option<Duration>,
+    /// Worker deaths a single point may cause before quarantine.
+    pub poison_cap: u32,
+    /// Points per worker lease.
+    pub lease_batch: usize,
     /// Stderr event level override; `Some(None)` is `--log off`.
     pub log: Option<Option<Level>>,
     /// JSONL event sink path.
@@ -82,6 +106,11 @@ impl Default for DseArgs {
             max_retries: DEFAULT_MAX_RETRIES,
             fail_fast: false,
             faults: None,
+            faults_spec: None,
+            workers: None,
+            point_timeout: None,
+            poison_cap: DEFAULT_POISON_CAP,
+            lease_batch: DEFAULT_LEASE_BATCH,
             log: None,
             log_json: None,
         }
@@ -161,6 +190,10 @@ pub enum Parsed {
     Run(DseArgs),
     /// Run the query service with these arguments.
     Serve(ServeArgs),
+    /// Execute one pool lease as a worker process (hidden mode: the
+    /// supervisor re-execs the binary with `pool-worker ...`; it is
+    /// not part of the human-facing usage text).
+    PoolWorker(WorkerConfig),
     /// Print usage and exit 0.
     Help,
     /// Print serve usage and exit 0.
@@ -196,6 +229,9 @@ pub fn parse_dse_args<S: AsRef<str>>(args: &[S]) -> Result<Parsed, String> {
     if args.first().map(AsRef::as_ref) == Some("serve") {
         return parse_serve_args(&args[1..]);
     }
+    if args.first().map(AsRef::as_ref) == Some("pool-worker") {
+        return parse_worker_args(&args[1..]);
+    }
     let mut out = DseArgs::default();
     let mut it = args.iter().map(AsRef::as_ref).peekable();
     while let Some(arg) = it.next() {
@@ -220,6 +256,34 @@ pub fn parse_dse_args<S: AsRef<str>>(args: &[S]) -> Result<Parsed, String> {
                 let spec = required(&mut it, "--faults")?;
                 out.faults =
                     Some(FaultPlan::parse(spec).map_err(|e| format!("bad --faults: {e}"))?);
+                out.faults_spec = Some(spec.to_string());
+            }
+            "--workers" => {
+                let n: usize = parse_number("--workers", required(&mut it, "--workers")?)?;
+                if n == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+                out.workers = Some(n);
+            }
+            "--point-timeout" => {
+                let spec = required(&mut it, "--point-timeout")?;
+                out.point_timeout = Some(
+                    musa_fault::parse_duration(spec)
+                        .map_err(|e| format!("bad --point-timeout: {e}"))?,
+                );
+            }
+            "--poison-cap" => {
+                out.poison_cap = parse_number("--poison-cap", required(&mut it, "--poison-cap")?)?;
+                if out.poison_cap == 0 {
+                    return Err("--poison-cap must be at least 1".into());
+                }
+            }
+            "--lease-batch" => {
+                out.lease_batch =
+                    parse_number("--lease-batch", required(&mut it, "--lease-batch")?)?;
+                if out.lease_batch == 0 {
+                    return Err("--lease-batch must be at least 1".into());
+                }
             }
             "--log-json" => out.log_json = Some(required(&mut it, "--log-json")?.into()),
             "--log" => {
@@ -240,7 +304,70 @@ pub fn parse_dse_args<S: AsRef<str>>(args: &[S]) -> Result<Parsed, String> {
             other => return Err(format!("unexpected argument {other:?}")),
         }
     }
+    if out.workers.is_none() {
+        // The pool tuning knobs only mean something under --workers;
+        // accepting them solo would silently do nothing.
+        if out.point_timeout.is_some() {
+            return Err("--point-timeout requires --workers".into());
+        }
+        if out.lease_batch != DEFAULT_LEASE_BATCH {
+            return Err("--lease-batch requires --workers".into());
+        }
+        if out.poison_cap != DEFAULT_POISON_CAP {
+            return Err("--poison-cap requires --workers".into());
+        }
+    } else {
+        if out.shard.is_some() {
+            return Err("--workers and --shard are mutually exclusive \
+                        (the pool partitions points itself)"
+                .into());
+        }
+        if out.fail_fast {
+            return Err("--fail-fast is not supported with --workers \
+                        (use --poison-cap to bound failures)"
+                .into());
+        }
+    }
     Ok(Parsed::Run(out))
+}
+
+/// Parse the hidden `pool-worker` argv the supervisor generates. As
+/// strict as the human-facing surfaces: the two sides are compiled
+/// from the same source, so any parse error here is a real bug, and
+/// exit 2 (instead of a misbehaving worker) is the loudest way to
+/// surface it.
+fn parse_worker_args<S: AsRef<str>>(args: &[S]) -> Result<Parsed, String> {
+    let mut dir: Option<PathBuf> = None;
+    let mut lease: Option<u64> = None;
+    let mut attempt: Option<u32> = None;
+    let mut points: Option<Vec<u64>> = None;
+    let mut max_retries = DEFAULT_MAX_RETRIES;
+    let mut it = args.iter().map(AsRef::as_ref).peekable();
+    while let Some(arg) = it.next() {
+        match arg {
+            "--store-dir" => dir = Some(required(&mut it, "--store-dir")?.into()),
+            "--lease" => lease = Some(parse_number("--lease", required(&mut it, "--lease")?)?),
+            "--attempt" => {
+                attempt = Some(parse_number("--attempt", required(&mut it, "--attempt")?)?);
+            }
+            "--points" => {
+                let spec = required(&mut it, "--points")?;
+                points =
+                    Some(musa_pool::parse_points(spec).map_err(|e| format!("bad --points: {e}"))?);
+            }
+            "--max-retries" => {
+                max_retries = parse_number("--max-retries", required(&mut it, "--max-retries")?)?;
+            }
+            other => return Err(format!("unknown pool-worker argument {other:?}")),
+        }
+    }
+    Ok(Parsed::PoolWorker(WorkerConfig {
+        dir: dir.ok_or("pool-worker needs --store-dir")?,
+        lease: lease.ok_or("pool-worker needs --lease")?,
+        attempt: attempt.ok_or("pool-worker needs --attempt")?,
+        points: points.ok_or("pool-worker needs --points")?,
+        max_retries,
+    }))
 }
 
 fn parse_number<T: std::str::FromStr>(flag: &str, raw: &str) -> Result<T, String> {
@@ -413,6 +540,112 @@ mod tests {
             let err = parse_dse_args(&["--faults", bad]).unwrap_err();
             assert!(err.starts_with("bad --faults:"), "{bad:?} gave {err:?}");
         }
+    }
+
+    #[test]
+    fn pool_flags_parse() {
+        let a = run(&["--workers", "4"]);
+        assert_eq!(a.workers, Some(4));
+        assert_eq!(a.point_timeout, None);
+        assert_eq!(a.poison_cap, DEFAULT_POISON_CAP);
+        assert_eq!(a.lease_batch, DEFAULT_LEASE_BATCH);
+
+        let a = run(&[
+            "--workers",
+            "2",
+            "--point-timeout",
+            "500ms",
+            "--poison-cap",
+            "1",
+            "--lease-batch",
+            "3",
+        ]);
+        assert_eq!(a.workers, Some(2));
+        assert_eq!(a.point_timeout, Some(Duration::from_millis(500)));
+        assert_eq!((a.poison_cap, a.lease_batch), (1, 3));
+        assert_eq!(
+            run(&["--workers", "1", "--point-timeout", "10s"]).point_timeout,
+            Some(Duration::from_secs(10))
+        );
+    }
+
+    #[test]
+    fn pool_flags_are_strict() {
+        assert!(parse_dse_args(&["--workers"]).is_err());
+        assert!(parse_dse_args(&["--workers", "0"]).is_err());
+        assert!(parse_dse_args(&["--workers", "two"]).is_err());
+        assert!(parse_dse_args(&["--workers", "2", "--point-timeout", "5"]).is_err());
+        assert!(parse_dse_args(&["--workers", "2", "--poison-cap", "0"]).is_err());
+        assert!(parse_dse_args(&["--workers", "2", "--lease-batch", "0"]).is_err());
+        // Tuning knobs without --workers would silently do nothing.
+        assert!(parse_dse_args(&["--point-timeout", "1s"]).is_err());
+        assert!(parse_dse_args(&["--poison-cap", "5"]).is_err());
+        assert!(parse_dse_args(&["--lease-batch", "4"]).is_err());
+        // Both of these would change what the workers simulate or how
+        // failures abort, in ways the pool does not propagate.
+        assert!(parse_dse_args(&["--workers", "2", "--shard", "0/2"]).is_err());
+        assert!(parse_dse_args(&["--workers", "2", "--fail-fast"]).is_err());
+    }
+
+    #[test]
+    fn faults_spec_is_retained_verbatim() {
+        let spec = "seed=9,sim.point=panic@0.001,store.flush=io@0.02";
+        let a = run(&["--faults", spec]);
+        assert_eq!(a.faults_spec.as_deref(), Some(spec));
+        assert_eq!(run(&[]).faults_spec, None);
+    }
+
+    #[test]
+    fn pool_worker_subcommand_parses() {
+        let parsed = parse_dse_args(&[
+            "pool-worker",
+            "--store-dir",
+            "/tmp/campaign",
+            "--lease",
+            "7",
+            "--attempt",
+            "1",
+            "--points",
+            "0-2,9",
+            "--max-retries",
+            "5",
+        ])
+        .unwrap();
+        assert_eq!(
+            parsed,
+            Parsed::PoolWorker(WorkerConfig {
+                dir: "/tmp/campaign".into(),
+                lease: 7,
+                attempt: 1,
+                points: vec![0, 1, 2, 9],
+                max_retries: 5,
+            })
+        );
+    }
+
+    #[test]
+    fn pool_worker_subcommand_is_strict() {
+        // Missing any required flag is an error.
+        assert!(parse_dse_args(&["pool-worker"]).is_err());
+        assert!(
+            parse_dse_args(&["pool-worker", "--store-dir", "/x", "--lease", "1"]).is_err(),
+            "missing --attempt/--points must be rejected"
+        );
+        assert!(parse_dse_args(&[
+            "pool-worker",
+            "--store-dir",
+            "/x",
+            "--lease",
+            "1",
+            "--attempt",
+            "0",
+            "--points",
+            "9-5",
+        ])
+        .is_err());
+        assert!(parse_dse_args(&["pool-worker", "--nope"]).is_err());
+        // Like `serve`, only recognised in first position.
+        assert!(parse_dse_args(&["--resume", "pool-worker"]).is_err());
     }
 
     #[test]

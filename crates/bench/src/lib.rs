@@ -26,12 +26,41 @@ pub fn paper_scale() -> bool {
 }
 
 /// Trace-generation parameters for the selected scale.
+///
+/// `MUSA_TINY=1` (test harnesses only — it is not a CLI flag) selects
+/// [`GenParams::tiny`] so multi-process e2e drills finish in seconds;
+/// pool workers inherit it from the supervisor's environment, which is
+/// what keeps both sides of a `--workers` run enumerating the same
+/// point keys.
 pub fn gen_params() -> GenParams {
-    if paper_scale() {
+    if std::env::var("MUSA_TINY")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+    {
+        GenParams::tiny()
+    } else if paper_scale() {
         GenParams::paper()
     } else {
         GenParams::small()
     }
+}
+
+/// The configurations of the sweep: the full 864-point design space,
+/// or — when `MUSA_CONFIG_SLICE=N` is set (test harnesses only) — a
+/// deterministic N-point slice of it, spread across the space rather
+/// than taken from the front so sliced sweeps still cross feature
+/// boundaries. Like `MUSA_TINY`, the env var is how the slice reaches
+/// re-exec'd pool workers unchanged.
+pub fn configs() -> Vec<NodeConfig> {
+    let all = DesignSpace::all();
+    let Some(n) = std::env::var("MUSA_CONFIG_SLICE")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0 && n < all.len())
+    else {
+        return all;
+    };
+    all.iter().copied().step_by(all.len() / n).take(n).collect()
 }
 
 /// Campaign store directory for the current scale (override with

@@ -1,0 +1,493 @@
+//! End-to-end drills for the supervised multi-process fill
+//! (`dse --workers N`), driving the real `dse` binary.
+//!
+//! The contract under test is byte-identity: whatever the pool is put
+//! through — plain runs at several worker counts, a point that hangs
+//! until the deadline watchdog kills its worker, a worker SIGKILLed
+//! mid-batch, the supervisor itself SIGKILLed and resumed — the final
+//! store must hold exactly the rows a sequential run produces (minus
+//! any quarantined points, which must be accounted for in the lease
+//! journal).
+//!
+//! The kill-9 drills spawn and murder real processes and are gated
+//! behind `CHAOS=1`, like the store's crash test:
+//!
+//! ```sh
+//! CHAOS=1 cargo test -p musa-bench --test pool_e2e
+//! ```
+//!
+//! Everything here needs a working `serde_json` (the typecheck-only
+//! stub panics at runtime) and skips cleanly without it.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use musa_apps::AppId;
+use musa_arch::{DesignSpace, NodeConfig};
+use musa_fault::{FaultAction, FaultPlan, FaultPoint};
+use musa_store::{journal, LeaseEvent, QUARANTINE_FILE};
+
+const DSE: &str = env!("CARGO_BIN_EXE_dse");
+
+/// Tiny-scale sweep shared by every drill: 6 configs spread across the
+/// design space × all apps, inherited by pool workers via the
+/// environment (`MUSA_TINY` / `MUSA_CONFIG_SLICE`).
+const CONFIG_SLICE: usize = 6;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "musa-pool-e2e-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// `true` when the linked serde_json actually serialises; `false`
+/// under the typecheck-only stub. Persistence drills skip without it.
+fn serde_json_works() -> bool {
+    std::panic::catch_unwind(|| serde_json::to_string(&()).is_ok()).unwrap_or(false)
+}
+
+fn chaos_enabled() -> bool {
+    std::env::var("CHAOS").as_deref() == Ok("1")
+}
+
+/// Run `dse --store-dir <dir> <extra>` at the drill scale and wait.
+fn dse(dir: &Path, extra: &[&str]) -> Output {
+    dse_command(dir, extra).output().expect("spawn dse")
+}
+
+fn dse_command(dir: &Path, extra: &[&str]) -> Command {
+    let mut cmd = Command::new(DSE);
+    cmd.arg("--store-dir")
+        .arg(dir)
+        .args(extra)
+        .env("MUSA_TINY", "1")
+        .env("MUSA_CONFIG_SLICE", CONFIG_SLICE.to_string())
+        .env_remove("MUSA_FULL")
+        .env_remove("MUSA_STORE_DIR")
+        .env_remove("MUSA_FAULTS")
+        .env_remove("MUSA_FAULT_SEED");
+    cmd
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// All data lines of a store directory (quarantine excluded), sorted —
+/// the byte-level identity two equivalent campaigns must share. Pool
+/// worker row files (`pool-l*.jsonl`) are plain store files, so the
+/// comparison is layout-independent by construction.
+fn sorted_store_lines(dir: &Path) -> Vec<String> {
+    let mut lines = Vec::new();
+    for entry in std::fs::read_dir(dir).unwrap().filter_map(|e| e.ok()) {
+        let path = entry.path();
+        if path.extension().is_some_and(|x| x == "jsonl")
+            && path.file_name().is_none_or(|n| n != QUARANTINE_FILE)
+        {
+            lines.extend(
+                std::fs::read_to_string(&path)
+                    .unwrap()
+                    .lines()
+                    .map(str::to_string),
+            );
+        }
+    }
+    lines.sort();
+    lines
+}
+
+/// The sweep's point count and the `sim.point` failpoint key of every
+/// point, in the exact enumeration the supervisor and workers share.
+fn point_keys() -> Vec<u64> {
+    let all = DesignSpace::all();
+    let configs: Vec<NodeConfig> = all
+        .iter()
+        .copied()
+        .step_by(all.len() / CONFIG_SLICE)
+        .take(CONFIG_SLICE)
+        .collect();
+    let mut keys = Vec::new();
+    for app in AppId::ALL {
+        for cfg in &configs {
+            keys.push(musa_fault::key_of(&[
+                app.label().as_bytes(),
+                cfg.label().as_bytes(),
+            ]));
+        }
+    }
+    keys
+}
+
+/// A fault-free sequential reference run; the byte-identity oracle.
+fn reference_lines(tag: &str) -> (PathBuf, Vec<String>) {
+    let dir = tmp_dir(tag);
+    let out = dse(&dir, &[]);
+    assert!(
+        out.status.success(),
+        "sequential reference run failed: {}",
+        stderr_of(&out)
+    );
+    let lines = sorted_store_lines(&dir);
+    assert!(!lines.is_empty(), "reference run persisted nothing");
+    (dir, lines)
+}
+
+#[test]
+fn pool_fill_matches_sequential_byte_for_byte() {
+    if !serde_json_works() {
+        eprintln!("skipping: needs a runtime serde_json");
+        return;
+    }
+    let (ref_dir, want) = reference_lines("seq-ref");
+
+    for n in ["1", "2", "4"] {
+        let dir = tmp_dir(&format!("workers-{n}"));
+        let out = dse(&dir, &["--workers", n, "--lease-batch", "4"]);
+        assert!(
+            out.status.success(),
+            "--workers {n} failed: {}",
+            stderr_of(&out)
+        );
+        assert_eq!(
+            sorted_store_lines(&dir),
+            want,
+            "--workers {n} store differs from sequential"
+        );
+        let rep = journal::replay(&dir);
+        assert!(rep.clean_terminated, "--workers {n}: torn journal");
+        assert!(
+            matches!(rep.events.last(), Some(LeaseEvent::Complete { .. })),
+            "--workers {n}: journal does not end in Complete"
+        );
+        assert!(rep.poisoned().is_empty(), "--workers {n}: spurious poison");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let _ = std::fs::remove_dir_all(&ref_dir);
+}
+
+/// A worker crash mid-sweep (injected `sim.point` panics on ~half the
+/// points, which under the pool kill no one — they are caught in the
+/// worker exactly as in a sequential fill) must leave the same
+/// poisoned-point accounting as the sequential run, and a clean
+/// `--resume` without faults must then heal to byte-identity.
+#[test]
+fn injected_sim_panics_poison_identically_then_resume_heals() {
+    if !serde_json_works() || !musa_fault::COMPILED {
+        eprintln!("skipping: needs runtime serde_json and the fault feature");
+        return;
+    }
+    let spec = "seed=11,sim.point=panic@0.5";
+    let seq = tmp_dir("panic-seq");
+    let out = dse(&seq, &["--faults", spec]);
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "sequential faulted run should be partial: {}",
+        stderr_of(&out)
+    );
+
+    let pool = tmp_dir("panic-pool");
+    let out = dse(
+        &pool,
+        &["--workers", "2", "--lease-batch", "4", "--faults", spec],
+    );
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "pool faulted run should be partial: {}",
+        stderr_of(&out)
+    );
+    assert_eq!(
+        sorted_store_lines(&pool),
+        sorted_store_lines(&seq),
+        "surviving rows must match sequential under identical faults"
+    );
+
+    // Heal both, fault-free; they must converge on the same bytes.
+    for dir in [&seq, &pool] {
+        let out = dse(dir, &["--resume"]);
+        assert!(out.status.success(), "resume failed: {}", stderr_of(&out));
+    }
+    assert_eq!(sorted_store_lines(&pool), sorted_store_lines(&seq));
+    let _ = std::fs::remove_dir_all(&seq);
+    let _ = std::fs::remove_dir_all(&pool);
+}
+
+#[test]
+fn hung_point_is_deadline_killed_then_poisoned() {
+    if !serde_json_works() || !musa_fault::COMPILED {
+        eprintln!("skipping: needs runtime serde_json and the fault feature");
+        return;
+    }
+    // Search for a seed under which exactly ONE point of the sweep
+    // draws the delay fault — the drill needs a single hung point and
+    // a completing remainder. The test replicates the simulator's
+    // failpoint key, so the search is exact, not probabilistic.
+    let keys = point_keys();
+    let p = 0.04;
+    let hangs = |seed: u64| {
+        let plan = FaultPlan {
+            seed,
+            points: vec![FaultPoint {
+                point: "sim.point".into(),
+                action: FaultAction::Delay(Duration::from_secs(120)),
+                probability: p,
+            }],
+        };
+        keys.iter()
+            .filter(|&&k| plan.decide("sim.point", k).is_some())
+            .count()
+    };
+    let seed = (0..10_000u64)
+        .find(|&s| hangs(s) == 1)
+        .expect("some seed hangs exactly one point");
+    let spec = format!("seed={seed},sim.point=delay:120s@{p}");
+
+    let dir = tmp_dir("hang");
+    let out = dse(
+        &dir,
+        &[
+            "--workers",
+            "2",
+            "--lease-batch",
+            "4",
+            "--point-timeout",
+            "3s",
+            "--poison-cap",
+            "2",
+            "--faults",
+            &spec,
+        ],
+    );
+    // The hung point is killed by the watchdog, re-queued, hangs
+    // again (same plan, same key), and is quarantined at the cap; the
+    // rest of the sweep completes and the exit code says "partial".
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "expected partial-success exit: {}",
+        stderr_of(&out)
+    );
+    let rep = journal::replay(&dir);
+    assert!(rep.clean_terminated);
+    let poisoned = rep.poisoned();
+    assert_eq!(
+        poisoned.len(),
+        1,
+        "exactly the hung point is quarantined: {poisoned:?}"
+    );
+    assert_eq!(poisoned[0].strikes, 2);
+    assert!(
+        poisoned[0].reason.contains("deadline"),
+        "poison blames the deadline: {}",
+        poisoned[0].reason
+    );
+    let deaths = rep
+        .events
+        .iter()
+        .filter(|e| matches!(e, LeaseEvent::Dead { .. }))
+        .count();
+    assert!(deaths >= 2, "two watchdog kills recorded, saw {deaths}");
+    assert!(
+        matches!(rep.events.last(), Some(LeaseEvent::Complete { .. })),
+        "sweep completes around the quarantined point"
+    );
+    assert_eq!(
+        sorted_store_lines(&dir).len(),
+        keys.len() - 1,
+        "every point but the hung one is persisted"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Kill-9 drills (CHAOS=1): real SIGKILLs against real processes.
+// ---------------------------------------------------------------------
+
+/// Scan /proc for live `dse pool-worker` processes working on `dir`.
+fn worker_pids(dir: &Path) -> Vec<u32> {
+    let needle = dir.to_string_lossy().into_owned();
+    let mut pids = Vec::new();
+    let Ok(entries) = std::fs::read_dir("/proc") else {
+        return pids;
+    };
+    for entry in entries.filter_map(|e| e.ok()) {
+        let Some(pid) = entry
+            .file_name()
+            .to_str()
+            .and_then(|n| n.parse::<u32>().ok())
+        else {
+            continue;
+        };
+        let Ok(cmdline) = std::fs::read(entry.path().join("cmdline")) else {
+            continue;
+        };
+        let cmdline = String::from_utf8_lossy(&cmdline);
+        if cmdline.contains("pool-worker") && cmdline.contains(needle.as_str()) {
+            pids.push(pid);
+        }
+    }
+    pids
+}
+
+fn sigkill(pid: u32) {
+    let _ = Command::new("kill").args(["-9", &pid.to_string()]).status();
+}
+
+#[test]
+fn kill_nine_worker_mid_batch_converges_byte_identically() {
+    if !chaos_enabled() {
+        eprintln!("skipping: set CHAOS=1 to run the kill-9 worker drill");
+        return;
+    }
+    if !serde_json_works() || !musa_fault::COMPILED {
+        eprintln!("skipping: needs runtime serde_json and the fault feature");
+        return;
+    }
+    let (ref_dir, want) = reference_lines("kill9-ref");
+
+    // Delay faults on every point keep the sweep slow enough to land a
+    // SIGKILL mid-batch, without perturbing any result bytes.
+    let dir = tmp_dir("kill9");
+    let mut child = dse_command(
+        &dir,
+        &[
+            "--workers",
+            "2",
+            "--lease-batch",
+            "4",
+            "--faults",
+            "sim.point=delay:150ms@1.0",
+        ],
+    )
+    .stdout(Stdio::null())
+    .stderr(Stdio::null())
+    .spawn()
+    .expect("spawn supervised dse");
+
+    // Murder the first worker that shows up.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut killed = false;
+    while Instant::now() < deadline {
+        if let Some(&pid) = worker_pids(&dir).first() {
+            sigkill(pid);
+            killed = true;
+            break;
+        }
+        if child.try_wait().expect("try_wait").is_some() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let status = child.wait().expect("wait for supervisor");
+    assert!(killed, "never caught a worker to kill (sweep too fast?)");
+    assert!(
+        status.success(),
+        "supervisor must absorb the kill: {status}"
+    );
+
+    let rep = journal::replay(&dir);
+    assert!(
+        rep.events
+            .iter()
+            .any(|e| matches!(e, LeaseEvent::Dead { .. })),
+        "the worker death must be journalled"
+    );
+    assert!(
+        rep.events
+            .iter()
+            .any(|e| matches!(e, LeaseEvent::Requeue { .. })),
+        "the dead worker's lease must be re-queued"
+    );
+    assert!(rep.poisoned().is_empty(), "a murdered worker is not poison");
+    assert_eq!(
+        sorted_store_lines(&dir),
+        want,
+        "post-kill store differs from sequential"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&ref_dir);
+}
+
+#[test]
+fn kill_nine_supervisor_then_resume_converges_byte_identically() {
+    if !chaos_enabled() {
+        eprintln!("skipping: set CHAOS=1 to run the kill-9 supervisor drill");
+        return;
+    }
+    if !serde_json_works() || !musa_fault::COMPILED {
+        eprintln!("skipping: needs runtime serde_json and the fault feature");
+        return;
+    }
+    let (ref_dir, want) = reference_lines("resume-ref");
+
+    let dir = tmp_dir("resume");
+    let mut child = dse_command(
+        &dir,
+        &[
+            "--workers",
+            "2",
+            "--lease-batch",
+            "2",
+            "--faults",
+            "sim.point=delay:150ms@1.0",
+        ],
+    )
+    .stdout(Stdio::null())
+    .stderr(Stdio::null())
+    .spawn()
+    .expect("spawn supervised dse");
+
+    // Let it make some progress (at least one granted lease), then
+    // SIGKILL the supervisor itself — no drain, no journal Complete.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while Instant::now() < deadline {
+        if !journal::replay(&dir).events.is_empty() && !worker_pids(&dir).is_empty() {
+            break;
+        }
+        if child.try_wait().expect("try_wait").is_some() {
+            panic!("supervisor finished before the drill could kill it");
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    child.kill().expect("SIGKILL supervisor");
+    let _ = child.wait();
+
+    // Orphaned workers keep running their lease to completion; wait
+    // for them to drain off before resuming, like an operator would.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while !worker_pids(&dir).is_empty() {
+        assert!(
+            Instant::now() < deadline,
+            "orphaned workers failed to finish their leases"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let out = dse(&dir, &["--workers", "2", "--resume"]);
+    assert!(
+        out.status.success(),
+        "resumed supervisor failed: {}",
+        stderr_of(&out)
+    );
+    let rep = journal::replay(&dir);
+    assert!(rep.clean_terminated);
+    assert!(
+        matches!(rep.events.last(), Some(LeaseEvent::Complete { .. })),
+        "resumed sweep must journal Complete"
+    );
+    assert_eq!(
+        sorted_store_lines(&dir),
+        want,
+        "post-resume store differs from sequential"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&ref_dir);
+}

@@ -22,6 +22,7 @@
 //! spec    := entry (',' entry)*
 //! entry   := 'seed=' u64 | point '=' action '@' prob
 //! point   := 'sim.point' | 'store.flush' | 'store.rewrite' | 'export.write'
+//!          | 'pool.lease' | 'worker.spawn'
 //! action  := 'io' | 'panic' | 'delay:' count unit      unit := 'us' | 'ms' | 's'
 //! prob    := decimal in (0, 1]
 //! ```
@@ -51,7 +52,14 @@ pub const COMPILED: bool = cfg!(feature = "runtime");
 /// Failpoints known to the pipeline; [`FaultPlan::parse`] rejects
 /// anything else so a typo'd spec fails fast instead of silently
 /// injecting nothing.
-pub const KNOWN_POINTS: [&str; 4] = ["sim.point", "store.flush", "store.rewrite", "export.write"];
+pub const KNOWN_POINTS: [&str; 6] = [
+    "sim.point",
+    "store.flush",
+    "store.rewrite",
+    "export.write",
+    "pool.lease",
+    "worker.spawn",
+];
 
 /// Seed used when a spec does not carry a `seed=` entry.
 pub const DEFAULT_SEED: u64 = 0x6d75_7361; // "musa"
@@ -83,7 +91,10 @@ impl FaultAction {
     }
 }
 
-fn parse_duration(s: &str) -> Result<Duration, String> {
+/// Parse a `<n><us|ms|s>` duration (the grammar's `delay:` argument).
+/// Public because the pool CLI reuses it for `--point-timeout`, so the
+/// two surfaces can never drift apart.
+pub fn parse_duration(s: &str) -> Result<Duration, String> {
     let (digits, unit): (&str, fn(u64) -> Duration) = if let Some(d) = s.strip_suffix("us") {
         (d, Duration::from_micros)
     } else if let Some(d) = s.strip_suffix("ms") {
@@ -215,6 +226,22 @@ pub fn key_of(parts: &[&[u8]]) -> u64 {
         }
     }
     h
+}
+
+/// Exponential backoff with deterministic jitter for retry loops.
+///
+/// Doubles from 2 ms up to a 64 ms ceiling, then adds a jitter drawn
+/// from the same FNV hash as failpoint decisions, keyed by
+/// `(salt, attempt)`. Two retriers with different salts (e.g. two pool
+/// workers hashing their own write paths) land on different schedules
+/// instead of hammering the disk in lockstep — yet each schedule is a
+/// pure function of its inputs, so chaos runs stay replayable.
+pub fn jittered_backoff(attempt: u32, salt: u64) -> Duration {
+    let base_ms = 2u64 << attempt.min(5) as u64;
+    // Jitter uniform-ish in [0, base/2]; full-jitter would let the
+    // delay collapse to ~0 and defeat the exponential shape.
+    let jitter_ms = decision_hash(salt, "backoff", u64::from(attempt)) % (base_ms / 2 + 1);
+    Duration::from_millis(base_ms + jitter_ms)
 }
 
 #[cfg(feature = "runtime")]
@@ -459,6 +486,38 @@ mod tests {
         set_plan(Some(FaultPlan::parse("store.flush=delay:1us@1.0").unwrap()));
         assert!(fail_io("store.flush", 9).is_ok(), "delay faults succeed");
         set_plan(None);
+    }
+
+    #[test]
+    fn grammar_accepts_pool_failpoints() {
+        let plan = FaultPlan::parse("pool.lease=io@0.5,worker.spawn=io@0.25").unwrap();
+        assert_eq!(plan.points.len(), 2);
+        assert_eq!(plan.points[0].point, "pool.lease");
+        assert_eq!(plan.points[1].point, "worker.spawn");
+    }
+
+    /// The backoff schedule is part of the crash-recovery contract:
+    /// concurrent workers must not retry in lockstep, and a chaos run
+    /// must replay exactly. Pin the sequence so a refactor that
+    /// silently changes it fails loudly here.
+    #[test]
+    fn jittered_backoff_is_pinned_and_salt_sensitive() {
+        let at = |salt: u64| -> Vec<u64> {
+            (0..8)
+                .map(|a| jittered_backoff(a, salt).as_millis() as u64)
+                .collect()
+        };
+        assert_eq!(at(7), [2, 6, 12, 19, 44, 83, 71, 75]);
+        assert_eq!(at(99), [2, 4, 9, 20, 33, 64, 68, 72]);
+        assert_eq!(at(7), at(7), "pure function of (attempt, salt)");
+        for (attempt, ms) in at(7).into_iter().enumerate() {
+            let base = 2u64 << attempt.min(5);
+            assert!(
+                (base..=base + base / 2).contains(&ms),
+                "attempt {attempt}: {ms}ms outside [{base}, {}]",
+                base + base / 2
+            );
+        }
     }
 
     #[test]

@@ -309,12 +309,21 @@ pub fn phase_table(snap: &MetricsSnapshot) -> String {
 
 /// Fault-injection and self-healing counters that are usually all
 /// zero; the section only appears when at least one event happened.
-const ROBUSTNESS_COUNTERS: [(&str, &str); 5] = [
+const ROBUSTNESS_COUNTERS: [(&str, &str); 11] = [
     ("fault.injected", "faults injected"),
     ("fill.poisoned", "points poisoned (panic caught)"),
     ("fill.retries", "flush retries"),
     ("store.quarantined", "rows quarantined"),
+    (
+        "store.quarantine_suppressed",
+        "duplicate quarantines suppressed",
+    ),
     ("store.tail_truncated", "torn tails truncated"),
+    ("pool.worker_deaths", "pool worker deaths"),
+    ("pool.deadline_kills", "pool deadline kills"),
+    ("pool.requeues", "pool leases requeued"),
+    ("pool.spawn_failures", "pool spawn failures"),
+    ("pool.poisoned", "points poisoned (killed workers)"),
 ];
 
 /// The "what went wrong (and was survived)" companion of the phase
@@ -400,14 +409,19 @@ mod tests {
         s.counters.insert("fault.injected".into(), 3);
         s.counters.insert("fill.poisoned".into(), 1);
         s.counters.insert("store.quarantined".into(), 2);
+        s.counters.insert("pool.worker_deaths".into(), 2);
+        s.counters.insert("pool.poisoned".into(), 1);
         let t = phase_table(&s);
         assert!(t.contains("what went wrong (and was survived)"));
         assert!(t.contains("faults injected"));
         assert!(t.contains("points poisoned (panic caught)"));
         assert!(t.contains("rows quarantined"));
+        assert!(t.contains("pool worker deaths"));
+        assert!(t.contains("points poisoned (killed workers)"));
         // Zero counters stay out of the table.
         assert!(!t.contains("flush retries"), "table was:\n{t}");
         assert!(!t.contains("torn tails truncated"));
+        assert!(!t.contains("pool deadline kills"));
     }
 
     #[test]

@@ -1,0 +1,311 @@
+//! The supervisor ↔ worker protocol: point enumeration, lease file
+//! naming, the `--points` spec, heartbeats and result manifests.
+//!
+//! Everything here is deliberately boring and deterministic. Points
+//! are identified by their **global index** in the app-major
+//! enumeration of `apps × configs` — both sides recompute the same
+//! enumeration from the same inputs (scale comes from the environment,
+//! which workers inherit), so an index names the same `(app, config)`
+//! pair in every process. Heartbeats and result manifests are written
+//! with the dependency-free `musa_obs::json` writer so the pool works
+//! in every build.
+//!
+//! On-disk layout inside the store directory:
+//!
+//! ```text
+//! pool-l0001-a0.jsonl     worker row file, one per (lease, attempt)
+//! leases.journal          the supervisor's lease journal (musa-store)
+//! pool/hb-l1-a0.json      worker heartbeat (overwritten in place)
+//! pool/result-l1-a0.json  worker result manifest (written atomically)
+//! ```
+//!
+//! Row files carry the `.jsonl` extension so the store loads them like
+//! any shard; the scratch files live under `pool/` where the store's
+//! non-recursive `*.jsonl` glob never sees them.
+
+use std::path::{Path, PathBuf};
+
+use musa_apps::AppId;
+use musa_arch::NodeConfig;
+use musa_obs::json::{JsonObj, JsonValue};
+use musa_store::PoisonedPoint;
+
+/// Scratch subdirectory (heartbeats, result manifests) inside the
+/// store directory.
+pub const SCRATCH_DIR: &str = "pool";
+
+/// The `(app, config)` pair at a global point index, app-major.
+pub fn point_at(index: u64, apps: &[AppId], configs: &[NodeConfig]) -> Option<(AppId, NodeConfig)> {
+    let per_app = configs.len() as u64;
+    if per_app == 0 {
+        return None;
+    }
+    let (ai, ci) = (index / per_app, (index % per_app) as usize);
+    Some((*apps.get(usize::try_from(ai).ok()?)?, *configs.get(ci)?))
+}
+
+/// Row file a worker appends to: unique per (lease, attempt) so no two
+/// processes ever share an append target, dead attempts never get
+/// appended to again, and the store merges everything by content key.
+pub fn worker_row_file(lease: u64, attempt: u32) -> String {
+    format!("pool-l{lease:04}-a{attempt}.jsonl")
+}
+
+/// Heartbeat file path for a (lease, attempt).
+pub fn heartbeat_path(dir: &Path, lease: u64, attempt: u32) -> PathBuf {
+    dir.join(SCRATCH_DIR)
+        .join(format!("hb-l{lease}-a{attempt}.json"))
+}
+
+/// Result manifest path for a (lease, attempt).
+pub fn result_path(dir: &Path, lease: u64, attempt: u32) -> PathBuf {
+    dir.join(SCRATCH_DIR)
+        .join(format!("result-l{lease}-a{attempt}.json"))
+}
+
+/// Encode a sorted index list as a compact range spec: `0-4,7,9-12`.
+pub fn encode_points(points: &[u64]) -> String {
+    let mut out = String::new();
+    let mut i = 0;
+    while i < points.len() {
+        let start = points[i];
+        let mut end = start;
+        while i + 1 < points.len() && points[i + 1] == end + 1 {
+            i += 1;
+            end = points[i];
+        }
+        if !out.is_empty() {
+            out.push(',');
+        }
+        if start == end {
+            out.push_str(&start.to_string());
+        } else {
+            out.push_str(&format!("{start}-{end}"));
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Parse a range spec back to the index list.
+pub fn parse_points(spec: &str) -> Result<Vec<u64>, String> {
+    let mut out = Vec::new();
+    for part in spec.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (a, b) = match part.split_once('-') {
+            Some((a, b)) => (a, b),
+            None => (part, part),
+        };
+        let (start, end): (u64, u64) = (
+            a.parse().map_err(|_| format!("bad point index {a:?}"))?,
+            b.parse().map_err(|_| format!("bad point index {b:?}"))?,
+        );
+        if end < start {
+            return Err(format!("bad point range {part:?}"));
+        }
+        out.extend(start..=end);
+    }
+    if out.is_empty() {
+        return Err("empty point spec".into());
+    }
+    Ok(out)
+}
+
+/// A worker's progress beacon, overwritten in place after every point.
+/// `done` counts lease points *handled* (row flushed, found cached, or
+/// poisoned in-process) — the requeue slice boundary. `current` is the
+/// global index being simulated, absent between points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Heartbeat {
+    /// Lease points handled so far.
+    pub done: u64,
+    /// Global index of the point being simulated right now.
+    pub current: Option<u64>,
+}
+
+impl Heartbeat {
+    /// Serialise to one JSON line.
+    pub fn to_json(&self) -> String {
+        let obj = JsonObj::new().field_u64("done", self.done);
+        match self.current {
+            Some(idx) => obj.field_u64("current", idx),
+            None => obj,
+        }
+        .finish()
+    }
+
+    /// Parse a heartbeat. Heartbeats are plain in-place writes (a
+    /// rename per point would double the pool's metadata traffic), so
+    /// the supervisor may catch a torn write mid-read; it keeps the
+    /// previous good value when this fails.
+    pub fn parse(raw: &str) -> Option<Heartbeat> {
+        let v = JsonValue::parse(raw).ok()?;
+        Some(Heartbeat {
+            done: v.get("done")?.as_u64()?,
+            current: v.get("current").and_then(|x| x.as_u64()),
+        })
+    }
+
+    /// Best-effort write (see [`Heartbeat::parse`] for the race
+    /// tolerance). A failed heartbeat write must not fail the lease —
+    /// the worker keeps simulating; the supervisor just sees stale
+    /// progress.
+    pub fn write(&self, path: &Path) {
+        let _ = std::fs::write(path, self.to_json());
+    }
+
+    /// Read and parse, `None` when absent or torn.
+    pub fn read(path: &Path) -> Option<Heartbeat> {
+        Heartbeat::parse(&std::fs::read_to_string(path).ok()?)
+    }
+}
+
+/// What a worker reports when it exits on its own terms (lease
+/// complete, or interrupted by a drain): written atomically so the
+/// supervisor either sees the whole manifest or none of it.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WorkerResult {
+    /// Lease id.
+    pub lease: u64,
+    /// Attempt number.
+    pub attempt: u32,
+    /// Lease points handled (== lease size when complete).
+    pub done: u64,
+    /// Rows this worker flushed (excludes cached and poisoned points).
+    pub rows: u64,
+    /// Points whose simulation panicked in-process: recorded and
+    /// skipped, exactly like the single-process fill.
+    pub poisoned: Vec<PoisonedPoint>,
+}
+
+impl WorkerResult {
+    /// Serialise to one JSON document.
+    pub fn to_json(&self) -> String {
+        let mut arr = String::from("[");
+        for (i, p) in self.poisoned.iter().enumerate() {
+            if i > 0 {
+                arr.push(',');
+            }
+            arr.push_str(
+                &JsonObj::new()
+                    .field_str("key", &p.key)
+                    .field_str("app", &p.app)
+                    .field_str("config", &p.config)
+                    .field_str("reason", &p.reason)
+                    .finish(),
+            );
+        }
+        arr.push(']');
+        JsonObj::new()
+            .field_u64("lease", self.lease)
+            .field_u64("attempt", u64::from(self.attempt))
+            .field_u64("done", self.done)
+            .field_u64("rows", self.rows)
+            .field_raw("poisoned", &arr)
+            .finish()
+    }
+
+    /// Parse a result manifest.
+    pub fn parse(raw: &str) -> Option<WorkerResult> {
+        let v = JsonValue::parse(raw).ok()?;
+        let mut poisoned = Vec::new();
+        for p in v.get("poisoned")?.as_arr()? {
+            poisoned.push(PoisonedPoint {
+                key: p.get("key")?.as_str()?.to_string(),
+                app: p.get("app")?.as_str()?.to_string(),
+                config: p.get("config")?.as_str()?.to_string(),
+                reason: p.get("reason")?.as_str()?.to_string(),
+            });
+        }
+        Some(WorkerResult {
+            lease: v.get("lease")?.as_u64()?,
+            attempt: u32::try_from(v.get("attempt")?.as_u64()?).ok()?,
+            done: v.get("done")?.as_u64()?,
+            rows: v.get("rows")?.as_u64()?,
+            poisoned,
+        })
+    }
+
+    /// Write atomically (tmp + fsync + rename).
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        musa_store::atomic_write(path, self.to_json().as_bytes(), "store.rewrite")
+    }
+
+    /// Read and parse, `None` when absent or unparsable.
+    pub fn read(path: &Path) -> Option<WorkerResult> {
+        WorkerResult::parse(&std::fs::read_to_string(path).ok()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_specs_roundtrip() {
+        for points in [
+            vec![0u64],
+            vec![0, 1, 2, 3],
+            vec![5, 7, 9],
+            vec![0, 1, 2, 7, 9, 10, 11, 40],
+            (0..100).collect(),
+        ] {
+            let spec = encode_points(&points);
+            assert_eq!(parse_points(&spec).unwrap(), points, "spec {spec}");
+        }
+        assert_eq!(encode_points(&[0, 1, 2, 7, 9, 10]), "0-2,7,9-10");
+        assert!(parse_points("").is_err());
+        assert!(parse_points("5-2").is_err());
+        assert!(parse_points("x").is_err());
+    }
+
+    #[test]
+    fn heartbeat_roundtrips_and_tolerates_torn_reads() {
+        for hb in [
+            Heartbeat {
+                done: 0,
+                current: None,
+            },
+            Heartbeat {
+                done: 7,
+                current: Some(42),
+            },
+        ] {
+            assert_eq!(Heartbeat::parse(&hb.to_json()), Some(hb));
+        }
+        assert_eq!(Heartbeat::parse("{\"done\":3,\"curr"), None);
+        assert_eq!(Heartbeat::parse(""), None);
+    }
+
+    #[test]
+    fn worker_result_roundtrips() {
+        let r = WorkerResult {
+            lease: 3,
+            attempt: 1,
+            done: 4,
+            rows: 3,
+            poisoned: vec![PoisonedPoint {
+                app: "hydro".into(),
+                config: "some \"config\"".into(),
+                key: "00c0ffee".into(),
+                reason: "injected panic at sim.point".into(),
+            }],
+        };
+        assert_eq!(WorkerResult::parse(&r.to_json()), Some(r));
+        assert_eq!(WorkerResult::parse("nope"), None);
+    }
+
+    #[test]
+    fn enumeration_is_app_major() {
+        use musa_arch::DesignSpace;
+        let apps = [AppId::ALL[0], AppId::ALL[1]];
+        let configs: Vec<NodeConfig> = DesignSpace::all().into_iter().take(3).collect();
+        let (app, cfg) = point_at(4, &apps, &configs).unwrap();
+        assert_eq!(app, apps[1]);
+        assert_eq!(cfg.label(), configs[1].label());
+        assert!(point_at(6, &apps, &configs).is_none());
+    }
+}

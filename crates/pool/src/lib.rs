@@ -1,0 +1,54 @@
+//! # musa-pool
+//!
+//! Supervised multi-process execution for DSE campaigns: the layer
+//! that turns `dse fill` into `dse fill --workers N` without changing
+//! what lands in the store, byte for byte.
+//!
+//! A **supervisor** ([`run_pool`]) enumerates the missing points of
+//! the sweep, partitions them into **leases**, and re-execs the `dse`
+//! binary as worker processes (hidden `pool-worker` subcommand), one
+//! lease each. Every lease transition — grant, completion, death,
+//! requeue, poisoning — is journalled durably (`musa-store`'s
+//! [`LeaseJournal`](musa_store::LeaseJournal)) *before* it takes
+//! effect, so a crash of any process, supervisor included, is
+//! recoverable by `--resume`.
+//!
+//! The failure model, in one paragraph: workers flush one row per
+//! point to their own file and heartbeat their progress; the
+//! supervisor detects deaths by `try_wait`, stuck points by a
+//! heartbeat watchdog with a per-point wall-clock deadline
+//! (`--point-timeout`, enforced by SIGKILL), requeues the unfinished
+//! remainder of a dead lease with jittered exponential backoff, and
+//! quarantines any point that kills `--poison-cap` workers as
+//! **poisoned** — with provenance — rather than letting one
+//! pathological configuration starve the other 863. SIGINT/SIGTERM
+//! drains: workers finish their in-flight point, flush, and report
+//! partial progress; the journal records the interruption.
+//!
+//! Correctness leans on the store, not on process choreography: rows
+//! are content-addressed and CRC-sealed, duplicate keys collapse on
+//! load, and every writer appends to a file no other process writes.
+//! That is what makes `--workers N` (and any crash/retry interleaving
+//! of it) byte-identical to a sequential fill after the final repair
+//! pass — the e2e suite asserts exactly that.
+//!
+//! Module map:
+//! * [`lease`] — the wire protocol: point enumeration, the `--points`
+//!   range spec, heartbeat and result-manifest files;
+//! * [`worker`] — one lease's execution inside a worker process;
+//! * [`supervisor`] — [`run_pool`]: granting, watching, killing,
+//!   requeueing, poisoning, draining;
+//! * [`signals`] — dependency-free SIGINT/SIGTERM latching and
+//!   SIGTERM/SIGKILL delivery (inert on non-unix targets).
+
+pub mod lease;
+pub mod signals;
+pub mod supervisor;
+pub mod worker;
+
+pub use lease::{encode_points, parse_points, point_at, Heartbeat, WorkerResult};
+pub use supervisor::{
+    run_pool, PoolOptions, PoolReport, DEFAULT_LEASE_BATCH, DEFAULT_POISON_CAP, DEFAULT_WORKERS,
+    MAX_LEASE_ATTEMPTS,
+};
+pub use worker::{run_worker, WorkerConfig, WorkerStatus};

@@ -1,0 +1,693 @@
+//! The pool supervisor: grant leases, watch heartbeats, enforce
+//! deadlines, recover from worker deaths, quarantine poisonous points.
+//!
+//! The supervisor never simulates anything itself. It enumerates the
+//! missing points, journals a [`LeaseEvent::Grant`] (durably, *before*
+//! the worker exists — the journal must never under-describe reality),
+//! spawns `dse pool-worker` children, and then runs a polling loop:
+//!
+//! * **reap** — `try_wait` each child; exit 0 with a complete result
+//!   manifest retires the lease, anything else is a death: the
+//!   heartbeat's `done` prefix is kept, the in-flight point is blamed,
+//!   and the remainder is requeued with jittered exponential backoff;
+//! * **watchdog** — a heartbeat that has not changed for
+//!   `point_timeout` means the current point is stuck (an infinite
+//!   loop, a hung I/O, an injected `delay` fault): the worker is
+//!   SIGKILLed and the death handled like any other;
+//! * **poison** — a point blamed for `poison_cap` deaths is
+//!   quarantined with provenance ([`LeaseEvent::Poison`]) and excluded
+//!   from every future requeue and resume; the sweep continues without
+//!   it — one pathological configuration must not sink 863 others;
+//! * **drain** — SIGINT/SIGTERM journals an interruption, SIGTERMs the
+//!   workers (they finish their in-flight point, flush, write partial
+//!   manifests and exit 130), and SIGKILLs stragglers after a grace
+//!   period.
+//!
+//! Every transition lands in the lease journal first, so a kill -9 of
+//! the *supervisor* is recoverable: `--resume` replays the journal,
+//! restores strike counts and the poisoned set, and re-enumerates
+//! missing points from the store itself (rows are content-addressed,
+//! so rows flushed by orphaned workers are simply found cached).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, ExitStatus, Stdio};
+use std::time::{Duration, Instant};
+
+use musa_apps::AppId;
+use musa_arch::NodeConfig;
+use musa_core::SweepOptions;
+use musa_obs::Progress;
+use musa_store::{
+    CampaignStore, LeaseEvent, LeaseJournal, PointKey, PoisonedPoint, PoolPoisonRecord,
+};
+
+use crate::lease::{encode_points, heartbeat_path, point_at, result_path, Heartbeat, WorkerResult};
+use crate::signals;
+
+/// Default worker count for `--workers` when the flag is given bare.
+pub const DEFAULT_WORKERS: usize = 2;
+
+/// Default poison cap: a point is quarantined after killing this many
+/// workers.
+pub const DEFAULT_POISON_CAP: u32 = 3;
+
+/// Default points per lease.
+pub const DEFAULT_LEASE_BATCH: usize = 16;
+
+/// A lease (original or requeued) is abandoned — and the whole run
+/// fails — after this many attempts. This is the backstop for deaths
+/// that cannot be pinned on a point (e.g. a worker binary that cannot
+/// start at all): per-point poisoning handles attributable deaths long
+/// before this trips.
+pub const MAX_LEASE_ATTEMPTS: u32 = 12;
+
+/// Poll interval of the supervise loop.
+const POLL: Duration = Duration::from_millis(20);
+
+/// Options for [`run_pool`].
+#[derive(Debug, Clone)]
+pub struct PoolOptions {
+    /// Worker processes to keep running.
+    pub workers: usize,
+    /// Per-point wall-clock deadline: a worker whose heartbeat does
+    /// not change for this long is SIGKILLed and the in-flight point
+    /// is blamed. `None` disables the watchdog.
+    pub point_timeout: Option<Duration>,
+    /// Deaths a single point may cause before quarantine.
+    pub poison_cap: u32,
+    /// Points per lease.
+    pub lease_batch: usize,
+    /// Per-flush retry budget handed to workers.
+    pub max_retries: u32,
+    /// Report progress/ETA on stderr.
+    pub progress: bool,
+    /// Extra environment for workers (e.g. the `--faults` spec, which
+    /// must reach workers unchanged).
+    pub env: Vec<(String, String)>,
+}
+
+impl Default for PoolOptions {
+    fn default() -> Self {
+        PoolOptions {
+            workers: DEFAULT_WORKERS,
+            point_timeout: None,
+            poison_cap: DEFAULT_POISON_CAP,
+            lease_batch: DEFAULT_LEASE_BATCH,
+            max_retries: musa_store::DEFAULT_MAX_RETRIES,
+            progress: false,
+            env: Vec::new(),
+        }
+    }
+}
+
+/// What a pool run did — the multi-process analogue of
+/// [`musa_store::FillReport`].
+#[derive(Debug, Clone, Default)]
+pub struct PoolReport {
+    /// Points requested (`apps × configs`).
+    pub requested: usize,
+    /// Points already in the store when the run started.
+    pub cached: usize,
+    /// Missing points handled this run (simulated, or poisoned
+    /// in-process by a worker).
+    pub completed: usize,
+    /// Rows workers reported flushing in completed leases.
+    pub rows_flushed: u64,
+    /// Points quarantined by the supervisor: each killed
+    /// [`PoolOptions::poison_cap`] workers.
+    pub pool_poisoned: Vec<PoolPoisonRecord>,
+    /// Points that panicked *inside* a worker (caught, recorded,
+    /// skipped — same semantics as the single-process fill).
+    pub worker_poisoned: Vec<PoisonedPoint>,
+    /// Leases requeued after a worker death.
+    pub requeues: u64,
+    /// Workers SIGKILLed by the stuck-point watchdog.
+    pub deadline_kills: u64,
+    /// Worker deaths of any kind (crash, signal, watchdog).
+    pub worker_deaths: u64,
+    /// Spawn attempts that failed outright.
+    pub spawn_failures: u64,
+    /// The run drained early on SIGINT/SIGTERM.
+    pub interrupted: bool,
+}
+
+impl PoolReport {
+    /// `true` when every requested point is either stored or was
+    /// handled this run — i.e. nothing is missing except quarantined
+    /// points.
+    pub fn poisoned_total(&self) -> usize {
+        self.pool_poisoned.len() + self.worker_poisoned.len()
+    }
+}
+
+struct Lease {
+    id: u64,
+    attempt: u32,
+    points: Vec<u64>,
+    not_before: Instant,
+}
+
+struct Running {
+    child: Child,
+    lease: Lease,
+    hb_path: PathBuf,
+    result_path: PathBuf,
+    /// Last successfully parsed heartbeat.
+    last_hb: Heartbeat,
+    /// Raw bytes of the last heartbeat read (change detection).
+    last_raw: String,
+    /// When the heartbeat last changed (or the worker was spawned).
+    last_change: Instant,
+    /// Set when the watchdog killed this worker: (reason, blamed idx).
+    killed: Option<(String, Option<u64>)>,
+}
+
+fn describe_exit(status: ExitStatus) -> String {
+    #[cfg(unix)]
+    {
+        use std::os::unix::process::ExitStatusExt;
+        if let Some(sig) = status.signal() {
+            return format!("killed by signal {sig}");
+        }
+    }
+    match status.code() {
+        Some(c) => format!("exit status {c}"),
+        None => "unknown exit".to_string(),
+    }
+}
+
+/// The supervisor state for one `run_pool` call.
+struct Pool<'a> {
+    exe: &'a Path,
+    dir: &'a Path,
+    apps: &'a [AppId],
+    configs: &'a [NodeConfig],
+    sweep: &'a SweepOptions,
+    opts: &'a PoolOptions,
+    journal: LeaseJournal,
+    next_lease: u64,
+    backoff_salt: u64,
+    pending: VecDeque<Lease>,
+    running: Vec<Running>,
+    /// Strikes charged per blamed point key (restored from the journal
+    /// on resume).
+    strikes: HashMap<String, u32>,
+    poisoned_keys: HashSet<String>,
+    done_points: HashSet<u64>,
+    report: PoolReport,
+}
+
+impl Pool<'_> {
+    fn point_identity(&self, idx: u64) -> Option<(String, AppId, NodeConfig)> {
+        let (app, config) = point_at(idx, self.apps, self.configs)?;
+        Some((
+            PointKey::for_point(app, &config, self.sweep).to_hex(),
+            app,
+            config,
+        ))
+    }
+
+    /// Journal a grant and spawn its worker; on failure, requeue.
+    fn grant_and_spawn(&mut self, lease: Lease) -> io::Result<()> {
+        self.journal.append(&LeaseEvent::Grant {
+            lease: lease.id,
+            attempt: lease.attempt,
+            points: lease.points.clone(),
+        })?;
+        let spawned = musa_fault::fail_io(
+            "worker.spawn",
+            musa_fault::key_of(&[&lease.id.to_le_bytes(), &lease.attempt.to_le_bytes()]),
+        )
+        .and_then(|()| {
+            let mut cmd = Command::new(self.exe);
+            cmd.arg("pool-worker")
+                .arg("--store-dir")
+                .arg(self.dir)
+                .arg("--lease")
+                .arg(lease.id.to_string())
+                .arg("--attempt")
+                .arg(lease.attempt.to_string())
+                .arg("--points")
+                .arg(encode_points(&lease.points))
+                .arg("--max-retries")
+                .arg(self.opts.max_retries.to_string())
+                .stdin(Stdio::null())
+                .stdout(Stdio::null());
+            for (k, v) in &self.opts.env {
+                cmd.env(k, v);
+            }
+            cmd.spawn()
+        });
+        match spawned {
+            Ok(child) => {
+                musa_obs::debug(
+                    "musa-pool",
+                    "worker spawned",
+                    &[
+                        ("lease", lease.id.into()),
+                        ("attempt", lease.attempt.into()),
+                        ("pid", u64::from(child.id()).into()),
+                        ("points", lease.points.len().into()),
+                    ],
+                );
+                let (hb_path, result_path) = (
+                    heartbeat_path(self.dir, lease.id, lease.attempt),
+                    result_path(self.dir, lease.id, lease.attempt),
+                );
+                self.running.push(Running {
+                    child,
+                    lease,
+                    hb_path,
+                    result_path,
+                    last_hb: Heartbeat::default(),
+                    last_raw: String::new(),
+                    last_change: Instant::now(),
+                    killed: None,
+                });
+                Ok(())
+            }
+            Err(e) => {
+                self.report.spawn_failures += 1;
+                musa_obs::counter_add("pool.spawn_failures", 1);
+                let reason = format!("spawn failed: {e}");
+                self.journal.append(&LeaseEvent::Dead {
+                    lease: lease.id,
+                    attempt: lease.attempt,
+                    done: 0,
+                    blamed: None,
+                    reason: reason.clone(),
+                })?;
+                musa_obs::warn(
+                    "musa-pool",
+                    "worker spawn failed, lease requeued",
+                    &[("lease", lease.id.into()), ("error", reason.into())],
+                );
+                self.requeue(lease.id, lease.attempt + 1, lease.points)
+            }
+        }
+    }
+
+    /// Requeue points at `next_attempt` with jittered backoff, or fail
+    /// the run when the attempt cap is exhausted.
+    fn requeue(&mut self, from: u64, next_attempt: u32, points: Vec<u64>) -> io::Result<()> {
+        if next_attempt >= MAX_LEASE_ATTEMPTS {
+            return Err(io::Error::other(format!(
+                "lease {from} failed {MAX_LEASE_ATTEMPTS} attempts; giving up \
+                 ({} points unfinished)",
+                points.len()
+            )));
+        }
+        let id = self.next_lease;
+        self.next_lease += 1;
+        let backoff = musa_fault::jittered_backoff(next_attempt, self.backoff_salt ^ id);
+        self.journal.append(&LeaseEvent::Requeue {
+            lease: id,
+            attempt: next_attempt,
+            from,
+            backoff_ms: backoff.as_millis() as u64,
+            points: points.len() as u64,
+        })?;
+        self.report.requeues += 1;
+        musa_obs::counter_add("pool.requeues", 1);
+        self.pending.push_back(Lease {
+            id,
+            attempt: next_attempt,
+            points,
+            not_before: Instant::now() + backoff,
+        });
+        Ok(())
+    }
+
+    /// Handle one reaped worker.
+    fn handle_exit(&mut self, w: Running, status: ExitStatus, draining: bool) -> io::Result<()> {
+        let result = WorkerResult::read(&w.result_path);
+        let hb = Heartbeat::read(&w.hb_path).unwrap_or(w.last_hb);
+        let lease = w.lease;
+        let clean = status.code() == Some(0)
+            && result
+                .as_ref()
+                .is_some_and(|r| r.done as usize == lease.points.len());
+
+        if clean {
+            let r = result.expect("checked");
+            self.journal.append(&LeaseEvent::Done {
+                lease: lease.id,
+                attempt: lease.attempt,
+                rows: r.rows,
+            })?;
+            self.done_points.extend(&lease.points);
+            self.report.rows_flushed += r.rows;
+            self.report.worker_poisoned.extend(r.poisoned);
+            return Ok(());
+        }
+
+        if draining {
+            // A worker stopped by our own SIGTERM (or SIGKILLed past the
+            // grace period) is not a death to learn from: keep its
+            // partial progress, charge no strike.
+            let done = result.as_ref().map_or(hb.done, |r| r.done) as usize;
+            let done = done.min(lease.points.len());
+            self.journal.append(&LeaseEvent::Dead {
+                lease: lease.id,
+                attempt: lease.attempt,
+                done: done as u64,
+                blamed: None,
+                reason: format!("interrupted during drain ({})", describe_exit(status)),
+            })?;
+            self.done_points.extend(&lease.points[..done]);
+            if let Some(r) = result {
+                self.report.rows_flushed += r.rows;
+                self.report.worker_poisoned.extend(r.poisoned);
+            }
+            return Ok(());
+        }
+
+        // A real death: crash, external kill, nonzero exit, watchdog
+        // SIGKILL, or an exit-0 worker whose manifest is missing or
+        // incomplete (treated as a crash — trust the manifest, not the
+        // exit code).
+        self.report.worker_deaths += 1;
+        musa_obs::counter_add("pool.worker_deaths", 1);
+        let done = (hb.done as usize).min(lease.points.len());
+        let (reason, blamed_idx) = match w.killed {
+            Some((reason, idx)) => (reason, idx),
+            None => (describe_exit(status), hb.current),
+        };
+        let blamed = blamed_idx.and_then(|idx| self.point_identity(idx));
+        self.journal.append(&LeaseEvent::Dead {
+            lease: lease.id,
+            attempt: lease.attempt,
+            done: done as u64,
+            blamed: blamed.as_ref().map(|(key, _, _)| key.clone()),
+            reason: reason.clone(),
+        })?;
+        musa_obs::warn(
+            "musa-pool",
+            "worker died, requeueing the unfinished remainder",
+            &[
+                ("lease", lease.id.into()),
+                ("attempt", lease.attempt.into()),
+                ("done", done.into()),
+                ("reason", reason.clone().into()),
+                (
+                    "blamed",
+                    blamed
+                        .as_ref()
+                        .map_or("unknown".to_string(), |(_, app, config)| {
+                            format!("{}/{}", app.label(), config.label())
+                        })
+                        .into(),
+                ),
+            ],
+        );
+        self.done_points.extend(&lease.points[..done]);
+
+        let mut poisoned_now = false;
+        if let Some((key, app, config)) = blamed {
+            let strikes = self.strikes.entry(key.clone()).or_insert(0);
+            *strikes += 1;
+            if *strikes >= self.opts.poison_cap && !self.poisoned_keys.contains(&key) {
+                let record = PoolPoisonRecord {
+                    key: key.clone(),
+                    app: app.label().to_string(),
+                    config: config.label(),
+                    strikes: *strikes,
+                    reason,
+                };
+                self.journal.append(&LeaseEvent::Poison(record.clone()))?;
+                musa_obs::counter_add("pool.poisoned", 1);
+                musa_obs::warn(
+                    "musa-pool",
+                    "point quarantined as poisoned: it keeps killing workers",
+                    &[
+                        ("app", record.app.clone().into()),
+                        ("config", record.config.clone().into()),
+                        ("strikes", record.strikes.into()),
+                        ("reason", record.reason.clone().into()),
+                    ],
+                );
+                self.poisoned_keys.insert(key);
+                self.report.pool_poisoned.push(record);
+                poisoned_now = true;
+            }
+        }
+
+        let remaining: Vec<u64> = lease.points[done..]
+            .iter()
+            .copied()
+            .filter(|&idx| {
+                self.point_identity(idx)
+                    .is_none_or(|(key, _, _)| !self.poisoned_keys.contains(&key))
+            })
+            .collect();
+        if remaining.is_empty() {
+            return Ok(());
+        }
+        // The attempt counter (which feeds both the backoff and the
+        // give-up cap) resets whenever the death made *structural*
+        // progress — points completed, or a poisonous point newly
+        // quarantined. A sweep with several pathological points then
+        // terminates by poisoning each in turn; the cap only trips on
+        // failure loops that change nothing (e.g. a worker that can
+        // never start).
+        let next_attempt = if done > 0 || poisoned_now {
+            0
+        } else {
+            lease.attempt + 1
+        };
+        self.requeue(lease.id, next_attempt, remaining)
+    }
+}
+
+/// Run a full pool sweep: simulate every missing point of
+/// `apps × configs` with `opts.workers` supervised worker processes.
+///
+/// `exe` is the binary to re-exec in `pool-worker` mode (normally
+/// `std::env::current_exe()`), `dir` the store directory. Workers
+/// inherit the parent environment, plus `opts.env`.
+pub fn run_pool(
+    exe: &Path,
+    dir: &Path,
+    apps: &[AppId],
+    configs: &[NodeConfig],
+    sweep: &SweepOptions,
+    opts: &PoolOptions,
+) -> io::Result<PoolReport> {
+    signals::install_term_handlers();
+    std::fs::create_dir_all(dir.join(crate::lease::SCRATCH_DIR))?;
+
+    let (journal, replayed) = LeaseJournal::open(dir)?;
+    let strikes = replayed.strikes();
+    let poisoned = replayed.poisoned();
+    let next_lease = replayed
+        .events
+        .iter()
+        .filter_map(|ev| match ev {
+            LeaseEvent::Grant { lease, .. } | LeaseEvent::Requeue { lease, .. } => Some(*lease),
+            _ => None,
+        })
+        .max()
+        .map_or(1, |max| max + 1);
+
+    // Open the store once, in repairing mode, *before* any worker
+    // exists: torn tails from a previous crash are truncated now, and
+    // the surviving rows define the missing set. The store is dropped
+    // before spawning — while workers run, only they hold writers.
+    let mut report = PoolReport {
+        requested: apps.len() * configs.len(),
+        pool_poisoned: poisoned.clone(),
+        ..PoolReport::default()
+    };
+    let poisoned_keys: HashSet<String> = poisoned.into_iter().map(|p| p.key).collect();
+    let missing: Vec<u64> = {
+        let store = CampaignStore::open(dir)?;
+        let mut missing = Vec::new();
+        for (ai, &app) in apps.iter().enumerate() {
+            for (ci, config) in configs.iter().enumerate() {
+                let key = PointKey::for_point(app, config, sweep);
+                if store.get_by_key(key).is_some() {
+                    report.cached += 1;
+                } else if !poisoned_keys.contains(&key.to_hex()) {
+                    missing.push((ai * configs.len() + ci) as u64);
+                }
+            }
+        }
+        missing
+    };
+
+    let mut next_lease = next_lease;
+    let pending: VecDeque<Lease> = missing
+        .chunks(opts.lease_batch.max(1))
+        .map(|points| {
+            let id = next_lease;
+            next_lease += 1;
+            Lease {
+                id,
+                attempt: 0,
+                points: points.to_vec(),
+                not_before: Instant::now(),
+            }
+        })
+        .collect();
+    let mut pool = Pool {
+        exe,
+        dir,
+        apps,
+        configs,
+        sweep,
+        opts,
+        journal,
+        next_lease,
+        backoff_salt: musa_fault::key_of(&[b"pool.backoff"]),
+        pending,
+        running: Vec::new(),
+        strikes,
+        poisoned_keys,
+        done_points: HashSet::new(),
+        report,
+    };
+
+    let total = missing.len() as u64;
+    musa_obs::info(
+        "musa-pool",
+        "pool sweep starting",
+        &[
+            ("workers", opts.workers.into()),
+            ("missing", total.into()),
+            ("cached", pool.report.cached.into()),
+            ("leases", pool.pending.len().into()),
+            ("poisoned", pool.poisoned_keys.len().into()),
+        ],
+    );
+    let heartbeat = (opts.progress && total > 0).then(|| Progress::new("pool", total));
+
+    let workers = opts.workers.max(1);
+    let grace = opts
+        .point_timeout
+        .map_or(Duration::from_secs(10), |t| t + Duration::from_secs(5));
+    let mut draining = false;
+    let mut drain_deadline = Instant::now();
+
+    loop {
+        // Drain: journal first, then ask nicely, later insist.
+        if signals::termination_requested() && !draining {
+            draining = true;
+            drain_deadline = Instant::now() + grace;
+            musa_obs::warn(
+                "musa-pool",
+                "termination requested, draining workers",
+                &[("running", pool.running.len().into())],
+            );
+            pool.journal.append(&LeaseEvent::Interrupted {
+                reason: "SIGINT/SIGTERM".to_string(),
+            })?;
+            pool.report.interrupted = true;
+            for w in &pool.running {
+                signals::send_term(w.child.id());
+            }
+        }
+        if draining && Instant::now() >= drain_deadline {
+            for w in &mut pool.running {
+                if w.killed.is_none() {
+                    w.killed = Some(("SIGKILL after drain grace period".to_string(), None));
+                    signals::send_kill(w.child.id());
+                }
+            }
+        }
+
+        // Reap exits, newest-first so swap_remove is safe.
+        let mut i = 0;
+        while i < pool.running.len() {
+            match pool.running[i].child.try_wait()? {
+                Some(status) => {
+                    let w = pool.running.swap_remove(i);
+                    pool.handle_exit(w, status, draining)?;
+                }
+                None => {
+                    // Watchdog: has the heartbeat moved?
+                    let w = &mut pool.running[i];
+                    if let Ok(raw) = std::fs::read_to_string(&w.hb_path) {
+                        if raw != w.last_raw {
+                            w.last_raw = raw;
+                            w.last_change = Instant::now();
+                            if let Some(hb) = Heartbeat::parse(&w.last_raw) {
+                                w.last_hb = hb;
+                            }
+                        }
+                    }
+                    if !draining && w.killed.is_none() {
+                        if let Some(timeout) = opts.point_timeout {
+                            if w.last_change.elapsed() > timeout {
+                                let blamed = w.last_hb.current;
+                                w.killed = Some((
+                                    format!("deadline exceeded ({timeout:?} without progress)"),
+                                    blamed,
+                                ));
+                                signals::send_kill(w.child.id());
+                                pool.report.deadline_kills += 1;
+                                musa_obs::counter_add("pool.deadline_kills", 1);
+                                musa_obs::warn(
+                                    "musa-pool",
+                                    "worker stuck past the point deadline, killed",
+                                    &[
+                                        ("lease", w.lease.id.into()),
+                                        ("pid", u64::from(w.child.id()).into()),
+                                    ],
+                                );
+                            }
+                        }
+                    }
+                    i += 1;
+                }
+            }
+        }
+
+        // Spawn up to the worker budget from ready leases.
+        while !draining && pool.running.len() < workers {
+            let now = Instant::now();
+            let Some(pos) = pool.pending.iter().position(|l| l.not_before <= now) else {
+                break;
+            };
+            let lease = pool.pending.remove(pos).expect("position exists");
+            pool.grant_and_spawn(lease)?;
+        }
+
+        musa_obs::gauge_set("pool.workers_active", pool.running.len() as f64);
+        if let Some(hb) = &heartbeat {
+            hb.tick(pool.done_points.len() as u64);
+        }
+
+        if pool.running.is_empty() && (draining || pool.pending.is_empty()) {
+            break;
+        }
+        std::thread::sleep(POLL);
+    }
+
+    pool.report.completed = pool.done_points.len();
+    if let Some(hb) = &heartbeat {
+        hb.finish(pool.done_points.len() as u64);
+    }
+    if !pool.report.interrupted {
+        pool.journal.append(&LeaseEvent::Complete {
+            simulated: pool.report.rows_flushed,
+            poisoned: pool.poisoned_keys.len() as u64,
+        })?;
+    }
+    musa_obs::gauge_set("pool.workers_active", 0.0);
+    musa_obs::info(
+        "musa-pool",
+        "pool sweep finished",
+        &[
+            ("completed", pool.report.completed.into()),
+            ("rows_flushed", pool.report.rows_flushed.into()),
+            ("requeues", pool.report.requeues.into()),
+            ("worker_deaths", pool.report.worker_deaths.into()),
+            ("deadline_kills", pool.report.deadline_kills.into()),
+            ("pool_poisoned", pool.report.pool_poisoned.len().into()),
+            ("interrupted", pool.report.interrupted.to_string().into()),
+        ],
+    );
+    Ok(pool.report)
+}

@@ -1,0 +1,202 @@
+//! The worker side of the pool: execute one lease.
+//!
+//! A worker is the `dse` binary re-executed with the hidden
+//! `pool-worker` subcommand. It opens the store leniently (see
+//! [`CampaignStore::open_worker`]) with its own per-(lease, attempt)
+//! row file, simulates the leased points **one at a time** — flushing
+//! after every point so a crash loses at most the point in flight —
+//! and keeps a heartbeat file current so the supervisor can watch its
+//! progress, blame the right point when it dies, and requeue exactly
+//! the unfinished remainder.
+//!
+//! Panics inside a single simulation are caught and recorded as
+//! poisoned points (identical semantics to the single-process fill);
+//! only a *process* death (crash, kill -9, watchdog SIGKILL) charges a
+//! strike toward pool-level poisoning, because in-process panics are
+//! already contained.
+
+use std::io;
+use std::path::PathBuf;
+
+use musa_apps::{generate, AppId};
+use musa_arch::NodeConfig;
+use musa_core::{MultiscaleSim, SweepOptions};
+use musa_store::{CampaignStore, PointKey, PoisonedPoint, StoreRow};
+
+use crate::lease::{
+    heartbeat_path, point_at, result_path, worker_row_file, Heartbeat, WorkerResult,
+};
+use crate::signals;
+
+/// Everything a worker needs, parsed from the `pool-worker` argv.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerConfig {
+    /// Store directory (shared with the supervisor and siblings).
+    pub dir: PathBuf,
+    /// Lease id.
+    pub lease: u64,
+    /// Attempt number.
+    pub attempt: u32,
+    /// Global point indices to simulate, in enumeration order.
+    pub points: Vec<u64>,
+    /// Per-flush retry budget for transient I/O errors.
+    pub max_retries: u32,
+}
+
+/// How the worker's lease ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerStatus {
+    /// Every leased point was handled; exit 0.
+    Complete,
+    /// SIGINT/SIGTERM arrived (supervisor drain); the in-flight point
+    /// finished, the result manifest records the partial progress, and
+    /// the process should exit 130.
+    Interrupted,
+}
+
+fn panic_reason(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Run one lease to completion (or interruption). The caller supplies
+/// the same `apps × configs` enumeration the supervisor used — both
+/// sides derive it from the environment the worker inherited.
+pub fn run_worker(
+    cfg: &WorkerConfig,
+    apps: &[AppId],
+    configs: &[NodeConfig],
+    sweep: &SweepOptions,
+) -> io::Result<WorkerStatus> {
+    signals::install_term_handlers();
+    std::fs::create_dir_all(cfg.dir.join(crate::lease::SCRATCH_DIR))?;
+    let hb_path = heartbeat_path(&cfg.dir, cfg.lease, cfg.attempt);
+    let res_path = result_path(&cfg.dir, cfg.lease, cfg.attempt);
+
+    let mut result = WorkerResult {
+        lease: cfg.lease,
+        attempt: cfg.attempt,
+        ..WorkerResult::default()
+    };
+    let mut hb = Heartbeat::default();
+    hb.write(&hb_path);
+
+    // Lenient, non-repairing open: siblings are appending to their own
+    // files right now and this process must not rewrite them.
+    let mut store = CampaignStore::open_worker(&cfg.dir, &worker_row_file(cfg.lease, cfg.attempt))?;
+
+    musa_obs::info(
+        "musa-pool",
+        "worker started",
+        &[
+            ("lease", cfg.lease.into()),
+            ("attempt", cfg.attempt.into()),
+            ("points", cfg.points.len().into()),
+        ],
+    );
+
+    // Points arrive in enumeration order, so equal apps are adjacent:
+    // generate each app's trace once per run of points, and only if the
+    // run actually has a missing point (a requeued lease whose
+    // predecessor flushed everything must not pay trace generation).
+    let mut i = 0usize;
+    while i < cfg.points.len() {
+        let Some((app, _)) = point_at(cfg.points[i], apps, configs) else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("point index {} out of range", cfg.points[i]),
+            ));
+        };
+        let mut end = i + 1;
+        while end < cfg.points.len()
+            && point_at(cfg.points[end], apps, configs).is_some_and(|(a, _)| a == app)
+        {
+            end += 1;
+        }
+
+        let run = &cfg.points[i..end];
+        let any_missing = run.iter().any(|&idx| {
+            point_at(idx, apps, configs).is_some_and(|(a, c)| !store.contains(a, &c, sweep))
+        });
+        let sim_ctx = any_missing.then(|| generate(app, &sweep.gen));
+        let sim = sim_ctx.as_ref().map(MultiscaleSim::new);
+
+        for &idx in run {
+            if signals::termination_requested() {
+                result.done = hb.done;
+                result.write(&res_path)?;
+                musa_obs::warn(
+                    "musa-pool",
+                    "worker interrupted, exiting after the flushed point",
+                    &[("lease", cfg.lease.into()), ("done", hb.done.into())],
+                );
+                return Ok(WorkerStatus::Interrupted);
+            }
+            let (app, config) = point_at(idx, apps, configs).expect("checked above");
+            if store.contains(app, &config, sweep) {
+                hb.done += 1;
+                hb.current = None;
+                hb.write(&hb_path);
+                continue;
+            }
+            // Heartbeat *before* simulating: if this point kills or
+            // hangs the process, `current` is the evidence the
+            // supervisor uses to charge the strike.
+            hb.current = Some(idx);
+            hb.write(&hb_path);
+            let sim = sim.as_ref().expect("missing point implies sim exists");
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let r = sim.simulate(config, sweep.full_replay);
+                StoreRow::new(sweep.gen, sweep.full_replay, r)
+            }));
+            match outcome {
+                Ok(row) => {
+                    // One point per flush: siblings die independently,
+                    // so the durability unit is the point, not a batch.
+                    store.append_batch_retrying([row], cfg.max_retries)?;
+                    result.rows += 1;
+                }
+                Err(payload) => {
+                    let p = PoisonedPoint {
+                        app: app.label().to_string(),
+                        config: config.label(),
+                        key: PointKey::for_point(app, &config, sweep).to_hex(),
+                        reason: panic_reason(payload),
+                    };
+                    musa_obs::warn(
+                        "musa-pool",
+                        "simulation panicked in worker, point poisoned in-process",
+                        &[
+                            ("app", p.app.clone().into()),
+                            ("config", p.config.clone().into()),
+                            ("reason", p.reason.clone().into()),
+                        ],
+                    );
+                    result.poisoned.push(p);
+                }
+            }
+            hb.done += 1;
+            hb.current = None;
+            hb.write(&hb_path);
+        }
+        i = end;
+    }
+
+    result.done = hb.done;
+    result.write(&res_path)?;
+    musa_obs::info(
+        "musa-pool",
+        "worker finished lease",
+        &[
+            ("lease", cfg.lease.into()),
+            ("rows", result.rows.into()),
+            ("poisoned", result.poisoned.len().into()),
+        ],
+    );
+    Ok(WorkerStatus::Complete)
+}

@@ -114,6 +114,7 @@ pub fn respond(engine: &QueryEngine, allow_quit: bool, req: &Request) -> (Respon
                     .field_u64("quarantined", health.quarantined)
                     .field_u64("files_skipped", health.files_skipped)
                     .field_u64("tails_repaired", health.tails_repaired)
+                    .field_u64("pool_poisoned", health.pool_poisoned)
                     .finish(),
             ))
         }

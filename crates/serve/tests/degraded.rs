@@ -11,7 +11,9 @@ use musa_core::ConfigResult;
 use musa_power::PowerBreakdown;
 use musa_serve::engine::QueryEngine;
 use musa_serve::{api, Request};
-use musa_store::{CampaignStore, StoreRow, QUARANTINE_FILE};
+use musa_store::{
+    CampaignStore, LeaseEvent, LeaseJournal, PoolPoisonRecord, StoreRow, QUARANTINE_FILE,
+};
 
 static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
 
@@ -107,6 +109,35 @@ fn corrupt_store_serves_degraded_but_serves() {
     // quarantine file appeared.
     assert_eq!(std::fs::read_to_string(&path).unwrap(), mangled);
     assert!(!dir.join(QUARANTINE_FILE).exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A point the pool supervisor quarantined is campaign data that is
+/// *missing* rather than corrupt; `/healthz` must surface it the same
+/// way. The lease journal uses the hand-rolled JSON codec, so this
+/// works even where serde_json is a stub.
+#[test]
+fn pool_poisoned_points_degrade_health() {
+    let dir = tmp_dir("poisoned");
+    {
+        let (mut journal, _) = LeaseJournal::open(&dir).unwrap();
+        journal
+            .append(&LeaseEvent::Poison(PoolPoisonRecord {
+                key: "00decafc0ffee000".into(),
+                app: "hydro".into(),
+                config: "some-config".into(),
+                strikes: 3,
+                reason: "deadline exceeded".into(),
+            }))
+            .unwrap();
+    }
+    let engine = QueryEngine::open(&dir).expect("poison must not fail the open");
+    assert_eq!(engine.health().pool_poisoned, 1);
+    assert!(engine.health().degraded());
+
+    let body = healthz(&engine);
+    assert!(body.contains("\"status\":\"degraded\""), "{body}");
+    assert!(body.contains("\"pool_poisoned\":1"), "{body}");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

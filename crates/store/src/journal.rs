@@ -1,0 +1,619 @@
+//! The crash-safe lease journal for pool execution.
+//!
+//! The pool supervisor (`musa-pool`) hands point batches to worker
+//! processes as **leases** and records every lifecycle transition —
+//! grant, completion, death, requeue, poisoning — as one JSON line in
+//! `leases.journal` inside the store directory. The journal is the
+//! pool's memory across crashes: `--resume` replays it to restore
+//! which points are poisoned and how many workers each point has
+//! already killed, so a kill-9'd *supervisor* resumes mid-campaign
+//! without re-running a point past its poison cap.
+//!
+//! ## Durability model
+//!
+//! Appends are `write + fdatasync`, one event per line, so the journal
+//! survives anything the store's own rows survive. A crash can still
+//! tear the final line; [`LeaseJournal::open`] repairs exactly like
+//! the row stores do — surviving lines are rewritten atomically
+//! (tmp + fsync + rename) and the torn tail is dropped. Replay
+//! ([`replay`]) is lenient: a torn tail or an unparsable interior line
+//! is counted and skipped, never fatal, because the journal is
+//! recovery metadata — losing an event costs at most one redundant
+//! worker attempt, while refusing to start would cost the campaign.
+//!
+//! The file is deliberately **not** named `*.jsonl`: the row loader
+//! globs `*.jsonl`, and lease events must never be mistaken for
+//! campaign rows.
+//!
+//! Serialisation uses the dependency-free `musa_obs::json` reader and
+//! writer, so journal recovery works even in builds where serde
+//! support is unavailable.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use musa_obs::json::{JsonObj, JsonValue};
+
+use crate::integrity::atomic_write;
+
+/// Name of the lease journal inside the store directory.
+pub const LEASE_JOURNAL_FILE: &str = "leases.journal";
+
+/// A point the pool quarantined: it killed (or hung past the
+/// deadline) `strikes` workers and will not be retried until the
+/// operator clears the journal. Carried verbatim in the journal so
+/// the provenance survives the supervisor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolPoisonRecord {
+    /// Hex [`crate::PointKey`] of the point.
+    pub key: String,
+    /// Application label.
+    pub app: String,
+    /// Configuration label.
+    pub config: String,
+    /// Workers this point took down before quarantine.
+    pub strikes: u32,
+    /// Why the last strike was charged (exit status, signal, or
+    /// deadline).
+    pub reason: String,
+}
+
+/// One lease lifecycle event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LeaseEvent {
+    /// A lease was granted to a freshly spawned worker.
+    Grant {
+        /// Lease id (unique within the journal).
+        lease: u64,
+        /// 0 for the first grant of a point set, +1 per requeue.
+        attempt: u32,
+        /// Global point indices (enumeration order) in the lease.
+        points: Vec<u64>,
+    },
+    /// The worker finished its lease and exited cleanly.
+    Done {
+        /// Lease id.
+        lease: u64,
+        /// Attempt number.
+        attempt: u32,
+        /// Rows the worker reported persisting.
+        rows: u64,
+    },
+    /// The worker died (crash, kill -9, nonzero exit, or watchdog
+    /// kill) before finishing.
+    Dead {
+        /// Lease id.
+        lease: u64,
+        /// Attempt number.
+        attempt: u32,
+        /// Points the worker had completed (from its heartbeat).
+        done: u64,
+        /// Hex key of the point blamed for the death, if known.
+        blamed: Option<String>,
+        /// How the worker died.
+        reason: String,
+    },
+    /// The unfinished remainder of a dead lease was requeued.
+    Requeue {
+        /// New lease id.
+        lease: u64,
+        /// Attempt number of the new lease.
+        attempt: u32,
+        /// Lease id this one continues.
+        from: u64,
+        /// Backoff applied before the regrant, in milliseconds.
+        backoff_ms: u64,
+        /// Points in the requeued lease.
+        points: u64,
+    },
+    /// A point crossed the poison cap and was quarantined.
+    Poison(PoolPoisonRecord),
+    /// The run was interrupted (SIGINT/SIGTERM) after draining.
+    Interrupted {
+        /// What interrupted it.
+        reason: String,
+    },
+    /// The sweep finished (possibly with poisoned points).
+    Complete {
+        /// Rows simulated across all workers.
+        simulated: u64,
+        /// Points left poisoned.
+        poisoned: u64,
+    },
+}
+
+fn points_json(points: &[u64]) -> String {
+    let mut out = String::from("[");
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&p.to_string());
+    }
+    out.push(']');
+    out
+}
+
+impl LeaseEvent {
+    /// One-line JSON serialisation (no trailing newline).
+    pub fn to_json(&self) -> String {
+        match self {
+            LeaseEvent::Grant {
+                lease,
+                attempt,
+                points,
+            } => JsonObj::new()
+                .field_str("ev", "grant")
+                .field_u64("lease", *lease)
+                .field_u64("attempt", u64::from(*attempt))
+                .field_raw("points", &points_json(points))
+                .finish(),
+            LeaseEvent::Done {
+                lease,
+                attempt,
+                rows,
+            } => JsonObj::new()
+                .field_str("ev", "done")
+                .field_u64("lease", *lease)
+                .field_u64("attempt", u64::from(*attempt))
+                .field_u64("rows", *rows)
+                .finish(),
+            LeaseEvent::Dead {
+                lease,
+                attempt,
+                done,
+                blamed,
+                reason,
+            } => {
+                let mut obj = JsonObj::new()
+                    .field_str("ev", "dead")
+                    .field_u64("lease", *lease)
+                    .field_u64("attempt", u64::from(*attempt))
+                    .field_u64("done", *done);
+                obj = match blamed {
+                    Some(key) => obj.field_str("blamed", key),
+                    None => obj.field_raw("blamed", "null"),
+                };
+                obj.field_str("reason", reason).finish()
+            }
+            LeaseEvent::Requeue {
+                lease,
+                attempt,
+                from,
+                backoff_ms,
+                points,
+            } => JsonObj::new()
+                .field_str("ev", "requeue")
+                .field_u64("lease", *lease)
+                .field_u64("attempt", u64::from(*attempt))
+                .field_u64("from", *from)
+                .field_u64("backoff_ms", *backoff_ms)
+                .field_u64("points", *points)
+                .finish(),
+            LeaseEvent::Poison(p) => JsonObj::new()
+                .field_str("ev", "poison")
+                .field_str("key", &p.key)
+                .field_str("app", &p.app)
+                .field_str("config", &p.config)
+                .field_u64("strikes", u64::from(p.strikes))
+                .field_str("reason", &p.reason)
+                .finish(),
+            LeaseEvent::Interrupted { reason } => JsonObj::new()
+                .field_str("ev", "interrupted")
+                .field_str("reason", reason)
+                .finish(),
+            LeaseEvent::Complete {
+                simulated,
+                poisoned,
+            } => JsonObj::new()
+                .field_str("ev", "complete")
+                .field_u64("simulated", *simulated)
+                .field_u64("poisoned", *poisoned)
+                .finish(),
+        }
+    }
+
+    /// Parse one journal line. Errors name what is missing so replay
+    /// diagnostics stay actionable.
+    pub fn parse(line: &str) -> Result<LeaseEvent, String> {
+        let v = JsonValue::parse(line)?;
+        let str_of = |k: &str| -> Result<String, String> {
+            v.get(k)
+                .and_then(|x| x.as_str())
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field {k:?}"))
+        };
+        let u64_of = |k: &str| -> Result<u64, String> {
+            v.get(k)
+                .and_then(|x| x.as_u64())
+                .ok_or_else(|| format!("missing integer field {k:?}"))
+        };
+        let u32_of = |k: &str| -> Result<u32, String> {
+            u32::try_from(u64_of(k)?).map_err(|_| format!("field {k:?} out of range"))
+        };
+        match str_of("ev")?.as_str() {
+            "grant" => {
+                let arr = v
+                    .get("points")
+                    .and_then(|x| x.as_arr())
+                    .ok_or("missing array field \"points\"")?;
+                let mut points = Vec::with_capacity(arr.len());
+                for p in arr {
+                    points.push(p.as_u64().ok_or("non-integer point index")?);
+                }
+                Ok(LeaseEvent::Grant {
+                    lease: u64_of("lease")?,
+                    attempt: u32_of("attempt")?,
+                    points,
+                })
+            }
+            "done" => Ok(LeaseEvent::Done {
+                lease: u64_of("lease")?,
+                attempt: u32_of("attempt")?,
+                rows: u64_of("rows")?,
+            }),
+            "dead" => Ok(LeaseEvent::Dead {
+                lease: u64_of("lease")?,
+                attempt: u32_of("attempt")?,
+                done: u64_of("done")?,
+                blamed: v.get("blamed").and_then(|x| x.as_str()).map(str::to_string),
+                reason: str_of("reason")?,
+            }),
+            "requeue" => Ok(LeaseEvent::Requeue {
+                lease: u64_of("lease")?,
+                attempt: u32_of("attempt")?,
+                from: u64_of("from")?,
+                backoff_ms: u64_of("backoff_ms")?,
+                points: u64_of("points")?,
+            }),
+            "poison" => Ok(LeaseEvent::Poison(PoolPoisonRecord {
+                key: str_of("key")?,
+                app: str_of("app")?,
+                config: str_of("config")?,
+                strikes: u32_of("strikes")?,
+                reason: str_of("reason")?,
+            })),
+            "interrupted" => Ok(LeaseEvent::Interrupted {
+                reason: str_of("reason")?,
+            }),
+            "complete" => Ok(LeaseEvent::Complete {
+                simulated: u64_of("simulated")?,
+                poisoned: u64_of("poisoned")?,
+            }),
+            other => Err(format!("unknown event {other:?}")),
+        }
+    }
+}
+
+/// What replaying a journal recovered.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JournalReplay {
+    /// Every parseable event, in journal order.
+    pub events: Vec<LeaseEvent>,
+    /// Final line torn by a crash (no trailing newline, unparsable).
+    pub torn_tail: bool,
+    /// Interior lines that failed to parse (skipped, not fatal).
+    pub skipped: u64,
+    /// File absent, empty, or newline-terminated. False means the
+    /// last line is missing its newline — even if it parsed (a crash
+    /// can cut exactly between the final `}` and the `\n`), a later
+    /// append would concatenate onto it, so an appendable open must
+    /// rewrite first.
+    pub clean_terminated: bool,
+}
+
+impl JournalReplay {
+    /// The poisoned set: last [`LeaseEvent::Poison`] record per key.
+    pub fn poisoned(&self) -> Vec<PoolPoisonRecord> {
+        let mut by_key: HashMap<&str, &PoolPoisonRecord> = HashMap::new();
+        let mut order: Vec<&str> = Vec::new();
+        for ev in &self.events {
+            if let LeaseEvent::Poison(p) = ev {
+                if by_key.insert(p.key.as_str(), p).is_none() {
+                    order.push(p.key.as_str());
+                }
+            }
+        }
+        order.into_iter().map(|k| by_key[k].clone()).collect()
+    }
+
+    /// Strikes already charged per blamed point key — the poison-cap
+    /// bookkeeping a resumed supervisor starts from.
+    pub fn strikes(&self) -> HashMap<String, u32> {
+        let mut strikes: HashMap<String, u32> = HashMap::new();
+        for ev in &self.events {
+            if let LeaseEvent::Dead {
+                blamed: Some(key), ..
+            } = ev
+            {
+                *strikes.entry(key.clone()).or_default() += 1;
+            }
+        }
+        strikes
+    }
+}
+
+/// Replay the journal in `dir` **leniently**: a missing file is an
+/// empty replay, a torn tail or unparsable interior line is counted
+/// and skipped. Never writes.
+pub fn replay(dir: &Path) -> JournalReplay {
+    replay_path(&dir.join(LEASE_JOURNAL_FILE))
+}
+
+fn replay_path(path: &Path) -> JournalReplay {
+    let mut out = JournalReplay {
+        clean_terminated: true,
+        ..JournalReplay::default()
+    };
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return out;
+    };
+    let ends_with_newline = text.ends_with('\n');
+    out.clean_terminated = ends_with_newline || text.is_empty();
+    let lines: Vec<&str> = text.lines().collect();
+    let last = lines.len().saturating_sub(1);
+    for (i, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match LeaseEvent::parse(line) {
+            Ok(ev) => out.events.push(ev),
+            Err(_) if i == last && !ends_with_newline => out.torn_tail = true,
+            Err(_) => out.skipped += 1,
+        }
+    }
+    out
+}
+
+/// An open, appendable lease journal.
+pub struct LeaseJournal {
+    path: PathBuf,
+    file: File,
+    seq: u64,
+}
+
+impl LeaseJournal {
+    /// Open (or create) the journal in `dir`, repairing a torn tail or
+    /// corrupt interior lines by atomically rewriting the surviving
+    /// events first, and return it together with the replayed state.
+    /// Only the supervisor calls this; workers never touch the
+    /// journal.
+    pub fn open(dir: &Path) -> std::io::Result<(LeaseJournal, JournalReplay)> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(LEASE_JOURNAL_FILE);
+        let replayed = replay_path(&path);
+        if replayed.torn_tail || replayed.skipped > 0 || !replayed.clean_terminated {
+            musa_obs::warn(
+                "musa-store",
+                "lease journal repaired",
+                &[
+                    ("torn_tail", replayed.torn_tail.to_string().into()),
+                    ("skipped", replayed.skipped.into()),
+                ],
+            );
+            let mut out = String::new();
+            for ev in &replayed.events {
+                out.push_str(&ev.to_json());
+                out.push('\n');
+            }
+            atomic_write(&path, out.as_bytes(), "store.rewrite")?;
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok((
+            LeaseJournal {
+                path,
+                file,
+                seq: replayed.events.len() as u64,
+            },
+            replayed,
+        ))
+    }
+
+    /// Path of the journal file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one event durably (`write + fdatasync`). Carries the
+    /// `pool.lease` failpoint, keyed by the append sequence number.
+    pub fn append(&mut self, ev: &LeaseEvent) -> std::io::Result<()> {
+        self.seq += 1;
+        musa_fault::fail_io("pool.lease", self.seq)?;
+        let mut line = ev.to_json();
+        line.push('\n');
+        self.file.write_all(line.as_bytes())?;
+        self.file.sync_data()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "musa-journal-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_events() -> Vec<LeaseEvent> {
+        vec![
+            LeaseEvent::Grant {
+                lease: 1,
+                attempt: 0,
+                points: vec![0, 3, 7],
+            },
+            LeaseEvent::Dead {
+                lease: 1,
+                attempt: 0,
+                done: 1,
+                blamed: Some("00c0ffee00c0ffee".into()),
+                reason: "signal (killed)".into(),
+            },
+            LeaseEvent::Requeue {
+                lease: 2,
+                attempt: 1,
+                from: 1,
+                backoff_ms: 6,
+                points: 2,
+            },
+            LeaseEvent::Dead {
+                lease: 2,
+                attempt: 1,
+                done: 0,
+                blamed: None,
+                reason: "exit status 101".into(),
+            },
+            LeaseEvent::Poison(PoolPoisonRecord {
+                key: "00c0ffee00c0ffee".into(),
+                app: "hydro".into(),
+                config: "cfg with \"quotes\"".into(),
+                strikes: 3,
+                reason: "deadline exceeded (300ms)".into(),
+            }),
+            LeaseEvent::Done {
+                lease: 2,
+                attempt: 1,
+                rows: 2,
+            },
+            LeaseEvent::Interrupted {
+                reason: "SIGINT".into(),
+            },
+            LeaseEvent::Complete {
+                simulated: 3,
+                poisoned: 1,
+            },
+        ]
+    }
+
+    #[test]
+    fn events_roundtrip_through_json() {
+        for ev in sample_events() {
+            let line = ev.to_json();
+            let back =
+                LeaseEvent::parse(&line).unwrap_or_else(|e| panic!("parse failed for {line}: {e}"));
+            assert_eq!(back, ev);
+        }
+    }
+
+    #[test]
+    fn append_then_replay_restores_state() {
+        let dir = tmp_dir("roundtrip");
+        let (mut journal, replayed) = LeaseJournal::open(&dir).unwrap();
+        assert!(replayed.events.is_empty());
+        for ev in sample_events() {
+            journal.append(&ev).unwrap();
+        }
+        drop(journal);
+
+        let replayed = replay(&dir);
+        assert_eq!(replayed.events, sample_events());
+        assert!(!replayed.torn_tail);
+        assert_eq!(replayed.skipped, 0);
+        assert_eq!(replayed.poisoned().len(), 1);
+        assert_eq!(replayed.poisoned()[0].strikes, 3);
+        assert_eq!(replayed.strikes().get("00c0ffee00c0ffee").copied(), Some(1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_of_missing_journal_is_empty() {
+        let dir = tmp_dir("missing");
+        let replayed = replay(&dir);
+        assert!(replayed.events.is_empty() && !replayed.torn_tail);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_repairs_a_torn_tail() {
+        let dir = tmp_dir("torn");
+        let path = dir.join(LEASE_JOURNAL_FILE);
+        let good = LeaseEvent::Grant {
+            lease: 1,
+            attempt: 0,
+            points: vec![1, 2],
+        };
+        std::fs::write(&path, format!("{}\n{{\"ev\":\"dea", good.to_json())).unwrap();
+
+        let (mut journal, replayed) = LeaseJournal::open(&dir).unwrap();
+        assert!(replayed.torn_tail);
+        assert_eq!(replayed.events, vec![good.clone()]);
+        // The repair truncated the torn bytes; appends keep working.
+        journal
+            .append(&LeaseEvent::Done {
+                lease: 1,
+                attempt: 0,
+                rows: 2,
+            })
+            .unwrap();
+        drop(journal);
+        let replayed = replay(&dir);
+        assert_eq!(replayed.events.len(), 2);
+        assert!(!replayed.torn_tail && replayed.skipped == 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The PR 4 store proptest's property, applied to the journal:
+    /// truncating the file at **every** byte offset must keep exactly
+    /// the events whose full line (newline included) survived, and
+    /// never fail the replay. Exhaustive rather than sampled — the
+    /// file is small enough to try every cut, which is strictly
+    /// stronger than `proptest` drawing offsets.
+    #[test]
+    fn replay_survives_truncation_at_every_offset() {
+        let dir = tmp_dir("truncate");
+        let path = dir.join(LEASE_JOURNAL_FILE);
+        let mut full = String::new();
+        for ev in sample_events() {
+            full.push_str(&ev.to_json());
+            full.push('\n');
+        }
+        let bytes = full.as_bytes();
+        for n in 0..=bytes.len() {
+            // Events that must survive a cut at byte `n`: every
+            // newline-terminated line, plus the trailing fragment iff
+            // it happens to be a complete serialisation (a crash that
+            // cut exactly between the final `}` and its newline).
+            let complete = bytes[..n].iter().filter(|&&b| b == b'\n').count();
+            let tail_start = bytes[..n]
+                .iter()
+                .rposition(|&b| b == b'\n')
+                .map_or(0, |p| p + 1);
+            let tail = &full[tail_start..n];
+            let tail_parses = !tail.is_empty() && LeaseEvent::parse(tail).is_ok();
+            let expected = complete + usize::from(tail_parses);
+
+            std::fs::write(&path, &bytes[..n]).unwrap();
+            let replayed = replay_path(&path);
+            assert_eq!(
+                replayed.events,
+                sample_events()[..expected],
+                "cut at byte {n}: surviving events wrong"
+            );
+            assert_eq!(replayed.skipped, 0, "cut at byte {n}");
+            let torn = !tail.is_empty() && !tail_parses;
+            assert_eq!(replayed.torn_tail, torn, "cut at byte {n}");
+            // Opening for append must repair so that a subsequent
+            // append never concatenates onto an un-terminated line.
+            let (mut journal, _) = LeaseJournal::open(&dir).unwrap();
+            let appended = LeaseEvent::Interrupted {
+                reason: "probe".into(),
+            };
+            journal.append(&appended).unwrap();
+            drop(journal);
+            let after = replay_path(&path);
+            assert!(!after.torn_tail, "cut at byte {n}: repair left a tear");
+            assert_eq!(after.events.len(), expected + 1, "cut at byte {n}");
+            assert_eq!(after.events[..expected], sample_events()[..expected]);
+            assert_eq!(after.events[expected], appended, "cut at byte {n}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

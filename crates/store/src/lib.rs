@@ -17,6 +17,9 @@
 //!   views for the figure harnesses;
 //! * [`integrity`] — CRC32 row checksums and crash-atomic file
 //!   replacement (tmp + fsync + rename);
+//! * [`journal`] — the crash-safe lease journal `musa-pool` uses to
+//!   supervise multi-process sweeps (grants, deaths, requeues and
+//!   poisoned points, replayed on `--resume`);
 //! * [`export`] — CSV/JSON file exports (written atomically).
 //!
 //! ## Failure model
@@ -50,12 +53,14 @@
 
 pub mod export;
 pub mod integrity;
+pub mod journal;
 pub mod key;
 pub mod shard;
 pub mod store;
 
 pub use export::{write_csv, write_json};
 pub use integrity::{atomic_write, crc32};
+pub use journal::{JournalReplay, LeaseEvent, LeaseJournal, PoolPoisonRecord, LEASE_JOURNAL_FILE};
 pub use key::{fnv1a_64, PointKey, SCHEMA_VERSION};
 pub use shard::Shard;
 pub use store::{

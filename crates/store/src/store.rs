@@ -29,11 +29,10 @@
 //! it skips the same rows, counts them in [`StoreHealth`], and
 //! degrades past unreadable files instead of failing the whole load.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
-use std::time::Duration;
 
 use musa_obs::Progress;
 use rayon::prelude::*;
@@ -151,6 +150,37 @@ fn seal_line(canonical: &str) -> String {
     )
 }
 
+/// Identity of a quarantine record for dedupe purposes: content
+/// fingerprints of the raw line and the reason (the same FNV used by
+/// musa-fault keys). File and line number are deliberately excluded —
+/// the *same* bad row re-encountered at a shifted offset is still the
+/// same incident.
+fn quarantine_fingerprint(raw: &str, reason: &str) -> u64 {
+    musa_fault::key_of(&[raw.as_bytes(), b"\0", reason.as_bytes()])
+}
+
+/// Fingerprints of every record already in the quarantine file.
+/// Parsed with the dependency-free JSON reader so dedupe works even
+/// where serde support is unavailable; unparsable lines are ignored
+/// (the quarantine file is advisory provenance, not campaign data).
+fn existing_quarantine_fingerprints(path: &Path) -> HashSet<u64> {
+    let mut seen = HashSet::new();
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return seen;
+    };
+    for line in text.lines() {
+        if let Ok(v) = musa_obs::json::JsonValue::parse(line) {
+            if let (Some(raw), Some(reason)) = (
+                v.get("raw").and_then(|x| x.as_str()),
+                v.get("reason").and_then(|x| x.as_str()),
+            ) {
+                seen.insert(quarantine_fingerprint(raw, reason));
+            }
+        }
+    }
+    seen
+}
+
 fn file_name_of(path: &Path) -> String {
     path.file_name()
         .map(|n| n.to_string_lossy().into_owned())
@@ -200,15 +230,20 @@ pub struct StoreHealth {
     pub rows_newer_schema: u64,
     /// Rows written by an older schema, skipped in memory.
     pub rows_stale_schema: u64,
+    /// Points the pool supervisor quarantined as poisoned (they killed
+    /// more workers than `--poison-cap` allows), from the lease
+    /// journal. These rows are *absent* from the store and a plain
+    /// resume will not re-attempt them.
+    pub pool_poisoned: u64,
 }
 
 impl StoreHealth {
     /// `true` when the loaded campaign is incomplete for reasons a
-    /// resume cannot heal on its own: corrupt rows or unreadable
-    /// files. A repaired torn tail is a *normal* crash artifact and
-    /// does not degrade the store.
+    /// resume cannot heal on its own: corrupt rows, unreadable files,
+    /// or pool-poisoned points. A repaired torn tail is a *normal*
+    /// crash artifact and does not degrade the store.
     pub fn degraded(&self) -> bool {
-        self.quarantined > 0 || self.files_skipped > 0
+        self.quarantined > 0 || self.files_skipped > 0 || self.pool_poisoned > 0
     }
 }
 
@@ -246,6 +281,14 @@ pub struct FillOptions {
     /// recording it and continuing. Rows already simulated in the
     /// failing batch are persisted first.
     pub fail_fast: bool,
+    /// Cooperative cancellation, polled between batches: when it
+    /// returns `true`, the in-flight batch is flushed and [`fill`]
+    /// returns early with [`FillReport::interrupted`] set. A plain fn
+    /// pointer (typically backed by a signal-set atomic) keeps the
+    /// options `Copy`.
+    ///
+    /// [`fill`]: CampaignStore::fill
+    pub cancel: Option<fn() -> bool>,
 }
 
 impl FillOptions {
@@ -259,6 +302,7 @@ impl FillOptions {
             progress: true,
             max_retries: DEFAULT_MAX_RETRIES,
             fail_fast: false,
+            cancel: None,
         }
     }
 }
@@ -285,6 +329,10 @@ pub struct FillReport {
     pub poisoned: Vec<PoisonedPoint>,
     /// Flush retries spent on transient I/O errors.
     pub retries: u32,
+    /// The fill stopped early because [`FillOptions::cancel`] fired
+    /// (e.g. SIGINT). Every completed batch was flushed first; a
+    /// `--resume` picks up exactly the un-simulated remainder.
+    pub interrupted: bool,
 }
 
 /// A persistent, resumable campaign result store.
@@ -300,8 +348,17 @@ pub struct CampaignStore {
     by_app: HashMap<String, Vec<usize>>,
     writer: Option<BufWriter<File>>,
     read_only: bool,
+    /// Whether this open may rewrite files on disk (truncate torn
+    /// tails, move corrupt rows to quarantine). False for read-only
+    /// opens *and* for pool-worker opens: a worker loading the store
+    /// while a sibling is mid-append must never rewrite the sibling's
+    /// live file out from under it.
+    repair: bool,
     health: StoreHealth,
     flush_seq: u64,
+    /// Salt for flush-retry backoff jitter, derived from the write
+    /// path so concurrent writers back off on different schedules.
+    backoff_salt: u64,
 }
 
 impl CampaignStore {
@@ -332,7 +389,21 @@ impl CampaignStore {
                 format!("campaign store directory {} does not exist", dir.display()),
             ));
         }
-        Self::open_impl(dir.to_path_buf(), DEFAULT_WRITE_FILE, true)
+        Self::open_impl(dir.to_path_buf(), DEFAULT_WRITE_FILE, true, false)
+    }
+
+    /// Open the store as a **pool worker**: writable (to the worker's
+    /// own `write_file`) but load-lenient like a read-only open. A
+    /// worker starts while sibling workers are appending to their own
+    /// files; repairing — atomically rewriting a sibling's file to
+    /// truncate what merely *looks* like a torn tail — would strand
+    /// the sibling's writer on an unlinked inode and destroy its next
+    /// flush. Only the supervisor (which opens the store before
+    /// workers spawn and after they all exit) repairs.
+    pub fn open_worker(dir: impl AsRef<Path>, write_file: &str) -> std::io::Result<CampaignStore> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        Self::open_impl(dir, write_file, false, false)
     }
 
     /// Open the store, appending new rows to `write_file` (created on
@@ -343,13 +414,14 @@ impl CampaignStore {
     ) -> std::io::Result<CampaignStore> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
-        Self::open_impl(dir, write_file, false)
+        Self::open_impl(dir, write_file, false, true)
     }
 
     fn open_impl(
         dir: PathBuf,
         write_file: &str,
         read_only: bool,
+        repair: bool,
     ) -> std::io::Result<CampaignStore> {
         let mut store = CampaignStore {
             write_path: dir.join(write_file),
@@ -359,8 +431,10 @@ impl CampaignStore {
             by_app: HashMap::new(),
             writer: None,
             read_only,
+            repair,
             health: StoreHealth::default(),
             flush_seq: 0,
+            backoff_salt: musa_fault::key_of(&[write_file.as_bytes()]),
         };
         let mut files: Vec<PathBuf> = std::fs::read_dir(&store.dir)?
             .filter_map(|e| e.ok())
@@ -372,6 +446,10 @@ impl CampaignStore {
         for file in files {
             store.load_file(&file)?;
         }
+        // The lease journal (if a pool run left one) tells us which
+        // points are quarantined as poisoned — campaign data that is
+        // *missing* rather than corrupt, surfaced the same way.
+        store.health.pool_poisoned = crate::journal::replay(&store.dir).poisoned().len() as u64;
         Ok(store)
     }
 
@@ -381,11 +459,11 @@ impl CampaignStore {
     fn load_file(&mut self, path: &Path) -> std::io::Result<()> {
         let text = match std::fs::read_to_string(path) {
             Ok(text) => text,
-            Err(e) if self.read_only => {
+            Err(e) if !self.repair => {
                 self.health.files_skipped += 1;
                 musa_obs::warn(
                     "musa-store",
-                    "unreadable result file skipped (read-only open serves the rest, degraded)",
+                    "unreadable result file skipped (lenient open serves the rest, degraded)",
                     &[
                         ("file", path.display().to_string().into()),
                         ("error", e.to_string().into()),
@@ -497,21 +575,24 @@ impl CampaignStore {
         if !quarantined.is_empty() {
             self.health.quarantined += quarantined.len() as u64;
             musa_obs::counter_add("store.quarantined", quarantined.len() as u64);
-            for q in &quarantined {
-                musa_obs::warn(
-                    "musa-store",
-                    if self.read_only {
-                        "corrupt row skipped (read-only open; a writable open would quarantine it)"
-                    } else {
-                        "corrupt row quarantined"
-                    },
-                    &[
-                        ("file", q.file.clone().into()),
-                        ("line", q.line.into()),
-                        ("reason", q.reason.clone().into()),
-                    ],
-                );
-            }
+            // One warning per file, not one per row: a file with a
+            // thousand corrupt rows is one incident, and a log flooded
+            // by it buries every other signal.
+            let first = &quarantined[0];
+            musa_obs::warn(
+                "musa-store",
+                if self.repair {
+                    "corrupt rows quarantined"
+                } else {
+                    "corrupt rows skipped (lenient open; a repairing open would quarantine them)"
+                },
+                &[
+                    ("file", first.file.clone().into()),
+                    ("rows", quarantined.len().into()),
+                    ("first_line", first.line.into()),
+                    ("first_reason", first.reason.clone().into()),
+                ],
+            );
         }
         // A file needing no repair: nothing torn, nothing corrupt, and
         // (unless empty) newline-terminated. The last condition matters
@@ -519,7 +600,7 @@ impl CampaignStore {
         // between the final `}` and its newline, and a later append
         // would concatenate onto that complete row and destroy it.
         let clean = !torn_tail && quarantined.is_empty() && (ends_with_newline || text.is_empty());
-        if self.read_only || clean {
+        if !self.repair || clean {
             return Ok(());
         }
 
@@ -538,15 +619,34 @@ impl CampaignStore {
     }
 
     fn append_quarantine(&self, records: &[QuarantineRecord]) -> std::io::Result<()> {
+        // Dedupe against what is already quarantined: a row that keeps
+        // reappearing (same raw bytes, same reason — e.g. a corrupt
+        // shard recreated by a buggy sync job) must not grow the
+        // quarantine file without bound across repeated opens.
+        let path = self.dir.join(QUARANTINE_FILE);
+        let seen = existing_quarantine_fingerprints(&path);
         let mut out = String::new();
+        let mut suppressed = 0u64;
         for record in records {
+            if seen.contains(&quarantine_fingerprint(&record.raw, &record.reason)) {
+                suppressed += 1;
+                continue;
+            }
             out.push_str(&serde_json::to_string(record).expect("record serialises"));
             out.push('\n');
         }
-        let mut file = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(self.dir.join(QUARANTINE_FILE))?;
+        if suppressed > 0 {
+            musa_obs::counter_add("store.quarantine_suppressed", suppressed);
+            musa_obs::debug(
+                "musa-store",
+                "duplicate quarantine records suppressed",
+                &[("rows", suppressed.into())],
+            );
+        }
+        if out.is_empty() {
+            return Ok(());
+        }
+        let mut file = OpenOptions::new().create(true).append(true).open(path)?;
         file.write_all(out.as_bytes())?;
         file.sync_all()
     }
@@ -701,7 +801,11 @@ impl CampaignStore {
                             ("max_retries", max_retries.into()),
                         ],
                     );
-                    std::thread::sleep(Duration::from_millis(2u64 << retries.min(5)));
+                    // Jittered, not fixed: concurrent pool workers
+                    // hitting the same transient condition must not
+                    // retry in lockstep. The salt is the write path,
+                    // so each writer's schedule is still replayable.
+                    std::thread::sleep(musa_fault::jittered_backoff(retries, self.backoff_salt));
                 }
                 Err(e) => return Err(e),
             }
@@ -796,6 +900,18 @@ impl CampaignStore {
             };
             let sim = MultiscaleSim::new(&trace);
             for chunk in missing.chunks(opts.batch.max(1)) {
+                if opts.cancel.is_some_and(|cancelled| cancelled()) {
+                    report.interrupted = true;
+                    musa_obs::warn(
+                        "musa-store",
+                        "fill interrupted, stopping after the flushed batch",
+                        &[("done", done.into()), ("total", total.into())],
+                    );
+                    if let Some(hb) = &heartbeat {
+                        hb.finish(done as u64);
+                    }
+                    return Ok(report);
+                }
                 // A panic inside one simulation (a bug — or an injected
                 // `sim.point` fault) poisons that point only: the other
                 // points of the chunk are still persisted, and because a

@@ -21,6 +21,7 @@ cargo build --workspace --no-default-features
 echo "== build with fault injection disabled (obs kept) =="
 # Failpoints must compile out independently of observability.
 cargo build -p musa-store --no-default-features --features obs
+cargo build -p musa-pool --no-default-features --features obs
 cargo build -p musa-bench --no-default-features --features obs
 
 echo "== fault harness without the runtime =="
@@ -35,6 +36,11 @@ cargo test -q -p musa-serve --no-default-features
 echo "== serve smoke (real binary, ephemeral port) =="
 bash scripts/serve_smoke.sh
 
+echo "== pool smoke (supervised --workers 2 vs sequential) =="
+# Byte-identity of the multi-process fill against a sequential run,
+# through the actual shipped binary. Skips where rows cannot persist.
+bash scripts/pool_smoke.sh
+
 echo "== zero-overhead bench (smoke) =="
 # Criterion in --test mode: one pass over the disabled/enabled metric
 # paths, checking they run, not their timings.
@@ -45,6 +51,12 @@ if [[ "${CHAOS:-0}" == "1" ]]; then
     # Spawns a child fill, kills it mid-write, and checks that resume
     # reconstructs the campaign byte-for-byte.
     CHAOS=1 cargo test -q -p musa-store --test chaos
+
+    echo "== chaos: kill -9 pool worker / supervisor (CHAOS=1) =="
+    # SIGKILLs a live pool worker mid-batch (and, separately, the
+    # supervisor itself, then resumes); the final store must be
+    # byte-identical to a sequential run either way.
+    CHAOS=1 cargo test -q -p musa-bench --test pool_e2e
 fi
 
 echo "All checks passed."
