@@ -31,7 +31,7 @@ use std::path::{Path, PathBuf};
 
 use musa_apps::AppId;
 use musa_bench::cli::{parse_dse_args, DseArgs, Parsed, ServeArgs, SERVE_USAGE, USAGE};
-use musa_bench::{configs, gen_params, store_dir};
+use musa_bench::{configs, gen_params, paper_scale, store_dir};
 use musa_core::report::table;
 use musa_core::SweepOptions;
 use musa_pool::{signals, WorkerStatus};
@@ -216,13 +216,11 @@ fn pool_main(
         eprintln!("dse: cannot locate own binary for worker re-exec: {e}");
         std::process::exit(1);
     });
-    let mut env: Vec<(String, String)> = Vec::new();
-    if let Some(spec) = &args.faults_spec {
-        // Workers run the *identical* fault plan: the spec (seed
-        // included) rides the environment verbatim and is re-parsed by
-        // each worker's own init.
-        env.push(("MUSA_FAULTS".to_string(), spec.clone()));
-    }
+    // Workers re-derive the sweep from the environment they inherit:
+    // `--full` must be converted to MUSA_FULL=1 (the worker argv does
+    // not repeat it) and the fault spec (seed included) rides along
+    // verbatim, re-parsed by each worker's own init.
+    let env = musa_bench::pool_worker_env(args.faults_spec.as_deref(), paper_scale());
     let pool_opts = musa_pool::PoolOptions {
         workers,
         point_timeout: args.point_timeout,
@@ -275,6 +273,25 @@ fn pool_main(
         std::process::exit(1);
     });
     let campaign = store.campaign_for(&AppId::ALL, configs, opts);
+    // Completeness guard: a pool run that was not interrupted must
+    // account for every requested point — a row in the store, or a
+    // poison record with provenance. Anything else (e.g. workers that
+    // simulated under different keys than the supervisor enumerated)
+    // is a bug that must not masquerade as a clean sweep.
+    let unaccounted = report
+        .requested
+        .saturating_sub(campaign.results.len() + report.poisoned_total());
+    if unaccounted > 0 {
+        eprintln!(
+            "dse: pool run left {unaccounted} of {} point(s) neither stored \
+             nor poisoned in {} — the supervisor and its workers disagreed \
+             on what to simulate; not reporting success",
+            report.requested,
+            dir.display()
+        );
+        finish_observability(args);
+        std::process::exit(1);
+    }
     export_campaign(args, &campaign);
     summarise(&campaign, configs, dir);
     finish_observability(args);
@@ -295,6 +312,15 @@ fn worker_main(cfg: musa_pool::WorkerConfig) -> ! {
         full_replay: true,
     };
     let configs = configs();
+    // Refuse to simulate anything if this process derives a different
+    // sweep than the supervisor that spawned it (scale or config
+    // environment lost in the re-exec): every row would land under the
+    // wrong key. The distinct exit code makes the supervisor abort
+    // instead of retrying.
+    if let Err(e) = musa_pool::verify_sweep_key(&cfg, &AppId::ALL, &configs, &opts) {
+        eprintln!("dse pool-worker (lease {}): {e}", cfg.lease);
+        std::process::exit(musa_pool::EXIT_GEOMETRY_MISMATCH);
+    }
     match musa_pool::run_worker(&cfg, &AppId::ALL, &configs, &opts) {
         Ok(WorkerStatus::Complete) => std::process::exit(0),
         Ok(WorkerStatus::Interrupted) => std::process::exit(EXIT_INTERRUPTED),

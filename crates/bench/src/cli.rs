@@ -342,6 +342,7 @@ fn parse_worker_args<S: AsRef<str>>(args: &[S]) -> Result<Parsed, String> {
     let mut attempt: Option<u32> = None;
     let mut points: Option<Vec<u64>> = None;
     let mut max_retries = DEFAULT_MAX_RETRIES;
+    let mut sweep_key: Option<String> = None;
     let mut it = args.iter().map(AsRef::as_ref).peekable();
     while let Some(arg) = it.next() {
         match arg {
@@ -358,6 +359,9 @@ fn parse_worker_args<S: AsRef<str>>(args: &[S]) -> Result<Parsed, String> {
             "--max-retries" => {
                 max_retries = parse_number("--max-retries", required(&mut it, "--max-retries")?)?;
             }
+            "--sweep-key" => {
+                sweep_key = Some(required(&mut it, "--sweep-key")?.to_string());
+            }
             other => return Err(format!("unknown pool-worker argument {other:?}")),
         }
     }
@@ -367,6 +371,7 @@ fn parse_worker_args<S: AsRef<str>>(args: &[S]) -> Result<Parsed, String> {
         attempt: attempt.ok_or("pool-worker needs --attempt")?,
         points: points.ok_or("pool-worker needs --points")?,
         max_retries,
+        sweep_key,
     }))
 }
 
@@ -609,6 +614,8 @@ mod tests {
             "0-2,9",
             "--max-retries",
             "5",
+            "--sweep-key",
+            "00c0ffee",
         ])
         .unwrap();
         assert_eq!(
@@ -619,8 +626,26 @@ mod tests {
                 attempt: 1,
                 points: vec![0, 1, 2, 9],
                 max_retries: 5,
+                sweep_key: Some("00c0ffee".into()),
             })
         );
+        // --sweep-key is optional (older supervisors never pass it).
+        let parsed = parse_dse_args(&[
+            "pool-worker",
+            "--store-dir",
+            "/tmp/campaign",
+            "--lease",
+            "7",
+            "--attempt",
+            "1",
+            "--points",
+            "0",
+        ])
+        .unwrap();
+        match parsed {
+            Parsed::PoolWorker(cfg) => assert_eq!(cfg.sweep_key, None),
+            other => panic!("unexpected parse: {other:?}"),
+        }
     }
 
     #[test]
@@ -644,6 +669,22 @@ mod tests {
         ])
         .is_err());
         assert!(parse_dse_args(&["pool-worker", "--nope"]).is_err());
+        assert!(
+            parse_dse_args(&[
+                "pool-worker",
+                "--store-dir",
+                "/x",
+                "--lease",
+                "1",
+                "--attempt",
+                "0",
+                "--points",
+                "0",
+                "--sweep-key",
+            ])
+            .is_err(),
+            "--sweep-key needs a value"
+        );
         // Like `serve`, only recognised in first position.
         assert!(parse_dse_args(&["--resume", "pool-worker"]).is_err());
     }

@@ -63,6 +63,28 @@ pub fn configs() -> Vec<NodeConfig> {
     all.iter().copied().step_by(all.len() / n).take(n).collect()
 }
 
+/// Extra environment a pool supervisor must hand to its re-exec'd
+/// workers so both sides derive the identical sweep.
+///
+/// Workers inherit the parent environment, which already carries
+/// `MUSA_TINY` / `MUSA_CONFIG_SLICE` / `MUSA_FULL` unchanged — but
+/// paper scale can also be selected by the `--full` *flag*, which the
+/// hidden `pool-worker` argv does not repeat, so it must be converted
+/// into `MUSA_FULL=1` here or the supervisor would enumerate
+/// paper-scale point keys while its workers simulate (and store) at
+/// the reduced scale. The `--faults` spec rides along verbatim so a
+/// chaos plan fires identically in every process.
+pub fn pool_worker_env(faults_spec: Option<&str>, full: bool) -> Vec<(String, String)> {
+    let mut env = Vec::new();
+    if full {
+        env.push(("MUSA_FULL".to_string(), "1".to_string()));
+    }
+    if let Some(spec) = faults_spec {
+        env.push(("MUSA_FAULTS".to_string(), spec.to_string()));
+    }
+    env
+}
+
 /// Campaign store directory for the current scale (override with
 /// `MUSA_STORE_DIR`).
 pub fn store_dir() -> PathBuf {
@@ -144,6 +166,28 @@ pub fn print_feature_figure(
         println!(
             "{}",
             musa_core::report::table(&["app", "value", "@32 cores", "@64 cores"], &rows)
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::pool_worker_env;
+
+    #[test]
+    fn pool_worker_env_propagates_scale_and_faults() {
+        assert_eq!(pool_worker_env(None, false), vec![]);
+        assert_eq!(
+            pool_worker_env(None, true),
+            vec![("MUSA_FULL".to_string(), "1".to_string())]
+        );
+        let spec = "seed=7,sim.point=panic@0.5";
+        assert_eq!(
+            pool_worker_env(Some(spec), true),
+            vec![
+                ("MUSA_FULL".to_string(), "1".to_string()),
+                ("MUSA_FAULTS".to_string(), spec.to_string()),
+            ]
         );
     }
 }

@@ -24,10 +24,11 @@ use std::process::{Command, Output, Stdio};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
-use musa_apps::AppId;
+use musa_apps::{AppId, GenParams};
 use musa_arch::{DesignSpace, NodeConfig};
+use musa_core::SweepOptions;
 use musa_fault::{FaultAction, FaultPlan, FaultPoint};
-use musa_store::{journal, LeaseEvent, QUARANTINE_FILE};
+use musa_store::{journal, LeaseEvent, PointKey, QUARANTINE_FILE};
 
 const DSE: &str = env!("CARGO_BIN_EXE_dse");
 
@@ -63,16 +64,27 @@ fn dse(dir: &Path, extra: &[&str]) -> Output {
 }
 
 fn dse_command(dir: &Path, extra: &[&str]) -> Command {
+    dse_command_at(dir, extra, CONFIG_SLICE, true)
+}
+
+/// Like [`dse_command`] but with an explicit config-slice size and
+/// scale selection (`tiny: false` leaves the scale to the argv, e.g.
+/// for `--full` drills).
+fn dse_command_at(dir: &Path, extra: &[&str], slice: usize, tiny: bool) -> Command {
     let mut cmd = Command::new(DSE);
     cmd.arg("--store-dir")
         .arg(dir)
         .args(extra)
-        .env("MUSA_TINY", "1")
-        .env("MUSA_CONFIG_SLICE", CONFIG_SLICE.to_string())
+        .env("MUSA_CONFIG_SLICE", slice.to_string())
         .env_remove("MUSA_FULL")
         .env_remove("MUSA_STORE_DIR")
         .env_remove("MUSA_FAULTS")
         .env_remove("MUSA_FAULT_SEED");
+    if tiny {
+        cmd.env("MUSA_TINY", "1");
+    } else {
+        cmd.env_remove("MUSA_TINY");
+    }
     cmd
 }
 
@@ -103,16 +115,18 @@ fn sorted_store_lines(dir: &Path) -> Vec<String> {
     lines
 }
 
-/// The sweep's point count and the `sim.point` failpoint key of every
-/// point, in the exact enumeration the supervisor and workers share.
-fn point_keys() -> Vec<u64> {
+/// The deterministic `MUSA_CONFIG_SLICE=n` configuration subset, as
+/// both the supervisor and its workers derive it.
+fn slice_configs(n: usize) -> Vec<NodeConfig> {
     let all = DesignSpace::all();
-    let configs: Vec<NodeConfig> = all
-        .iter()
-        .copied()
-        .step_by(all.len() / CONFIG_SLICE)
-        .take(CONFIG_SLICE)
-        .collect();
+    all.iter().copied().step_by(all.len() / n).take(n).collect()
+}
+
+/// The `sim.point` failpoint key of every sweep point under
+/// `MUSA_CONFIG_SLICE=n`, in the exact app-major enumeration the
+/// supervisor and workers share.
+fn point_keys_at(n: usize) -> Vec<u64> {
+    let configs = slice_configs(n);
     let mut keys = Vec::new();
     for app in AppId::ALL {
         for cfg in &configs {
@@ -123,6 +137,10 @@ fn point_keys() -> Vec<u64> {
         }
     }
     keys
+}
+
+fn point_keys() -> Vec<u64> {
+    point_keys_at(CONFIG_SLICE)
 }
 
 /// A fault-free sequential reference run; the byte-identity oracle.
@@ -303,6 +321,234 @@ fn hung_point_is_deadline_killed_then_poisoned() {
         sorted_store_lines(&dir).len(),
         keys.len() - 1,
         "every point but the hung one is persisted"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The supervisor stamps every worker argv with the PointKey of the
+/// lease's first point; a worker whose environment derives a different
+/// sweep (scale or slice not propagated) must refuse the lease with
+/// the dedicated exit code, before simulating anything.
+#[test]
+fn worker_refuses_sweep_geometry_mismatch() {
+    let dir = tmp_dir("geometry");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let worker_argv = |sweep_key: &str| -> Output {
+        let mut cmd = Command::new(DSE);
+        cmd.args([
+            "pool-worker",
+            "--store-dir",
+            dir.to_str().unwrap(),
+            "--lease",
+            "1",
+            "--attempt",
+            "0",
+            "--points",
+            "0",
+            "--sweep-key",
+            sweep_key,
+        ])
+        .env("MUSA_TINY", "1")
+        .env("MUSA_CONFIG_SLICE", "1")
+        .env_remove("MUSA_FULL")
+        .env_remove("MUSA_FAULTS")
+        .env_remove("MUSA_FAULT_SEED");
+        cmd.output().expect("spawn dse pool-worker")
+    };
+
+    // A key from a *different* scale: what the supervisor would send if
+    // it enumerated at paper scale while the worker runs tiny.
+    let sweep = |gen: GenParams| SweepOptions {
+        gen,
+        full_replay: true,
+    };
+    let configs = slice_configs(1);
+    let wrong =
+        PointKey::for_point(AppId::ALL[0], &configs[0], &sweep(GenParams::paper())).to_hex();
+    let out = worker_argv(&wrong);
+    assert_eq!(
+        out.status.code(),
+        Some(4),
+        "mismatched sweep key must exit with the geometry-mismatch code: {}",
+        stderr_of(&out)
+    );
+    assert!(
+        stderr_of(&out).contains("sweep geometry mismatch"),
+        "the refusal must say why: {}",
+        stderr_of(&out)
+    );
+    assert!(
+        sorted_store_lines(&dir).is_empty(),
+        "a refusing worker must not write a single row"
+    );
+
+    // Positive control: the matching key is accepted and the lease runs
+    // to completion (needs a working store to flush the row).
+    if serde_json_works() {
+        let right =
+            PointKey::for_point(AppId::ALL[0], &configs[0], &sweep(GenParams::tiny())).to_hex();
+        let out = worker_argv(&right);
+        assert!(
+            out.status.success(),
+            "matching sweep key must be accepted: {}",
+            stderr_of(&out)
+        );
+        assert_eq!(sorted_store_lines(&dir).len(), 1, "the leased row lands");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The regression drill for scale propagation: `--full --workers N`
+/// must fill the store with the same bytes as a sequential `--full`
+/// run. Before the fix the supervisor enumerated paper-scale keys
+/// while its workers (re-exec'd without `--full`) simulated and stored
+/// small-scale rows, and the run still exited 0. One config slice
+/// keeps the paper-scale cost to 5 points per run.
+#[test]
+fn full_scale_pool_run_matches_full_sequential() {
+    if !serde_json_works() {
+        eprintln!("skipping: needs a runtime serde_json");
+        return;
+    }
+    let seq = tmp_dir("full-seq");
+    let out = dse_command_at(&seq, &["--full"], 1, false)
+        .output()
+        .expect("spawn dse");
+    assert!(
+        out.status.success(),
+        "sequential --full run failed: {}",
+        stderr_of(&out)
+    );
+    let want = sorted_store_lines(&seq);
+    assert_eq!(want.len(), AppId::ALL.len(), "one paper-scale row per app");
+
+    let pool = tmp_dir("full-pool");
+    let out = dse_command_at(
+        &pool,
+        &["--full", "--workers", "2", "--lease-batch", "2"],
+        1,
+        false,
+    )
+    .output()
+    .expect("spawn dse");
+    assert!(
+        out.status.success(),
+        "--full --workers 2 failed: {}",
+        stderr_of(&out)
+    );
+    assert_eq!(
+        sorted_store_lines(&pool),
+        want,
+        "pool workers must simulate at the supervisor's scale"
+    );
+    let rep = journal::replay(&pool);
+    assert!(rep.clean_terminated);
+    assert!(matches!(
+        rep.events.last(),
+        Some(LeaseEvent::Complete { .. })
+    ));
+    assert!(rep.poisoned().is_empty());
+    let _ = std::fs::remove_dir_all(&seq);
+    let _ = std::fs::remove_dir_all(&pool);
+}
+
+/// An in-worker poisoned point must survive the death of its worker:
+/// the worker rewrites its result manifest after every poisoned point
+/// and the supervisor harvests manifests from dead workers. The drill
+/// arms a plan where some points panic in-process (poisoned by the
+/// worker) and every row flush fails (killing the worker at the first
+/// non-panicking point), so *no* worker ever exits cleanly — every
+/// in-worker poison record the run reports had to be recovered from a
+/// dead worker's manifest. Before the fix those records vanished and
+/// the sweep under-accounted its points.
+#[test]
+fn in_worker_poison_survives_worker_death() {
+    if !serde_json_works() || !musa_fault::COMPILED {
+        eprintln!("skipping: needs runtime serde_json and the fault feature");
+        return;
+    }
+    let keys = point_keys_at(1);
+    let p = 0.4;
+    let panics = |seed: u64| -> Vec<bool> {
+        let plan = FaultPlan {
+            seed,
+            points: vec![FaultPoint {
+                point: "sim.point".into(),
+                action: FaultAction::Panic,
+                probability: p,
+            }],
+        };
+        keys.iter()
+            .map(|&k| plan.decide("sim.point", k).is_some())
+            .collect()
+    };
+    // The drill needs a panicking point *followed by* a non-panicking
+    // one, so the attempt that poisons the former dies (failed flush)
+    // at the latter — forcing the poison record through the dead
+    // worker's manifest rather than a clean exit.
+    let seed = (0..10_000u64)
+        .find(|&s| {
+            let pts = panics(s);
+            pts.iter()
+                .enumerate()
+                .any(|(i, &is_panic)| is_panic && pts[i + 1..].iter().any(|&later| !later))
+        })
+        .expect("some seed panics a point before a non-panicking one");
+    let pts = panics(seed);
+    let panic_count = pts.iter().filter(|&&x| x).count();
+    let flush_death_count = pts.len() - panic_count;
+    let spec = format!("seed={seed},sim.point=panic@{p},store.flush=io@1.0");
+
+    let dir = tmp_dir("poison-manifest");
+    let out = dse_command_at(
+        &dir,
+        &[
+            "--workers",
+            "1",
+            "--lease-batch",
+            "8",
+            "--poison-cap",
+            "1",
+            "--max-retries",
+            "0",
+            "--faults",
+            &spec,
+        ],
+        1,
+        true,
+    )
+    .output()
+    .expect("spawn dse");
+    // Every point is accounted for — in-worker poisons recovered from
+    // dead workers' manifests, flush victims quarantined by the
+    // supervisor — so the run is partial (3), not a hard failure.
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "expected partial-success exit: {}",
+        stderr_of(&out)
+    );
+    let stderr = stderr_of(&out);
+    assert_eq!(
+        stderr.matches("(in-worker panic)").count(),
+        panic_count,
+        "every in-worker poison must be reported exactly once: {stderr}"
+    );
+    let rep = journal::replay(&dir);
+    assert!(rep.clean_terminated);
+    assert!(matches!(
+        rep.events.last(),
+        Some(LeaseEvent::Complete { .. })
+    ));
+    assert_eq!(
+        rep.poisoned().len(),
+        flush_death_count,
+        "each flush victim is quarantined after its single strike"
+    );
+    assert!(
+        sorted_store_lines(&dir).is_empty(),
+        "no flush ever succeeded, so no rows"
     );
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -117,9 +117,17 @@ pub fn parse_points(spec: &str) -> Result<Vec<u64>, String> {
 /// A worker's progress beacon, overwritten in place after every point.
 /// `done` counts lease points *handled* (row flushed, found cached, or
 /// poisoned in-process) — the requeue slice boundary. `current` is the
-/// global index being simulated, absent between points.
+/// global index being simulated (or whose trace is being generated),
+/// absent between points. `beat` increments on every write, so the
+/// supervisor's change detection sees each write as progress even when
+/// `done`/`current` happen to repeat — without it, a long phase
+/// starting on the same point it last reported (e.g. trace generation
+/// followed by that point's simulation) would share one watchdog
+/// window.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Heartbeat {
+    /// Monotonic write counter: bumped by every [`Heartbeat::write`].
+    pub beat: u64,
     /// Lease points handled so far.
     pub done: u64,
     /// Global index of the point being simulated right now.
@@ -129,7 +137,9 @@ pub struct Heartbeat {
 impl Heartbeat {
     /// Serialise to one JSON line.
     pub fn to_json(&self) -> String {
-        let obj = JsonObj::new().field_u64("done", self.done);
+        let obj = JsonObj::new()
+            .field_u64("beat", self.beat)
+            .field_u64("done", self.done);
         match self.current {
             Some(idx) => obj.field_u64("current", idx),
             None => obj,
@@ -144,16 +154,18 @@ impl Heartbeat {
     pub fn parse(raw: &str) -> Option<Heartbeat> {
         let v = JsonValue::parse(raw).ok()?;
         Some(Heartbeat {
+            beat: v.get("beat").and_then(|x| x.as_u64()).unwrap_or(0),
             done: v.get("done")?.as_u64()?,
             current: v.get("current").and_then(|x| x.as_u64()),
         })
     }
 
-    /// Best-effort write (see [`Heartbeat::parse`] for the race
-    /// tolerance). A failed heartbeat write must not fail the lease —
-    /// the worker keeps simulating; the supervisor just sees stale
-    /// progress.
-    pub fn write(&self, path: &Path) {
+    /// Bump the beat counter and write, best-effort (see
+    /// [`Heartbeat::parse`] for the race tolerance). A failed
+    /// heartbeat write must not fail the lease — the worker keeps
+    /// simulating; the supervisor just sees stale progress.
+    pub fn write(&mut self, path: &Path) {
+        self.beat += 1;
         let _ = std::fs::write(path, self.to_json());
     }
 
@@ -266,18 +278,54 @@ mod tests {
     fn heartbeat_roundtrips_and_tolerates_torn_reads() {
         for hb in [
             Heartbeat {
+                beat: 1,
                 done: 0,
                 current: None,
             },
             Heartbeat {
+                beat: 9,
                 done: 7,
                 current: Some(42),
             },
         ] {
             assert_eq!(Heartbeat::parse(&hb.to_json()), Some(hb));
         }
+        // Pre-beat heartbeats (no `beat` field) still parse.
+        assert_eq!(
+            Heartbeat::parse("{\"done\":3}"),
+            Some(Heartbeat {
+                beat: 0,
+                done: 3,
+                current: None,
+            })
+        );
         assert_eq!(Heartbeat::parse("{\"done\":3,\"curr"), None);
         assert_eq!(Heartbeat::parse(""), None);
+    }
+
+    #[test]
+    fn every_heartbeat_write_changes_the_bytes() {
+        // The supervisor's watchdog detects progress as "the heartbeat
+        // file changed". A long phase that starts on the same point it
+        // last reported must still register, so each write — even with
+        // identical done/current — must produce distinct bytes.
+        let dir = std::env::temp_dir().join(format!("musa-hb-beat-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("hb.json");
+        let mut hb = Heartbeat {
+            beat: 0,
+            done: 3,
+            current: Some(11),
+        };
+        hb.write(&path);
+        let first = std::fs::read_to_string(&path).unwrap();
+        hb.write(&path);
+        let second = std::fs::read_to_string(&path).unwrap();
+        assert_ne!(first, second, "identical progress must still beat");
+        let parsed = Heartbeat::parse(&second).unwrap();
+        assert_eq!((parsed.done, parsed.current), (3, Some(11)));
+        assert_eq!(parsed.beat, 2);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

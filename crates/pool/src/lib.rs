@@ -51,4 +51,6 @@ pub use supervisor::{
     run_pool, PoolOptions, PoolReport, DEFAULT_LEASE_BATCH, DEFAULT_POISON_CAP, DEFAULT_WORKERS,
     MAX_LEASE_ATTEMPTS,
 };
-pub use worker::{run_worker, WorkerConfig, WorkerStatus};
+pub use worker::{
+    run_worker, verify_sweep_key, WorkerConfig, WorkerStatus, EXIT_GEOMETRY_MISMATCH,
+};

@@ -235,6 +235,18 @@ impl Pool<'_> {
                 .arg(self.opts.max_retries.to_string())
                 .stdin(Stdio::null())
                 .stdout(Stdio::null());
+            // The supervisor's own key for the lease's first point:
+            // the worker recomputes it from its inherited environment
+            // and refuses to run on a mismatch, so a scale or slice
+            // that fails to propagate is a loud abort, never a store
+            // silently filled at the wrong scale.
+            if let Some((key, _, _)) = lease
+                .points
+                .first()
+                .and_then(|&idx| self.point_identity(idx))
+            {
+                cmd.arg("--sweep-key").arg(key);
+            }
             for (k, v) in &self.opts.env {
                 cmd.env(k, v);
             }
@@ -346,8 +358,11 @@ impl Pool<'_> {
         if draining {
             // A worker stopped by our own SIGTERM (or SIGKILLed past the
             // grace period) is not a death to learn from: keep its
-            // partial progress, charge no strike.
-            let done = result.as_ref().map_or(hb.done, |r| r.done) as usize;
+            // partial progress, charge no strike. The manifest may be a
+            // stale incremental one (workers rewrite it on every
+            // poisoned point), so take whichever of manifest and
+            // heartbeat saw further.
+            let done = result.as_ref().map_or(hb.done, |r| r.done.max(hb.done)) as usize;
             let done = done.min(lease.points.len());
             self.journal.append(&LeaseEvent::Dead {
                 lease: lease.id,
@@ -364,13 +379,38 @@ impl Pool<'_> {
             return Ok(());
         }
 
+        // A worker that refuses its lease because its environment
+        // derives a different sweep geometry is a configuration error,
+        // not a flaky death: every retry would fail identically and
+        // every row it could write would use the wrong keys. Abort the
+        // whole run loudly.
+        if status.code() == Some(crate::worker::EXIT_GEOMETRY_MISMATCH) {
+            self.journal.append(&LeaseEvent::Dead {
+                lease: lease.id,
+                attempt: lease.attempt,
+                done: 0,
+                blamed: None,
+                reason: "sweep geometry mismatch".to_string(),
+            })?;
+            return Err(io::Error::other(format!(
+                "worker for lease {} reports a sweep geometry mismatch: \
+                 supervisor and worker disagree on scale/config enumeration \
+                 (see the worker's stderr above); aborting instead of \
+                 retrying a deterministic failure",
+                lease.id
+            )));
+        }
+
         // A real death: crash, external kill, nonzero exit, watchdog
         // SIGKILL, or an exit-0 worker whose manifest is missing or
         // incomplete (treated as a crash — trust the manifest, not the
         // exit code).
         self.report.worker_deaths += 1;
         musa_obs::counter_add("pool.worker_deaths", 1);
-        let done = (hb.done as usize).min(lease.points.len());
+        let done = result
+            .as_ref()
+            .map_or(hb.done, |r| r.done.max(hb.done))
+            .min(lease.points.len() as u64) as usize;
         let (reason, blamed_idx) = match w.killed {
             Some((reason, idx)) => (reason, idx),
             None => (describe_exit(status), hb.current),
@@ -403,6 +443,15 @@ impl Pool<'_> {
             ],
         );
         self.done_points.extend(&lease.points[..done]);
+        // Harvest the dead worker's (possibly incremental) manifest:
+        // rows it reports were durably flushed before it died, and its
+        // in-worker poison records are counted in the heartbeat's done
+        // prefix — without this they would vanish with the process and
+        // the run could exit clean with points silently absent.
+        if let Some(r) = result {
+            self.report.rows_flushed += r.rows;
+            self.report.worker_poisoned.extend(r.poisoned);
+        }
 
         let mut poisoned_now = false;
         if let Some((key, app, config)) = blamed {

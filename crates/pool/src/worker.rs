@@ -41,6 +41,58 @@ pub struct WorkerConfig {
     pub points: Vec<u64>,
     /// Per-flush retry budget for transient I/O errors.
     pub max_retries: u32,
+    /// The supervisor's [`PointKey`] (hex) for the lease's first point:
+    /// the worker recomputes it from its own environment-derived sweep
+    /// and refuses to run on a mismatch (see [`verify_sweep_key`]).
+    pub sweep_key: Option<String>,
+}
+
+/// Exit code a worker uses when [`verify_sweep_key`] fails: the
+/// supervisor and worker disagree on the sweep geometry (scale, config
+/// slice or schema), so every row the worker could produce would land
+/// under the wrong key. The supervisor treats this as a fatal
+/// configuration error and aborts the run instead of requeueing — a
+/// mismatch is deterministic and retrying cannot fix it.
+pub const EXIT_GEOMETRY_MISMATCH: i32 = 4;
+
+/// Check that the worker's environment-derived sweep geometry matches
+/// the supervisor's: both sides compute the [`PointKey`] of the
+/// lease's first point (it seals the app, config, `GenParams`, replay
+/// mode and schema version), so *any* divergence — `--full` not
+/// propagated, a different config slice, a schema skew — is caught
+/// here, before a single wrong-scale row is simulated.
+pub fn verify_sweep_key(
+    cfg: &WorkerConfig,
+    apps: &[AppId],
+    configs: &[NodeConfig],
+    sweep: &SweepOptions,
+) -> Result<(), String> {
+    let Some(expect) = &cfg.sweep_key else {
+        return Ok(());
+    };
+    let Some(&first) = cfg.points.first() else {
+        return Ok(());
+    };
+    let ours = match point_at(first, apps, configs) {
+        Some((app, config)) => PointKey::for_point(app, &config, sweep).to_hex(),
+        None => {
+            return Err(format!(
+                "sweep geometry mismatch: point index {first} is out of range \
+                 for this worker's enumeration ({} apps × {} configs)",
+                apps.len(),
+                configs.len()
+            ));
+        }
+    };
+    if ours != *expect {
+        return Err(format!(
+            "sweep geometry mismatch on point {first}: supervisor expects key \
+             {expect}, worker computes {ours} — scale or config environment \
+             (--full / MUSA_FULL / MUSA_TINY / MUSA_CONFIG_SLICE) was not \
+             propagated to the worker"
+        ));
+    }
+    Ok(())
 }
 
 /// How the worker's lease ended.
@@ -120,10 +172,21 @@ pub fn run_worker(
         }
 
         let run = &cfg.points[i..end];
-        let any_missing = run.iter().any(|&idx| {
+        let first_missing = run.iter().copied().find(|&idx| {
             point_at(idx, apps, configs).is_some_and(|(a, c)| !store.contains(a, &c, sweep))
         });
-        let sim_ctx = any_missing.then(|| generate(app, &sweep.gen));
+        if let Some(idx) = first_missing {
+            // Heartbeat before generating: trace generation is the one
+            // long phase that is per-app, not per-point, so without a
+            // beat here the watchdog would charge its wall-clock to
+            // whatever window the previous point left open. The beat
+            // gives generation its own full deadline window, and
+            // `current` gives the watchdog an evidence-based blame if
+            // generation itself hangs.
+            hb.current = Some(idx);
+            hb.write(&hb_path);
+        }
+        let sim_ctx = first_missing.map(|_| generate(app, &sweep.gen));
         let sim = sim_ctx.as_ref().map(MultiscaleSim::new);
 
         for &idx in run {
@@ -178,6 +241,16 @@ pub fn run_worker(
                         ],
                     );
                     result.poisoned.push(p);
+                    // Persist the poison record *before* the heartbeat
+                    // counts the point as handled: the supervisor
+                    // trusts the heartbeat's done prefix, so if this
+                    // worker later dies without a manifest the poison
+                    // provenance would silently vanish and the run
+                    // could report clean with the point absent. If
+                    // this write fails, the point stays un-counted and
+                    // a requeue simply retries it.
+                    result.done = hb.done + 1;
+                    result.write(&res_path)?;
                 }
             }
             hb.done += 1;
