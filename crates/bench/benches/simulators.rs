@@ -88,10 +88,27 @@ fn bench_multiscale_point(c: &mut Criterion) {
     });
 }
 
+fn bench_cached_point(c: &mut Criterion) {
+    use musa_cache::{trace_key, ArtifactCache};
+    let dir = std::env::temp_dir().join(format!("musa-bench-cachepoint-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = ArtifactCache::open(&dir).unwrap();
+    let gen = GenParams::tiny();
+    let (trace, key) = cache.trace(AppId::Hydro, &gen);
+    assert_eq!(key, trace_key(AppId::Hydro, &gen));
+    let sim = MultiscaleSim::new(&trace).with_cache(std::sync::Arc::clone(&cache), key);
+    // Prime the detail/burst artifacts so every iteration is a warm hit.
+    sim.simulate(NodeConfig::REFERENCE, true);
+    c.bench_function("multiscale_one_dse_point_warm_cache", |b| {
+        b.iter(|| black_box(sim.simulate(black_box(NodeConfig::REFERENCE), true).time_ns))
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 criterion_group! {
     name = benches;
     config = Criterion.sample_size(20).measurement_time(std::time::Duration::from_secs(3));
     targets = bench_dram, bench_locality, bench_pipeline, bench_scheduler, bench_replay,
-              bench_detailed_region, bench_multiscale_point
+              bench_detailed_region, bench_multiscale_point, bench_cached_point
 }
 criterion_main!(benches);

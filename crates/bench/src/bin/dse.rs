@@ -30,8 +30,12 @@
 use std::path::{Path, PathBuf};
 
 use musa_apps::AppId;
-use musa_bench::cli::{parse_dse_args, DseArgs, Parsed, ServeArgs, SERVE_USAGE, USAGE};
+use musa_bench::cli::{
+    parse_dse_args, CacheArgs, CacheCmd, DseArgs, Parsed, ServeArgs, CACHE_USAGE, SERVE_USAGE,
+    USAGE,
+};
 use musa_bench::{configs, gen_params, paper_scale, store_dir};
+use musa_cache::ArtifactCache;
 use musa_core::report::table;
 use musa_core::SweepOptions;
 use musa_pool::{signals, WorkerStatus};
@@ -66,6 +70,14 @@ fn main() {
             use std::io::Write;
             let _ = writeln!(std::io::stdout(), "{SERVE_USAGE}");
             std::process::exit(0);
+        }
+        Ok(Parsed::CacheHelp) => {
+            use std::io::Write;
+            let _ = writeln!(std::io::stdout(), "{CACHE_USAGE}");
+            std::process::exit(0);
+        }
+        Ok(Parsed::Cache(args)) => {
+            cache_main(args);
         }
         Ok(Parsed::Serve(args)) => {
             serve_main(args);
@@ -134,6 +146,24 @@ fn main() {
         std::process::exit(1);
     });
 
+    // The artifact cache is on unless --no-cache (or MUSA_CACHE=0)
+    // says otherwise. Failure to open it is a warning: the sweep
+    // proceeds uncached rather than not at all.
+    let cache = if args.no_cache || !musa_cache::enabled_from_env() {
+        None
+    } else {
+        match ArtifactCache::open(&dir) {
+            Ok(cache) => {
+                store.set_artifact_cache(std::sync::Arc::clone(&cache));
+                Some(cache)
+            }
+            Err(e) => {
+                eprintln!("[dse] artifact cache unavailable ({e}), computing uncached");
+                None
+            }
+        }
+    };
+
     let fill = FillOptions {
         shard: args.shard,
         progress: args.progress,
@@ -171,6 +201,13 @@ fn main() {
             report.retries,
             if report.retries == 1 { "y" } else { "ies" }
         );
+    }
+    if let Some(cache) = &cache {
+        cache.persist_session("sequential");
+        let stats = cache.stats();
+        if stats.hits() + stats.misses() > 0 {
+            eprintln!("[dse] cache: {}", stats.report());
+        }
     }
     if report.interrupted {
         // Everything simulated so far is flushed; leave a durable
@@ -220,7 +257,18 @@ fn pool_main(
     // `--full` must be converted to MUSA_FULL=1 (the worker argv does
     // not repeat it) and the fault spec (seed included) rides along
     // verbatim, re-parsed by each worker's own init.
-    let env = musa_bench::pool_worker_env(args.faults_spec.as_deref(), paper_scale());
+    let env =
+        musa_bench::pool_worker_env(args.faults_spec.as_deref(), paper_scale(), !args.no_cache);
+    // Snapshot the sessions ledger so the end-of-run reuse report
+    // covers only this run's workers, not earlier runs sharing the
+    // directory.
+    let cache_on = !args.no_cache && musa_cache::enabled_from_env();
+    let artifact_dir = dir.join(musa_cache::ARTIFACT_DIR);
+    let prior_sessions = if cache_on {
+        musa_cache::load_sessions(&artifact_dir).len()
+    } else {
+        0
+    };
     let pool_opts = musa_pool::PoolOptions {
         workers,
         point_timeout: args.point_timeout,
@@ -259,6 +307,24 @@ fn pool_main(
             "[dse]   poisoned (in-worker panic): {}/{}: {}",
             p.app, p.config, p.reason
         );
+    }
+    if cache_on {
+        // Workers persisted their tallies on exit; aggregate the lines
+        // this run appended into one reuse report.
+        let sessions = musa_cache::load_sessions(&artifact_dir);
+        let mut total = musa_cache::SessionStats::default();
+        let fresh = sessions.iter().skip(prior_sessions);
+        let count = fresh.clone().count();
+        for s in fresh {
+            total.absorb(s);
+        }
+        if count > 0 && total.hits() + total.misses() > 0 {
+            eprintln!(
+                "[dse] cache ({count} worker session{}): {}",
+                if count == 1 { "" } else { "s" },
+                total.report()
+            );
+        }
     }
 
     if report.interrupted {
@@ -327,6 +393,96 @@ fn worker_main(cfg: musa_pool::WorkerConfig) -> ! {
         Err(e) => {
             eprintln!("dse pool-worker (lease {}): {e}", cfg.lease);
             std::process::exit(1);
+        }
+    }
+}
+
+/// `dse cache stats|verify|gc`: offline administration of the artifact
+/// directory. Works on the directory alone — no campaign is loaded, no
+/// simulator runs — so these are instant against stores of any size
+/// and safe to point at a directory whose writers are long gone.
+fn cache_main(args: CacheArgs) -> ! {
+    let store: PathBuf = args.store_dir.clone().unwrap_or_else(store_dir);
+    let dir = store.join(musa_cache::ARTIFACT_DIR);
+    match args.cmd {
+        CacheCmd::Stats => {
+            let inv = musa_cache::inventory(&dir).unwrap_or_else(|e| {
+                eprintln!("dse cache stats: cannot scan {}: {e}", dir.display());
+                std::process::exit(1);
+            });
+            println!("artifact cache at {}", dir.display());
+            for kind in musa_cache::ArtifactKind::ALL {
+                let (n, bytes) = inv.tally(kind);
+                println!(
+                    "  {:<6} {n:>5} artifact(s)  {}",
+                    kind.label(),
+                    musa_cache::human_bytes(bytes)
+                );
+            }
+            println!(
+                "  total  {:>5} artifact(s)  {}",
+                inv.entries.len(),
+                musa_cache::human_bytes(inv.total_bytes())
+            );
+            if inv.quarantined > 0 {
+                println!(
+                    "  {} quarantined file(s) held for post-mortem (gc reclaims)",
+                    inv.quarantined
+                );
+            }
+            if !inv.tmp_litter.is_empty() {
+                println!(
+                    "  {} stranded temp file(s) (gc reclaims)",
+                    inv.tmp_litter.len()
+                );
+            }
+            let by_label = inv.sessions_by_label();
+            if by_label.is_empty() {
+                println!("sessions: none recorded");
+            } else {
+                println!("sessions:");
+                for s in &by_label {
+                    println!("  {:<12} {}", s.label, s.report());
+                }
+            }
+            std::process::exit(0);
+        }
+        CacheCmd::Verify => {
+            let report = musa_cache::verify(&dir).unwrap_or_else(|e| {
+                eprintln!("dse cache verify: {}: {e}", dir.display());
+                std::process::exit(1);
+            });
+            use musa_cache::VerifyVerdict;
+            let ok = report.count(|v| *v == VerifyVerdict::Ok);
+            let stale = report.count(|v| *v == VerifyVerdict::Stale);
+            let newer = report.count(|v| *v == VerifyVerdict::Newer);
+            let corrupt = report.count(|v| matches!(v, VerifyVerdict::Corrupt(_)));
+            println!(
+                "verified {} artifact(s) in {}: {ok} ok, {stale} stale, {newer} newer, {corrupt} corrupt",
+                report.files.len(),
+                dir.display()
+            );
+            for (name, verdict) in &report.files {
+                if let VerifyVerdict::Corrupt(why) = verdict {
+                    println!("  corrupt: {name}: {why}");
+                }
+            }
+            std::process::exit(if report.clean() { 0 } else { 1 });
+        }
+        CacheCmd::Gc => {
+            let report = musa_cache::gc(&dir, args.all).unwrap_or_else(|e| {
+                eprintln!("dse cache gc: {}: {e}", dir.display());
+                std::process::exit(1);
+            });
+            println!(
+                "gc {}: removed {} artifact(s), {} temp file(s), {} quarantined file(s) — {} reclaimed",
+                dir.display(),
+                report.removed,
+                report.tmp_removed,
+                report.quarantine_removed,
+                musa_cache::human_bytes(report.bytes)
+            );
+            std::process::exit(0);
         }
     }
 }

@@ -18,12 +18,17 @@ pub const USAGE: &str = "\
 usage: dse [options]
        dse serve [serve-options]   query service over a campaign store
                                    (see dse serve --help)
+       dse cache <stats|verify|gc> [cache-options]   artifact-cache admin
+                                   (see dse cache --help)
   --resume           keep existing store rows, simulate only missing points
   --shard i/n        simulate only shard i of an n-way split (0-based)
   --store-dir DIR    campaign store directory (default target/musa-store-<scale>)
   --csv [PATH]       export the campaign as CSV (default dse_results.csv)
   --json [PATH]      export the campaign as JSON (default dse_results.json)
   --full             paper scale (256 ranks) instead of the reduced scale
+  --no-cache         compute every trace, detailed window and burst baseline
+                     instead of reusing cached artifacts (the cache is on by
+                     default; rows are byte-identical either way)
   --progress         live fill heartbeat (points done/total, rows/s, ETA)
   --metrics PATH     write the end-of-run metrics snapshot as JSON
   --max-retries N    flush retries before a transient I/O error is fatal
@@ -63,6 +68,8 @@ pub struct DseArgs {
     pub json: Option<String>,
     /// Paper scale (256 ranks).
     pub full: bool,
+    /// Disable the intermediate-artifact cache.
+    pub no_cache: bool,
     /// Live fill heartbeat.
     pub progress: bool,
     /// Metrics snapshot output path.
@@ -101,6 +108,7 @@ impl Default for DseArgs {
             csv: None,
             json: None,
             full: false,
+            no_cache: false,
             progress: false,
             metrics: None,
             max_retries: DEFAULT_MAX_RETRIES,
@@ -194,10 +202,14 @@ pub enum Parsed {
     /// supervisor re-execs the binary with `pool-worker ...`; it is
     /// not part of the human-facing usage text).
     PoolWorker(WorkerConfig),
+    /// Administer the artifact cache (`dse cache ...`).
+    Cache(CacheArgs),
     /// Print usage and exit 0.
     Help,
     /// Print serve usage and exit 0.
     ServeHelp,
+    /// Print cache usage and exit 0.
+    CacheHelp,
 }
 
 fn required<'a, I: Iterator<Item = &'a str>>(
@@ -232,6 +244,9 @@ pub fn parse_dse_args<S: AsRef<str>>(args: &[S]) -> Result<Parsed, String> {
     if args.first().map(AsRef::as_ref) == Some("pool-worker") {
         return parse_worker_args(&args[1..]);
     }
+    if args.first().map(AsRef::as_ref) == Some("cache") {
+        return parse_cache_args(&args[1..]);
+    }
     let mut out = DseArgs::default();
     let mut it = args.iter().map(AsRef::as_ref).peekable();
     while let Some(arg) = it.next() {
@@ -239,6 +254,7 @@ pub fn parse_dse_args<S: AsRef<str>>(args: &[S]) -> Result<Parsed, String> {
             "-h" | "--help" => return Ok(Parsed::Help),
             "--resume" => out.resume = true,
             "--full" => out.full = true,
+            "--no-cache" => out.no_cache = true,
             "--progress" => out.progress = true,
             "--shard" => {
                 let spec =
@@ -329,6 +345,81 @@ pub fn parse_dse_args<S: AsRef<str>>(args: &[S]) -> Result<Parsed, String> {
         }
     }
     Ok(Parsed::Run(out))
+}
+
+/// `dse cache` usage text.
+pub const CACHE_USAGE: &str = "\
+usage: dse cache <command> [options]
+  stats              artifact inventory plus per-pipeline reuse tallies
+                     (aggregated from every process that shared the store)
+  verify             re-check every artifact's header, length and CRC;
+                     exit 1 if anything is corrupt (read-only, safe to run
+                     against a live store)
+  gc                 remove temp litter, stale-schema artifacts, corrupt
+                     artifacts and quarantine evidence
+options:
+  --store-dir DIR    campaign store directory whose artifacts/ to inspect
+                     (default target/musa-store-<scale>)
+  --all              gc only: remove *every* artifact and the session
+                     ledger (full cache reset)
+  -h, --help         this help";
+
+/// Which `dse cache` command to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheCmd {
+    /// Inventory + reuse tallies.
+    Stats,
+    /// Re-verify every artifact.
+    Verify,
+    /// Reclaim space.
+    Gc,
+}
+
+/// Parsed `dse cache` arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheArgs {
+    /// The subcommand.
+    pub cmd: CacheCmd,
+    /// Campaign store directory override.
+    pub store_dir: Option<PathBuf>,
+    /// `gc --all`: full cache reset.
+    pub all: bool,
+}
+
+/// Parse `dse cache` arguments (after the `cache` token).
+fn parse_cache_args<S: AsRef<str>>(args: &[S]) -> Result<Parsed, String> {
+    let mut it = args.iter().map(AsRef::as_ref).peekable();
+    let cmd = match it.next() {
+        Some("-h") | Some("--help") | None => return Ok(Parsed::CacheHelp),
+        Some("stats") => CacheCmd::Stats,
+        Some("verify") => CacheCmd::Verify,
+        Some("gc") => CacheCmd::Gc,
+        Some(other) => {
+            return Err(format!(
+                "unknown cache command {other:?} (expected stats, verify or gc)"
+            ))
+        }
+    };
+    let mut out = CacheArgs {
+        cmd,
+        store_dir: None,
+        all: false,
+    };
+    while let Some(arg) = it.next() {
+        match arg {
+            "-h" | "--help" => return Ok(Parsed::CacheHelp),
+            "--store-dir" => out.store_dir = Some(required(&mut it, "--store-dir")?.into()),
+            "--all" => {
+                if out.cmd != CacheCmd::Gc {
+                    return Err("--all only applies to dse cache gc".into());
+                }
+                out.all = true;
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag {other:?}")),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    Ok(Parsed::Cache(out))
 }
 
 /// Parse the hidden `pool-worker` argv the supervisor generates. As
@@ -590,6 +681,61 @@ mod tests {
         // failures abort, in ways the pool does not propagate.
         assert!(parse_dse_args(&["--workers", "2", "--shard", "0/2"]).is_err());
         assert!(parse_dse_args(&["--workers", "2", "--fail-fast"]).is_err());
+    }
+
+    #[test]
+    fn no_cache_flag_parses() {
+        assert!(!run(&[]).no_cache);
+        assert!(run(&["--no-cache"]).no_cache);
+        assert!(run(&["--no-cache", "--workers", "2"]).no_cache);
+    }
+
+    #[test]
+    fn cache_subcommand_parses() {
+        assert_eq!(
+            parse_dse_args(&["cache", "stats"]),
+            Ok(Parsed::Cache(CacheArgs {
+                cmd: CacheCmd::Stats,
+                store_dir: None,
+                all: false,
+            }))
+        );
+        assert_eq!(
+            parse_dse_args(&["cache", "verify", "--store-dir", "/tmp/campaign"]),
+            Ok(Parsed::Cache(CacheArgs {
+                cmd: CacheCmd::Verify,
+                store_dir: Some("/tmp/campaign".into()),
+                all: false,
+            }))
+        );
+        assert_eq!(
+            parse_dse_args(&["cache", "gc", "--all"]),
+            Ok(Parsed::Cache(CacheArgs {
+                cmd: CacheCmd::Gc,
+                store_dir: None,
+                all: true,
+            }))
+        );
+        assert_eq!(parse_dse_args(&["cache"]), Ok(Parsed::CacheHelp));
+        assert_eq!(parse_dse_args(&["cache", "--help"]), Ok(Parsed::CacheHelp));
+        assert_eq!(
+            parse_dse_args(&["cache", "stats", "-h"]),
+            Ok(Parsed::CacheHelp)
+        );
+    }
+
+    #[test]
+    fn cache_subcommand_is_strict() {
+        assert!(parse_dse_args(&["cache", "prune"]).is_err());
+        assert!(parse_dse_args(&["cache", "stats", "--nope"]).is_err());
+        assert!(parse_dse_args(&["cache", "stats", "stray"]).is_err());
+        assert!(parse_dse_args(&["cache", "verify", "--store-dir"]).is_err());
+        // --all is a gc-only flag; accepting it elsewhere would imply
+        // stats/verify can delete things.
+        assert!(parse_dse_args(&["cache", "stats", "--all"]).is_err());
+        assert!(parse_dse_args(&["cache", "verify", "--all"]).is_err());
+        // Only recognised in first position, like serve.
+        assert!(parse_dse_args(&["--resume", "cache"]).is_err());
     }
 
     #[test]

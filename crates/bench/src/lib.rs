@@ -73,14 +73,23 @@ pub fn configs() -> Vec<NodeConfig> {
 /// into `MUSA_FULL=1` here or the supervisor would enumerate
 /// paper-scale point keys while its workers simulate (and store) at
 /// the reduced scale. The `--faults` spec rides along verbatim so a
-/// chaos plan fires identically in every process.
-pub fn pool_worker_env(faults_spec: Option<&str>, full: bool) -> Vec<(String, String)> {
+/// chaos plan fires identically in every process, and `--no-cache`
+/// becomes `MUSA_CACHE=0` so workers skip the artifact cache exactly
+/// when the supervisor does.
+pub fn pool_worker_env(
+    faults_spec: Option<&str>,
+    full: bool,
+    cache_enabled: bool,
+) -> Vec<(String, String)> {
     let mut env = Vec::new();
     if full {
         env.push(("MUSA_FULL".to_string(), "1".to_string()));
     }
     if let Some(spec) = faults_spec {
         env.push(("MUSA_FAULTS".to_string(), spec.to_string()));
+    }
+    if !cache_enabled {
+        env.push(("MUSA_CACHE".to_string(), "0".to_string()));
     }
     env
 }
@@ -176,18 +185,29 @@ mod tests {
 
     #[test]
     fn pool_worker_env_propagates_scale_and_faults() {
-        assert_eq!(pool_worker_env(None, false), vec![]);
+        assert_eq!(pool_worker_env(None, false, true), vec![]);
         assert_eq!(
-            pool_worker_env(None, true),
+            pool_worker_env(None, true, true),
             vec![("MUSA_FULL".to_string(), "1".to_string())]
         );
         let spec = "seed=7,sim.point=panic@0.5";
         assert_eq!(
-            pool_worker_env(Some(spec), true),
+            pool_worker_env(Some(spec), true, true),
             vec![
                 ("MUSA_FULL".to_string(), "1".to_string()),
                 ("MUSA_FAULTS".to_string(), spec.to_string()),
             ]
         );
+    }
+
+    #[test]
+    fn pool_worker_env_propagates_cache_opt_out() {
+        assert_eq!(
+            pool_worker_env(None, false, false),
+            vec![("MUSA_CACHE".to_string(), "0".to_string())]
+        );
+        let env = pool_worker_env(Some("seed=1"), true, false);
+        assert!(env.contains(&("MUSA_CACHE".to_string(), "0".to_string())));
+        assert_eq!(env.len(), 3);
     }
 }

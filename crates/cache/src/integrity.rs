@@ -1,0 +1,154 @@
+//! File integrity primitives: CRC-32 checksums and crash-atomic file
+//! replacement.
+//!
+//! These are the store's durability discipline, hoisted below it in the
+//! crate graph so artifacts and campaign rows share one implementation
+//! (`musa-store` re-exports both). The checksum is the table-driven
+//! CRC-32/ISO-HDLC (the zlib/PNG polynomial, reflected 0xEDB88320), and
+//! atomic replacement is the classic tmp-in-same-directory + fsync +
+//! rename + fsync-parent sequence, so a crash at any instruction leaves
+//! either the old file or the new file, never a torn mixture.
+
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32/ISO-HDLC of `bytes` (the checksum `crc32(1)` and zlib
+/// compute).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Distinguishes concurrent `atomic_write` calls *within* one process:
+/// rayon can write two burst artifacts for the same destination at
+/// once, and a pid-only temp name would make them clobber each other's
+/// half-written bytes.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Replace `path` with `bytes` atomically: write a hidden temp file in
+/// the same directory, fsync it, rename it over `path`, then fsync the
+/// parent directory (best effort — some filesystems refuse directory
+/// handles). A crash mid-call leaves the previous `path` intact; an
+/// injected `failpoint` fault (fired just before the rename) must too.
+///
+/// Temp names carry the pid *and* a process-global sequence number, so
+/// concurrent writers — across processes (pool workers sharing an
+/// artifact directory) and across threads (rayon points sharing a
+/// process) — never collide. Two racers producing the same content
+/// both rename complete files; last rename wins, harmlessly.
+pub fn atomic_write(path: &Path, bytes: &[u8], failpoint: &str) -> io::Result<()> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    let name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| io::Error::other(format!("bad export path {}", path.display())))?;
+    // `.tmp` suffix keeps the temp file out of every load glob even if
+    // a crash strands it.
+    let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let tmp = parent.join(format!(".{name}.{}.{seq}.tmp", std::process::id()));
+
+    let write_and_sync = || -> io::Result<()> {
+        let mut file = std::fs::File::create(&tmp)?;
+        io::Write::write_all(&mut file, bytes)?;
+        file.sync_all()?;
+        musa_fault::fail_io(failpoint, musa_fault::key_of(&[name.as_bytes()]))?;
+        std::fs::rename(&tmp, path)
+    };
+    if let Err(e) = write_and_sync() {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    if let Ok(dir) = std::fs::File::open(&parent) {
+        let _ = dir.sync_all();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The IEEE check value, plus edges.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_ne!(crc32(b"musa"), crc32(b"musb"));
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_cleans_up() {
+        let dir = std::env::temp_dir().join(format!("musa-cache-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.art");
+        atomic_write(&path, b"first", "cache.write").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second", "cache.write").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        // No temp litter.
+        let stray: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(stray.is_empty(), "temp files left behind: {stray:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_writers_to_one_path_never_tear() {
+        let dir = std::env::temp_dir().join(format!("musa-cache-race-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("contended.art");
+        std::thread::scope(|s| {
+            for t in 0..8u8 {
+                let path = &path;
+                s.spawn(move || {
+                    // All writers produce the same content, as real
+                    // cache racers do (deterministic artifacts).
+                    let body = vec![t % 2 + b'x'; 4096];
+                    for _ in 0..16 {
+                        atomic_write(path, &body, "cache.write").unwrap();
+                    }
+                });
+            }
+        });
+        let got = std::fs::read(&path).unwrap();
+        assert_eq!(got.len(), 4096);
+        assert!(
+            got.iter().all(|&b| b == got[0]),
+            "torn mixture of two writers' bytes"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

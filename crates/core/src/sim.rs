@@ -10,13 +10,17 @@
 //! 4. power estimation of the node during the region (`musa-power` +
 //!    `musa-mem`) and energy-to-solution over the whole run.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
 use serde::{Deserialize, Serialize};
 
 use musa_arch::NodeConfig;
+use musa_cache::{ArtifactCache, ArtifactKey, BurstArtifact, DetailArtifact};
 use musa_net::{replay, FixedRatioTimer, NetworkParams, ReplayResult};
 use musa_power::{PowerBreakdown, PowerModel};
 use musa_tasksim::{simulate_region_burst, NodeSim};
-use musa_trace::AppTrace;
+use musa_trace::{AppTrace, ComputeRegion, DetailedTrace};
 
 /// Scalar summary of one multiscale simulation, the unit of the DSE
 /// result table.
@@ -55,6 +59,14 @@ pub struct ConfigResult {
 pub struct MultiscaleSim<'a> {
     trace: &'a AppTrace,
     net: NetworkParams,
+    /// In-process burst-baseline memo. The baseline depends only on the
+    /// sampled region (fixed per trace) and the active core count, so
+    /// the paper-scale 864-point sweep needs just one per core count —
+    /// this memo pays off even with the artifact cache disabled.
+    burst_memo: Mutex<HashMap<u32, f64>>,
+    /// Artifact cache plus this trace's key (which seeds every detail
+    /// and burst key), when the caller attached one.
+    cache: Option<(Arc<ArtifactCache>, ArtifactKey)>,
 }
 
 impl<'a> MultiscaleSim<'a> {
@@ -63,12 +75,23 @@ impl<'a> MultiscaleSim<'a> {
         MultiscaleSim {
             trace,
             net: NetworkParams::marenostrum4(),
+            burst_memo: Mutex::new(HashMap::new()),
+            cache: None,
         }
     }
 
     /// Override the network parameters.
     pub fn with_network(mut self, net: NetworkParams) -> Self {
         self.net = net;
+        self
+    }
+
+    /// Attach an artifact cache. `trace_key` must be the key under
+    /// which `trace` itself is cached ([`musa_cache::trace_key`]);
+    /// detailed windows and burst baselines are then looked up before
+    /// being computed, and persisted after.
+    pub fn with_cache(mut self, cache: Arc<ArtifactCache>, trace_key: ArtifactKey) -> Self {
+        self.cache = Some((cache, trace_key));
         self
     }
 
@@ -100,13 +123,14 @@ impl<'a> MultiscaleSim<'a> {
         // Step 1: detailed simulation of the representative region.
         // Steps 1+2 share the detailed-sim phase: the burst baseline is
         // part of producing the rescale ratio, not a separate stage.
+        // Both consult the artifact cache first when one is attached; a
+        // hit makes the phase near-instant.
         let _detailed = musa_obs::span_app(musa_obs::phase::DETAILED_SIM, &self.trace.meta.app);
-        let mut node = NodeSim::new(config, detail, &region);
-        let det = node.simulate_region(&region);
-        let region_ns = det.schedule.makespan_ns;
+        let det = self.detail_window(config, detail, &region);
+        let region_ns = det.region_ns;
 
         // Step 2: detailed/burst rescale ratio.
-        let burst_ns = simulate_region_burst(&region, config.cores.count()).makespan_ns;
+        let burst_ns = self.burst_baseline(&region, config.cores.count());
         let ratio = if burst_ns > 0.0 {
             region_ns / burst_ns
         } else {
@@ -129,12 +153,7 @@ impl<'a> MultiscaleSim<'a> {
         // Step 4: power and energy.
         let power = {
             let _power = musa_obs::span_app(musa_obs::phase::POWER, &self.trace.meta.app);
-            PowerModel::new(config).node_power(
-                &det.stats,
-                &det.dram,
-                region_ns,
-                det.schedule.busy_ns,
-            )
+            PowerModel::new(config).node_power(&det.stats, &det.dram, region_ns, det.busy_ns)
         };
         let energy_j = power.energy_j(time_ns);
         musa_obs::counter_add("sim.points", 1);
@@ -159,8 +178,75 @@ impl<'a> MultiscaleSim<'a> {
             mem_mpki: s.l3_mpki_with_writebacks(),
             gmemreq_per_s: instr_rate / 1e9,
             mem_stretch: det.mem_stretch,
-            region_efficiency: det.schedule.parallel_efficiency(),
+            region_efficiency: det.efficiency,
         }
+    }
+
+    /// The detailed window of `config`: cache lookup, else a fresh
+    /// `NodeSim` run (persisted when a cache is attached). Cached and
+    /// fresh paths yield the same [`DetailArtifact`] — the rest of the
+    /// flow runs the same arithmetic on the same numbers either way.
+    fn detail_window(
+        &self,
+        config: NodeConfig,
+        detail: &DetailedTrace,
+        region: &ComputeRegion,
+    ) -> DetailArtifact {
+        let slot = self
+            .cache
+            .as_ref()
+            .map(|(c, tk)| (c, musa_cache::detail_key(*tk, &config)));
+        if let Some((cache, key)) = &slot {
+            if let Some(art) = cache.detail(*key) {
+                return art;
+            }
+        }
+        let mut node = NodeSim::new(config, detail, region);
+        let det = node.simulate_region(region);
+        let art = DetailArtifact {
+            region_ns: det.schedule.makespan_ns,
+            busy_ns: det.schedule.busy_ns,
+            efficiency: det.schedule.parallel_efficiency(),
+            mem_stretch: det.mem_stretch,
+            stats: det.stats,
+            dram: det.dram,
+        };
+        if let Some((cache, key)) = slot {
+            cache.put_detail(key, &art);
+        }
+        art
+    }
+
+    /// The burst-mode baseline makespan at `cores`: in-process memo,
+    /// then artifact cache, then computed (and recorded in both).
+    fn burst_baseline(&self, region: &ComputeRegion, cores: u32) -> f64 {
+        if let Some(ns) = self
+            .burst_memo
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&cores)
+        {
+            return *ns;
+        }
+        let ns = match &self.cache {
+            Some((cache, tk)) => {
+                let key = musa_cache::burst_key(*tk, cores);
+                match cache.burst(key) {
+                    Some(b) => b.makespan_ns,
+                    None => {
+                        let ns = simulate_region_burst(region, cores).makespan_ns;
+                        cache.put_burst(key, &BurstArtifact { makespan_ns: ns });
+                        ns
+                    }
+                }
+            }
+            None => simulate_region_burst(region, cores).makespan_ns,
+        };
+        self.burst_memo
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(cores, ns);
+        ns
     }
 
     /// Full replay of the trace in burst mode at a core count (used by

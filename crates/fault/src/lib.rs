@@ -22,7 +22,7 @@
 //! spec    := entry (',' entry)*
 //! entry   := 'seed=' u64 | point '=' action '@' prob
 //! point   := 'sim.point' | 'store.flush' | 'store.rewrite' | 'export.write'
-//!          | 'pool.lease' | 'worker.spawn'
+//!          | 'pool.lease' | 'worker.spawn' | 'cache.write'
 //! action  := 'io' | 'panic' | 'delay:' count unit      unit := 'us' | 'ms' | 's'
 //! prob    := decimal in (0, 1]
 //! ```
@@ -52,13 +52,14 @@ pub const COMPILED: bool = cfg!(feature = "runtime");
 /// Failpoints known to the pipeline; [`FaultPlan::parse`] rejects
 /// anything else so a typo'd spec fails fast instead of silently
 /// injecting nothing.
-pub const KNOWN_POINTS: [&str; 6] = [
+pub const KNOWN_POINTS: [&str; 7] = [
     "sim.point",
     "store.flush",
     "store.rewrite",
     "export.write",
     "pool.lease",
     "worker.spawn",
+    "cache.write",
 ];
 
 /// Seed used when a spec does not carry a `seed=` entry.

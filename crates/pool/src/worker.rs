@@ -17,9 +17,11 @@
 
 use std::io;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 use musa_apps::{generate, AppId};
 use musa_arch::NodeConfig;
+use musa_cache::ArtifactCache;
 use musa_core::{MultiscaleSim, SweepOptions};
 use musa_store::{CampaignStore, PointKey, PoisonedPoint, StoreRow};
 
@@ -142,6 +144,26 @@ pub fn run_worker(
     // files right now and this process must not rewrite them.
     let mut store = CampaignStore::open_worker(&cfg.dir, &worker_row_file(cfg.lease, cfg.attempt))?;
 
+    // Shared artifact cache: the supervisor (or a predecessor worker)
+    // has usually already paid for this app's trace and many of the
+    // windows, so a requeued or late-starting worker loads instead of
+    // regenerating. Failure to open degrades to computing everything.
+    let cache = if musa_cache::enabled_from_env() {
+        match ArtifactCache::open(&cfg.dir) {
+            Ok(c) => Some(c),
+            Err(e) => {
+                musa_obs::warn(
+                    "musa-pool",
+                    "artifact cache unavailable, worker computing uncached",
+                    &[("error", e.to_string().into())],
+                );
+                None
+            }
+        }
+    } else {
+        None
+    };
+
     musa_obs::info(
         "musa-pool",
         "worker started",
@@ -186,13 +208,28 @@ pub fn run_worker(
             hb.current = Some(idx);
             hb.write(&hb_path);
         }
-        let sim_ctx = first_missing.map(|_| generate(app, &sweep.gen));
-        let sim = sim_ctx.as_ref().map(MultiscaleSim::new);
+        let sim_ctx = first_missing.map(|_| match &cache {
+            Some(cache) => {
+                let (trace, key) = cache.trace(app, &sweep.gen);
+                (trace, Some(key))
+            }
+            None => (Arc::new(generate(app, &sweep.gen)), None),
+        });
+        let sim = sim_ctx.as_ref().map(|(trace, key)| {
+            let mut sim = MultiscaleSim::new(trace);
+            if let (Some(cache), Some(key)) = (&cache, key) {
+                sim = sim.with_cache(Arc::clone(cache), *key);
+            }
+            sim
+        });
 
         for &idx in run {
             if signals::termination_requested() {
                 result.done = hb.done;
                 result.write(&res_path)?;
+                if let Some(cache) = &cache {
+                    cache.persist_session("pool-worker");
+                }
                 musa_obs::warn(
                     "musa-pool",
                     "worker interrupted, exiting after the flushed point",
@@ -262,6 +299,9 @@ pub fn run_worker(
 
     result.done = hb.done;
     result.write(&res_path)?;
+    if let Some(cache) = &cache {
+        cache.persist_session("pool-worker");
+    }
     musa_obs::info(
         "musa-pool",
         "worker finished lease",

@@ -8,75 +8,11 @@
 //! a crash at any instruction leaves either the old file or the new
 //! file, never a torn mixture.
 
-use std::io;
-use std::path::Path;
-
-const fn crc32_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut c = i as u32;
-        let mut bit = 0;
-        while bit < 8 {
-            c = if c & 1 != 0 {
-                0xEDB8_8320 ^ (c >> 1)
-            } else {
-                c >> 1
-            };
-            bit += 1;
-        }
-        table[i] = c;
-        i += 1;
-    }
-    table
-}
-
-static CRC32_TABLE: [u32; 256] = crc32_table();
-
-/// CRC-32/ISO-HDLC of `bytes` (the checksum `crc32(1)` and zlib
-/// compute).
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut c = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        c = CRC32_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
-    }
-    !c
-}
-
-/// Replace `path` with `bytes` atomically: write a hidden temp file in
-/// the same directory, fsync it, rename it over `path`, then fsync the
-/// parent directory (best effort — some filesystems refuse directory
-/// handles). A crash mid-call leaves the previous `path` intact; an
-/// injected `failpoint` fault (fired just before the rename) must too.
-pub fn atomic_write(path: &Path, bytes: &[u8], failpoint: &str) -> io::Result<()> {
-    let parent = match path.parent() {
-        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
-        _ => std::path::PathBuf::from("."),
-    };
-    let name = path
-        .file_name()
-        .and_then(|n| n.to_str())
-        .ok_or_else(|| io::Error::other(format!("bad export path {}", path.display())))?;
-    // `.tmp` suffix keeps the temp file out of the store's `*.jsonl`
-    // load glob even if a crash strands it.
-    let tmp = parent.join(format!(".{name}.{}.tmp", std::process::id()));
-
-    let write_and_sync = || -> io::Result<()> {
-        let mut file = std::fs::File::create(&tmp)?;
-        io::Write::write_all(&mut file, bytes)?;
-        file.sync_all()?;
-        musa_fault::fail_io(failpoint, musa_fault::key_of(&[name.as_bytes()]))?;
-        std::fs::rename(&tmp, path)
-    };
-    if let Err(e) = write_and_sync() {
-        let _ = std::fs::remove_file(&tmp);
-        return Err(e);
-    }
-    if let Ok(dir) = std::fs::File::open(&parent) {
-        let _ = dir.sync_all();
-    }
-    Ok(())
-}
+/// CRC-32/ISO-HDLC and crash-atomic replacement now live in
+/// `musa-cache`, which needs the identical discipline for its artifact
+/// files; the store re-exports them so every byte on disk — rows,
+/// exports, artifacts — is sealed and replaced by one implementation.
+pub use musa_cache::{atomic_write, crc32};
 
 #[cfg(test)]
 mod tests {

@@ -20,17 +20,10 @@ pub const SCHEMA_VERSION: u32 = 1;
 
 /// 64-bit FNV-1a — deterministic across runs, processes and platforms
 /// (unlike `DefaultHasher`, which is not guaranteed stable), so shard
-/// partitions and resume runs agree on every key.
-pub fn fnv1a_64(bytes: &[u8]) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut hash = OFFSET;
-    for &b in bytes {
-        hash ^= b as u64;
-        hash = hash.wrapping_mul(PRIME);
-    }
-    hash
-}
+/// partitions and resume runs agree on every key. One implementation
+/// serves the whole pipeline; the artifact cache uses the same hash
+/// over different canonical strings.
+pub use musa_cache::fnv1a_64;
 
 /// The fingerprint of one campaign point.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -40,13 +33,18 @@ impl PointKey {
     /// Fingerprint from the raw row coordinates (the app label as it
     /// appears in a `ConfigResult`).
     pub fn of(app: &str, config: &NodeConfig, gen: &GenParams, full_replay: bool) -> PointKey {
+        // Exhaustive destructuring: adding a field to `GenParams` fails
+        // to compile here until its key relevance is decided — a new
+        // generation knob silently missing from the fingerprint would
+        // serve stale rows for new simulations.
+        let GenParams {
+            ranks,
+            iterations,
+            seed,
+        } = *gen;
         let canonical = format!(
-            "musa-store:v{SCHEMA_VERSION}|app={app}|cfg={}|ranks={}|iters={}|seed={}|replay={}",
+            "musa-store:v{SCHEMA_VERSION}|app={app}|cfg={}|ranks={ranks}|iters={iterations}|seed={seed}|replay={full_replay}",
             config.label(),
-            gen.ranks,
-            gen.iterations,
-            gen.seed,
-            full_replay,
         );
         PointKey(fnv1a_64(canonical.as_bytes()))
     }
@@ -113,6 +111,34 @@ mod tests {
         let keys = [base, other_app, other_cfg, other_gen, other_replay];
         let set: std::collections::HashSet<_> = keys.iter().collect();
         assert_eq!(set.len(), keys.len());
+    }
+
+    #[test]
+    fn every_gen_params_field_changes_the_key() {
+        // Mirrors the exhaustive destructuring in `PointKey::of`: one
+        // variant per `GenParams` field, all keys distinct. When a new
+        // field is added, `of` stops compiling and this list grows.
+        let base = GenParams::tiny();
+        let variants = [
+            base,
+            GenParams {
+                ranks: base.ranks + 1,
+                ..base
+            },
+            GenParams {
+                iterations: base.iterations + 1,
+                ..base
+            },
+            GenParams {
+                seed: base.seed + 1,
+                ..base
+            },
+        ];
+        let keys: std::collections::HashSet<_> = variants
+            .iter()
+            .map(|g| PointKey::of("hydro", &NodeConfig::REFERENCE, g, true))
+            .collect();
+        assert_eq!(keys.len(), variants.len());
     }
 
     #[test]

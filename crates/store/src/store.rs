@@ -33,6 +33,7 @@ use std::collections::{HashMap, HashSet};
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use musa_obs::Progress;
 use rayon::prelude::*;
@@ -40,6 +41,7 @@ use serde::{Deserialize, Serialize};
 
 use musa_apps::{generate, AppId, GenParams};
 use musa_arch::NodeConfig;
+use musa_cache::ArtifactCache;
 use musa_core::{Campaign, ConfigResult, MultiscaleSim, SweepOptions};
 
 use crate::integrity::{atomic_write, crc32};
@@ -359,6 +361,10 @@ pub struct CampaignStore {
     /// Salt for flush-retry backoff jitter, derived from the write
     /// path so concurrent writers back off on different schedules.
     backoff_salt: u64,
+    /// Artifact cache consulted by [`Self::fill`] for traces, detailed
+    /// windows and burst baselines. `None` (the default) computes
+    /// everything; attach with [`Self::set_artifact_cache`].
+    artifact_cache: Option<Arc<ArtifactCache>>,
 }
 
 impl CampaignStore {
@@ -417,6 +423,19 @@ impl CampaignStore {
         Self::open_impl(dir, write_file, false, true)
     }
 
+    /// Attach an artifact cache: subsequent [`Self::fill`] calls load
+    /// traces, detailed windows and burst baselines through it instead
+    /// of recomputing them. Rows stay byte-identical either way; only
+    /// the time to produce them changes.
+    pub fn set_artifact_cache(&mut self, cache: Arc<ArtifactCache>) {
+        self.artifact_cache = Some(cache);
+    }
+
+    /// The attached artifact cache, if any.
+    pub fn artifact_cache(&self) -> Option<&Arc<ArtifactCache>> {
+        self.artifact_cache.as_ref()
+    }
+
     fn open_impl(
         dir: PathBuf,
         write_file: &str,
@@ -435,6 +454,7 @@ impl CampaignStore {
             health: StoreHealth::default(),
             flush_seq: 0,
             backoff_salt: musa_fault::key_of(&[write_file.as_bytes()]),
+            artifact_cache: None,
         };
         let mut files: Vec<PathBuf> = std::fs::read_dir(&store.dir)?
             .filter_map(|e| e.ok())
@@ -894,11 +914,20 @@ impl CampaignStore {
                     ("missing", missing.len().into()),
                 ],
             );
-            let trace = {
-                let _gen = musa_obs::span_app(musa_obs::phase::TRACE_GEN, app.label());
-                generate(app, &opts.sweep.gen)
+            let (trace, trace_key) = match &self.artifact_cache {
+                Some(cache) => {
+                    let (t, k) = cache.trace(app, &opts.sweep.gen);
+                    (t, Some(k))
+                }
+                None => {
+                    let _gen = musa_obs::span_app(musa_obs::phase::TRACE_GEN, app.label());
+                    (Arc::new(generate(app, &opts.sweep.gen)), None)
+                }
             };
-            let sim = MultiscaleSim::new(&trace);
+            let mut sim = MultiscaleSim::new(&trace);
+            if let (Some(cache), Some(key)) = (&self.artifact_cache, trace_key) {
+                sim = sim.with_cache(Arc::clone(cache), key);
+            }
             for chunk in missing.chunks(opts.batch.max(1)) {
                 if opts.cancel.is_some_and(|cancelled| cancelled()) {
                     report.interrupted = true;

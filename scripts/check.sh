@@ -24,6 +24,11 @@ cargo build -p musa-store --no-default-features --features obs
 cargo build -p musa-pool --no-default-features --features obs
 cargo build -p musa-bench --no-default-features --features obs
 
+echo "== artifact cache without fault injection =="
+# The cache's durability and verification paths must hold with the
+# failpoints compiled out (atomic_write degrades to plain tmp+rename).
+cargo test -q -p musa-cache --no-default-features --features obs
+
 echo "== fault harness without the runtime =="
 # Parsing and decisions stay testable with the injectors compiled out.
 cargo test -q -p musa-fault --no-default-features
@@ -57,6 +62,12 @@ if [[ "${CHAOS:-0}" == "1" ]]; then
     # supervisor itself, then resumes); the final store must be
     # byte-identical to a sequential run either way.
     CHAOS=1 cargo test -q -p musa-bench --test pool_e2e
+
+    echo "== chaos: kill -9 mid-artifact-write (CHAOS=1) =="
+    # SIGKILLs a cached fill while an artifact is in its temp-file
+    # window; --resume must converge byte-identically, nothing torn may
+    # verify, and gc must reclaim the stranded litter.
+    CHAOS=1 cargo test -q -p musa-bench --test cache_e2e
 fi
 
 echo "All checks passed."
