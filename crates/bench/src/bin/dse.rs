@@ -31,8 +31,8 @@ use std::path::{Path, PathBuf};
 
 use musa_apps::AppId;
 use musa_bench::cli::{
-    parse_dse_args, CacheArgs, CacheCmd, DseArgs, Parsed, ServeArgs, CACHE_USAGE, SERVE_USAGE,
-    USAGE,
+    parse_dse_args, CacheArgs, CacheCmd, DseArgs, Parsed, ProfileArgs, ServeArgs, CACHE_USAGE,
+    PROFILE_USAGE, SERVE_USAGE, USAGE,
 };
 use musa_bench::{configs, gen_params, paper_scale, store_dir};
 use musa_cache::ArtifactCache;
@@ -76,6 +76,14 @@ fn main() {
             let _ = writeln!(std::io::stdout(), "{CACHE_USAGE}");
             std::process::exit(0);
         }
+        Ok(Parsed::ProfileHelp) => {
+            use std::io::Write;
+            let _ = writeln!(std::io::stdout(), "{PROFILE_USAGE}");
+            std::process::exit(0);
+        }
+        Ok(Parsed::Profile(args)) => {
+            profile_main(args);
+        }
         Ok(Parsed::Cache(args)) => {
             cache_main(args);
         }
@@ -103,7 +111,7 @@ fn main() {
             std::process::exit(2);
         }
     }
-    let want_report = args.metrics.is_some() || args.progress;
+    let want_report = args.metrics.is_some() || args.metrics_prom.is_some() || args.progress;
     if want_report {
         musa_obs::enable_metrics(true);
     }
@@ -164,6 +172,23 @@ fn main() {
         }
     };
 
+    // Flight recorder: one sealed record per simulated point lands in
+    // profiles.jsonl. Installation first harvests staged worker files a
+    // crashed pool run may have left, so a sequential --resume repairs
+    // them exactly like a supervisor restart would. Failure to install
+    // degrades to an unprofiled sweep, never a dead one.
+    if !args.no_prof && musa_prof::enabled_from_env() {
+        match musa_prof::install_store_recorder(&dir) {
+            Ok(rep) if rep.repaired_anything() => eprintln!(
+                "[dse] profile harvest: merged {} staged file(s) ({} record(s), \
+                 {} duplicate(s), {} torn tail(s))",
+                rep.staged_files, rep.records, rep.duplicates, rep.torn_tails
+            ),
+            Ok(_) => {}
+            Err(e) => eprintln!("[dse] profiling unavailable ({e}), sweep runs unprofiled"),
+        }
+    }
+
     let fill = FillOptions {
         shard: args.shard,
         progress: args.progress,
@@ -178,6 +203,7 @@ fn main() {
             eprintln!("fill campaign store {}: {e}", dir.display());
             std::process::exit(1);
         });
+    musa_prof::uninstall_recorder();
     eprintln!(
         "[dse] store {}: {} points in scope, {} cached, {} simulated",
         dir.display(),
@@ -224,14 +250,14 @@ fn main() {
             "[dse] interrupted: {} point(s) flushed, the rest resume with --resume",
             report.cached + report.simulated
         );
-        finish_observability(&args);
+        finish_observability(&args, None);
         std::process::exit(EXIT_INTERRUPTED);
     }
 
     let campaign = store.campaign_for(&AppId::ALL, &configs, &opts);
     export_campaign(&args, &campaign);
     summarise(&campaign, &configs, &dir);
-    finish_observability(&args);
+    finish_observability(&args, None);
     if !report.poisoned.is_empty() {
         std::process::exit(EXIT_PARTIAL);
     }
@@ -257,8 +283,14 @@ fn pool_main(
     // `--full` must be converted to MUSA_FULL=1 (the worker argv does
     // not repeat it) and the fault spec (seed included) rides along
     // verbatim, re-parsed by each worker's own init.
-    let env =
-        musa_bench::pool_worker_env(args.faults_spec.as_deref(), paper_scale(), !args.no_cache);
+    let want_report = args.metrics.is_some() || args.metrics_prom.is_some() || args.progress;
+    let env = musa_bench::pool_worker_env(
+        args.faults_spec.as_deref(),
+        paper_scale(),
+        !args.no_cache,
+        want_report,
+        !args.no_prof && musa_prof::enabled_from_env(),
+    );
     // Snapshot the sessions ledger so the end-of-run reuse report
     // covers only this run's workers, not earlier runs sharing the
     // directory.
@@ -296,6 +328,12 @@ fn pool_main(
         report.worker_deaths,
         report.deadline_kills,
     );
+    if report.worker_metrics_sources > 0 {
+        eprintln!(
+            "[dse] absorbed {} worker metrics manifest(s) into the end-of-run report",
+            report.worker_metrics_sources
+        );
+    }
     for p in &report.pool_poisoned {
         eprintln!(
             "[dse]   poisoned (killed {} workers): {}/{}: {}",
@@ -329,7 +367,7 @@ fn pool_main(
 
     if report.interrupted {
         eprintln!("[dse] interrupted: workers drained, resume with --resume");
-        finish_observability(args);
+        finish_observability(args, Some(&report.worker_metrics));
         std::process::exit(EXIT_INTERRUPTED);
     }
 
@@ -355,12 +393,12 @@ fn pool_main(
             report.requested,
             dir.display()
         );
-        finish_observability(args);
+        finish_observability(args, Some(&report.worker_metrics));
         std::process::exit(1);
     }
     export_campaign(args, &campaign);
     summarise(&campaign, configs, dir);
-    finish_observability(args);
+    finish_observability(args, Some(&report.worker_metrics));
     if report.poisoned_total() > 0 {
         std::process::exit(EXIT_PARTIAL);
     }
@@ -414,15 +452,16 @@ fn cache_main(args: CacheArgs) -> ! {
             for kind in musa_cache::ArtifactKind::ALL {
                 let (n, bytes) = inv.tally(kind);
                 println!(
-                    "  {:<6} {n:>5} artifact(s)  {}",
+                    "  {:<6} {n:>5} artifact(s)  {:>10}  ({bytes} bytes)",
                     kind.label(),
                     musa_cache::human_bytes(bytes)
                 );
             }
             println!(
-                "  total  {:>5} artifact(s)  {}",
+                "  total  {:>5} artifact(s)  {:>10}  ({} bytes)",
                 inv.entries.len(),
-                musa_cache::human_bytes(inv.total_bytes())
+                musa_cache::human_bytes(inv.total_bytes()),
+                inv.total_bytes()
             );
             if inv.quarantined > 0 {
                 println!(
@@ -641,10 +680,17 @@ fn summarise(
 }
 
 /// End-of-run telemetry: the phase table on stderr, the `--metrics`
-/// snapshot on disk, and a flushed JSONL sink.
-fn finish_observability(args: &DseArgs) {
-    if args.metrics.is_some() || args.progress {
-        let snap = musa_obs::snapshot();
+/// snapshot (and `--metrics-prom` exposition) on disk, and a flushed
+/// JSONL sink. `extra` carries worker-side metrics a pool supervisor
+/// harvested from per-lease manifests; they are absorbed into this
+/// process's own snapshot so the report covers the whole run, not just
+/// the supervisor.
+fn finish_observability(args: &DseArgs, extra: Option<&musa_obs::MetricsSnapshot>) {
+    if args.metrics.is_some() || args.metrics_prom.is_some() || args.progress {
+        let mut snap = musa_obs::snapshot();
+        if let Some(extra) = extra {
+            snap.absorb(extra);
+        }
         eprintln!("{}", musa_obs::phase_table(&snap));
         if let Some(path) = &args.metrics {
             match snap.write_json_file(path) {
@@ -655,8 +701,115 @@ fn finish_observability(args: &DseArgs) {
                 }
             }
         }
+        if let Some(path) = &args.metrics_prom {
+            match std::fs::write(path, musa_obs::prometheus_text(&snap)) {
+                Ok(()) => eprintln!("[dse] wrote Prometheus exposition to {}", path.display()),
+                Err(e) => {
+                    eprintln!("Prometheus dump to {} failed: {e}", path.display());
+                    std::process::exit(1);
+                }
+            }
+        }
     }
     musa_obs::close_json();
+}
+
+/// `dse profile`: offline analysis of the profiling flight record.
+/// Works from the store directory alone — profiles.jsonl plus any
+/// staged worker files are read (read-only: a kill -9'd run's residue
+/// is included without being rewritten), aggregated into the top-k /
+/// per-phase / cache-efficacy report, and optionally exported as a
+/// Chrome Trace Event file with one track per worker process.
+fn profile_main(args: ProfileArgs) -> ! {
+    let store: PathBuf = args.store_dir.clone().unwrap_or_else(store_dir);
+    let (records, rep) = musa_prof::load_profiles(&store).unwrap_or_else(|e| {
+        eprintln!(
+            "dse profile: cannot read profiles in {}: {e}",
+            store.display()
+        );
+        std::process::exit(1);
+    });
+    if rep.torn_tails > 0 || rep.corrupt > 0 {
+        eprintln!(
+            "[profile] dropped {} torn tail(s) and {} corrupt line(s) \
+             (crash residue; campaign rows are unaffected)",
+            rep.torn_tails, rep.corrupt
+        );
+    }
+    if records.is_empty() {
+        eprintln!(
+            "dse profile: no profile records in {} — run a sweep with profiling \
+             enabled (the default) first",
+            store.display()
+        );
+        std::process::exit(1);
+    }
+    println!("{}", musa_prof::render_summary(&records, args.top));
+    if let Some(path) = &args.trace_export {
+        // Supervisor-track instants come from the lease journal, read
+        // without opening a writer (profile must never create journal
+        // files in a store it only inspects).
+        let replay = musa_store::journal::replay(&store);
+        let mut instants = Vec::new();
+        for ev in &replay.events {
+            match ev {
+                LeaseEvent::Dead {
+                    lease,
+                    attempt,
+                    blamed,
+                    reason,
+                    ..
+                } => instants.push(musa_prof::TraceInstant {
+                    name: "worker-death".into(),
+                    cat: "fault".into(),
+                    detail: format!(
+                        "lease {lease} attempt {attempt}: {reason}{}",
+                        blamed
+                            .as_deref()
+                            .map(|k| format!(" (blamed {k})"))
+                            .unwrap_or_default()
+                    ),
+                }),
+                LeaseEvent::Requeue {
+                    lease,
+                    attempt,
+                    from,
+                    backoff_ms,
+                    points,
+                } => instants.push(musa_prof::TraceInstant {
+                    name: "requeue".into(),
+                    cat: "requeue".into(),
+                    detail: format!(
+                        "lease {from} -> {lease} (attempt {attempt}, \
+                         {points} point(s), backoff {backoff_ms} ms)"
+                    ),
+                }),
+                LeaseEvent::Poison(p) => instants.push(musa_prof::TraceInstant {
+                    name: "quarantine".into(),
+                    cat: "poison".into(),
+                    detail: format!(
+                        "{}/{}: {} ({} strike(s))",
+                        p.app, p.config, p.reason, p.strikes
+                    ),
+                }),
+                _ => {}
+            }
+        }
+        match std::fs::write(path, musa_prof::export_trace(&records, &instants)) {
+            Ok(()) => println!(
+                "wrote Chrome trace ({} point(s), {} instant(s)) to {} — \
+                 load it in Perfetto or chrome://tracing",
+                records.len(),
+                instants.len(),
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("trace export to {} failed: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    std::process::exit(0);
 }
 
 /// A fresh (non-`--resume`) run discards previously stored rows, the

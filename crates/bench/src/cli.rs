@@ -20,6 +20,8 @@ usage: dse [options]
                                    (see dse serve --help)
        dse cache <stats|verify|gc> [cache-options]   artifact-cache admin
                                    (see dse cache --help)
+       dse profile [profile-options]   per-point profiling report and
+                                   timeline export (see dse profile --help)
   --resume           keep existing store rows, simulate only missing points
   --shard i/n        simulate only shard i of an n-way split (0-based)
   --store-dir DIR    campaign store directory (default target/musa-store-<scale>)
@@ -29,8 +31,14 @@ usage: dse [options]
   --no-cache         compute every trace, detailed window and burst baseline
                      instead of reusing cached artifacts (the cache is on by
                      default; rows are byte-identical either way)
-  --progress         live fill heartbeat (points done/total, rows/s, ETA)
+  --progress         live fill heartbeat (points done/total, rows/s,
+                     p95 point latency, ETA)
   --metrics PATH     write the end-of-run metrics snapshot as JSON
+  --metrics-prom PATH  write the same snapshot in Prometheus text
+                     exposition format (node_exporter-style scrape file)
+  --no-prof          disable the per-point profiling flight recorder
+                     (on by default; also MUSA_PROF=0; rows are
+                     byte-identical either way)
   --max-retries N    flush retries before a transient I/O error is fatal
                      (default 2)
   --fail-fast        abort the sweep on the first panicking point instead
@@ -74,6 +82,10 @@ pub struct DseArgs {
     pub progress: bool,
     /// Metrics snapshot output path.
     pub metrics: Option<PathBuf>,
+    /// Prometheus text-exposition output path.
+    pub metrics_prom: Option<PathBuf>,
+    /// Disable the per-point profiling flight recorder.
+    pub no_prof: bool,
     /// Flush retry budget for transient I/O errors.
     pub max_retries: u32,
     /// Abort on the first poisoned point.
@@ -111,6 +123,8 @@ impl Default for DseArgs {
             no_cache: false,
             progress: false,
             metrics: None,
+            metrics_prom: None,
+            no_prof: false,
             max_retries: DEFAULT_MAX_RETRIES,
             fail_fast: false,
             faults: None,
@@ -204,12 +218,17 @@ pub enum Parsed {
     PoolWorker(WorkerConfig),
     /// Administer the artifact cache (`dse cache ...`).
     Cache(CacheArgs),
+    /// Analyse the per-point profiling flight record
+    /// (`dse profile ...`).
+    Profile(ProfileArgs),
     /// Print usage and exit 0.
     Help,
     /// Print serve usage and exit 0.
     ServeHelp,
     /// Print cache usage and exit 0.
     CacheHelp,
+    /// Print profile usage and exit 0.
+    ProfileHelp,
 }
 
 fn required<'a, I: Iterator<Item = &'a str>>(
@@ -247,6 +266,9 @@ pub fn parse_dse_args<S: AsRef<str>>(args: &[S]) -> Result<Parsed, String> {
     if args.first().map(AsRef::as_ref) == Some("cache") {
         return parse_cache_args(&args[1..]);
     }
+    if args.first().map(AsRef::as_ref) == Some("profile") {
+        return parse_profile_args(&args[1..]);
+    }
     let mut out = DseArgs::default();
     let mut it = args.iter().map(AsRef::as_ref).peekable();
     while let Some(arg) = it.next() {
@@ -263,6 +285,10 @@ pub fn parse_dse_args<S: AsRef<str>>(args: &[S]) -> Result<Parsed, String> {
             }
             "--store-dir" => out.store_dir = Some(required(&mut it, "--store-dir")?.into()),
             "--metrics" => out.metrics = Some(required(&mut it, "--metrics")?.into()),
+            "--metrics-prom" => {
+                out.metrics_prom = Some(required(&mut it, "--metrics-prom")?.into());
+            }
+            "--no-prof" => out.no_prof = true,
             "--max-retries" => {
                 out.max_retries =
                     parse_number("--max-retries", required(&mut it, "--max-retries")?)?;
@@ -420,6 +446,69 @@ fn parse_cache_args<S: AsRef<str>>(args: &[S]) -> Result<Parsed, String> {
         }
     }
     Ok(Parsed::Cache(out))
+}
+
+/// `dse profile` usage text.
+pub const PROFILE_USAGE: &str = "\
+usage: dse profile [options]
+  reads <store-dir>/profiles.jsonl — the per-point flight record a sweep
+  leaves behind — and reports where the time went: per-phase and per-app
+  p50/p95/max, the top-k slowest points, and cache efficacy. Works on the
+  store directory alone; no campaign is loaded, no simulator runs.
+options:
+  --store-dir DIR      campaign store directory whose profiles to read
+                       (default target/musa-store-<scale>)
+  --top N              slowest points to list (default 10)
+  --trace-export PATH  additionally write the whole campaign as a Chrome
+                       Trace Event Format timeline — one track per worker
+                       process, one slice per phase, instant events for
+                       poisonings/requeues — loadable in Perfetto
+                       (ui.perfetto.dev) or chrome://tracing
+  -h, --help           this help";
+
+/// Parsed `dse profile` arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileArgs {
+    /// Campaign store directory override.
+    pub store_dir: Option<PathBuf>,
+    /// Slowest points to list.
+    pub top: usize,
+    /// Chrome Trace Event Format output path, when requested.
+    pub trace_export: Option<PathBuf>,
+}
+
+impl Default for ProfileArgs {
+    fn default() -> ProfileArgs {
+        ProfileArgs {
+            store_dir: None,
+            top: 10,
+            trace_export: None,
+        }
+    }
+}
+
+/// Parse `dse profile` arguments (after the `profile` token).
+fn parse_profile_args<S: AsRef<str>>(args: &[S]) -> Result<Parsed, String> {
+    let mut out = ProfileArgs::default();
+    let mut it = args.iter().map(AsRef::as_ref).peekable();
+    while let Some(arg) = it.next() {
+        match arg {
+            "-h" | "--help" => return Ok(Parsed::ProfileHelp),
+            "--store-dir" => out.store_dir = Some(required(&mut it, "--store-dir")?.into()),
+            "--top" => {
+                out.top = parse_number("--top", required(&mut it, "--top")?)?;
+                if out.top == 0 {
+                    return Err("--top must be at least 1".into());
+                }
+            }
+            "--trace-export" => {
+                out.trace_export = Some(required(&mut it, "--trace-export")?.into());
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag {other:?}")),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    Ok(Parsed::Profile(out))
 }
 
 /// Parse the hidden `pool-worker` argv the supervisor generates. As
@@ -736,6 +825,61 @@ mod tests {
         assert!(parse_dse_args(&["cache", "verify", "--all"]).is_err());
         // Only recognised in first position, like serve.
         assert!(parse_dse_args(&["--resume", "cache"]).is_err());
+    }
+
+    #[test]
+    fn observability_flags_parse() {
+        let a = run(&["--metrics-prom", "metrics.prom"]);
+        assert_eq!(
+            a.metrics_prom.as_deref(),
+            Some(std::path::Path::new("metrics.prom"))
+        );
+        assert!(!a.no_prof);
+        assert!(run(&["--no-prof"]).no_prof);
+        assert!(run(&["--no-prof", "--workers", "2"]).no_prof);
+        assert!(parse_dse_args(&["--metrics-prom"]).is_err());
+    }
+
+    #[test]
+    fn profile_subcommand_parses() {
+        assert_eq!(
+            parse_dse_args(&["profile"]),
+            Ok(Parsed::Profile(ProfileArgs::default()))
+        );
+        assert_eq!(
+            parse_dse_args(&[
+                "profile",
+                "--store-dir",
+                "/tmp/campaign",
+                "--top",
+                "5",
+                "--trace-export",
+                "trace.json",
+            ]),
+            Ok(Parsed::Profile(ProfileArgs {
+                store_dir: Some("/tmp/campaign".into()),
+                top: 5,
+                trace_export: Some("trace.json".into()),
+            }))
+        );
+        assert_eq!(
+            parse_dse_args(&["profile", "--help"]),
+            Ok(Parsed::ProfileHelp)
+        );
+        assert_eq!(parse_dse_args(&["profile", "-h"]), Ok(Parsed::ProfileHelp));
+    }
+
+    #[test]
+    fn profile_subcommand_is_strict() {
+        assert!(parse_dse_args(&["profile", "--nope"]).is_err());
+        assert!(parse_dse_args(&["profile", "stray"]).is_err());
+        assert!(parse_dse_args(&["profile", "--top"]).is_err());
+        assert!(parse_dse_args(&["profile", "--top", "0"]).is_err());
+        assert!(parse_dse_args(&["profile", "--top", "many"]).is_err());
+        assert!(parse_dse_args(&["profile", "--trace-export"]).is_err());
+        assert!(parse_dse_args(&["profile", "--store-dir"]).is_err());
+        // Only recognised in first position, like serve and cache.
+        assert!(parse_dse_args(&["--resume", "profile"]).is_err());
     }
 
     #[test]

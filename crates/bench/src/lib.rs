@@ -75,11 +75,17 @@ pub fn configs() -> Vec<NodeConfig> {
 /// the reduced scale. The `--faults` spec rides along verbatim so a
 /// chaos plan fires identically in every process, and `--no-cache`
 /// becomes `MUSA_CACHE=0` so workers skip the artifact cache exactly
-/// when the supervisor does.
+/// when the supervisor does. `metrics` turns on each worker's own
+/// `musa_obs` registry (`MUSA_METRICS=1`) so the per-worker metrics
+/// manifests the supervisor harvests are actually populated, and
+/// `--no-prof` becomes `MUSA_PROF=0` so the profiling flight recorder
+/// is off in every process or none.
 pub fn pool_worker_env(
     faults_spec: Option<&str>,
     full: bool,
     cache_enabled: bool,
+    metrics: bool,
+    prof_enabled: bool,
 ) -> Vec<(String, String)> {
     let mut env = Vec::new();
     if full {
@@ -90,6 +96,12 @@ pub fn pool_worker_env(
     }
     if !cache_enabled {
         env.push(("MUSA_CACHE".to_string(), "0".to_string()));
+    }
+    if metrics {
+        env.push(("MUSA_METRICS".to_string(), "1".to_string()));
+    }
+    if !prof_enabled {
+        env.push(("MUSA_PROF".to_string(), "0".to_string()));
     }
     env
 }
@@ -185,14 +197,14 @@ mod tests {
 
     #[test]
     fn pool_worker_env_propagates_scale_and_faults() {
-        assert_eq!(pool_worker_env(None, false, true), vec![]);
+        assert_eq!(pool_worker_env(None, false, true, false, true), vec![]);
         assert_eq!(
-            pool_worker_env(None, true, true),
+            pool_worker_env(None, true, true, false, true),
             vec![("MUSA_FULL".to_string(), "1".to_string())]
         );
         let spec = "seed=7,sim.point=panic@0.5";
         assert_eq!(
-            pool_worker_env(Some(spec), true, true),
+            pool_worker_env(Some(spec), true, true, false, true),
             vec![
                 ("MUSA_FULL".to_string(), "1".to_string()),
                 ("MUSA_FAULTS".to_string(), spec.to_string()),
@@ -203,11 +215,27 @@ mod tests {
     #[test]
     fn pool_worker_env_propagates_cache_opt_out() {
         assert_eq!(
-            pool_worker_env(None, false, false),
+            pool_worker_env(None, false, false, false, true),
             vec![("MUSA_CACHE".to_string(), "0".to_string())]
         );
-        let env = pool_worker_env(Some("seed=1"), true, false);
+        let env = pool_worker_env(Some("seed=1"), true, false, false, true);
         assert!(env.contains(&("MUSA_CACHE".to_string(), "0".to_string())));
         assert_eq!(env.len(), 3);
+    }
+
+    #[test]
+    fn pool_worker_env_propagates_metrics_and_prof_opt_out() {
+        assert_eq!(
+            pool_worker_env(None, false, true, true, true),
+            vec![("MUSA_METRICS".to_string(), "1".to_string())]
+        );
+        assert_eq!(
+            pool_worker_env(None, false, true, false, false),
+            vec![("MUSA_PROF".to_string(), "0".to_string())]
+        );
+        let env = pool_worker_env(Some("seed=1"), true, false, true, false);
+        assert!(env.contains(&("MUSA_METRICS".to_string(), "1".to_string())));
+        assert!(env.contains(&("MUSA_PROF".to_string(), "0".to_string())));
+        assert_eq!(env.len(), 5);
     }
 }

@@ -99,14 +99,18 @@ fn stdout_of(out: &Output) -> String {
     String::from_utf8_lossy(&out.stdout).into_owned()
 }
 
-/// All data lines of a store directory (quarantine excluded), sorted —
-/// the byte-level identity cached and uncached campaigns must share.
+/// All data lines of a store directory (quarantine and the profiling
+/// flight record excluded — profiles carry wall-clock timings, never
+/// row identity), sorted — the byte-level identity cached and uncached
+/// campaigns must share.
 fn sorted_store_lines(dir: &Path) -> Vec<String> {
     let mut lines = Vec::new();
     for entry in std::fs::read_dir(dir).unwrap().filter_map(|e| e.ok()) {
         let path = entry.path();
         if path.extension().is_some_and(|x| x == "jsonl")
-            && path.file_name().is_none_or(|n| n != QUARANTINE_FILE)
+            && path
+                .file_name()
+                .is_none_or(|n| n != QUARANTINE_FILE && n != musa_prof::PROFILES_FILE)
         {
             lines.extend(
                 std::fs::read_to_string(&path)

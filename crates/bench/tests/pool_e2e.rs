@@ -92,16 +92,20 @@ fn stderr_of(out: &Output) -> String {
     String::from_utf8_lossy(&out.stderr).into_owned()
 }
 
-/// All data lines of a store directory (quarantine excluded), sorted —
-/// the byte-level identity two equivalent campaigns must share. Pool
-/// worker row files (`pool-l*.jsonl`) are plain store files, so the
-/// comparison is layout-independent by construction.
+/// All data lines of a store directory (quarantine and the profiling
+/// flight record excluded — profiles carry wall-clock timings, so they
+/// are never part of row identity), sorted — the byte-level identity
+/// two equivalent campaigns must share. Pool worker row files
+/// (`pool-l*.jsonl`) are plain store files, so the comparison is
+/// layout-independent by construction.
 fn sorted_store_lines(dir: &Path) -> Vec<String> {
     let mut lines = Vec::new();
     for entry in std::fs::read_dir(dir).unwrap().filter_map(|e| e.ok()) {
         let path = entry.path();
         if path.extension().is_some_and(|x| x == "jsonl")
-            && path.file_name().is_none_or(|n| n != QUARANTINE_FILE)
+            && path
+                .file_name()
+                .is_none_or(|n| n != QUARANTINE_FILE && n != musa_prof::PROFILES_FILE)
         {
             lines.extend(
                 std::fs::read_to_string(&path)

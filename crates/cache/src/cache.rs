@@ -98,10 +98,21 @@ impl SessionStats {
         self.bytes_written += other.bytes_written;
     }
 
+    /// Overall hit rate across kinds, `None` when nothing was looked
+    /// up (a 0/0 session has no rate, not a 0% one).
+    pub fn hit_rate(&self) -> Option<f64> {
+        let lookups = self.hits() + self.misses();
+        (lookups > 0).then(|| self.hits() as f64 / lookups as f64)
+    }
+
     /// One-line human form for the end-of-run reuse report.
     pub fn report(&self) -> String {
+        let rate = self
+            .hit_rate()
+            .map(|r| format!(" ({:.1}% hit rate)", r * 100.0))
+            .unwrap_or_default();
         format!(
-            "trace {}/{} · detail {}/{} · burst {}/{} hits/lookups · {} read, {} written{}",
+            "trace {}/{} · detail {}/{} · burst {}/{} hits/lookups{rate} · {} read, {} written{}",
             self.trace_hits,
             self.trace_hits + self.trace_misses,
             self.detail_hits,

@@ -130,7 +130,10 @@ impl<'a> MultiscaleSim<'a> {
         let region_ns = det.region_ns;
 
         // Step 2: detailed/burst rescale ratio.
-        let burst_ns = self.burst_baseline(&region, config.cores.count());
+        let burst_ns = {
+            let _burst = musa_obs::span_app(musa_obs::phase::BURST, &self.trace.meta.app);
+            self.burst_baseline(&region, config.cores.count())
+        };
         let ratio = if burst_ns > 0.0 {
             region_ns / burst_ns
         } else {
@@ -197,8 +200,12 @@ impl<'a> MultiscaleSim<'a> {
             .as_ref()
             .map(|(c, tk)| (c, musa_cache::detail_key(*tk, &config)));
         if let Some((cache, key)) = &slot {
-            if let Some(art) = cache.detail(*key) {
-                return art;
+            match cache.detail(*key) {
+                Some(art) => {
+                    musa_prof::cache_note(true);
+                    return art;
+                }
+                None => musa_prof::cache_note(false),
             }
         }
         let mut node = NodeSim::new(config, detail, region);
@@ -232,8 +239,12 @@ impl<'a> MultiscaleSim<'a> {
             Some((cache, tk)) => {
                 let key = musa_cache::burst_key(*tk, cores);
                 match cache.burst(key) {
-                    Some(b) => b.makespan_ns,
+                    Some(b) => {
+                        musa_prof::cache_note(true);
+                        b.makespan_ns
+                    }
                     None => {
+                        musa_prof::cache_note(false);
                         let ns = simulate_region_burst(region, cores).makespan_ns;
                         cache.put_burst(key, &BurstArtifact { makespan_ns: ns });
                         ns

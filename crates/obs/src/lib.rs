@@ -50,6 +50,7 @@ pub mod json;
 pub mod level;
 pub mod metrics;
 pub mod progress;
+pub mod prom;
 pub mod report;
 pub mod sink;
 pub mod span;
@@ -64,9 +65,10 @@ pub use metrics::{
     counter_add, enable_metrics, gauge_set, hist_observe, metrics_enabled, reset_metrics, snapshot,
 };
 pub use progress::Progress;
+pub use prom::prometheus_text;
 pub use report::{phase_table, HistSummary, MetricsSnapshot, PhaseRow, METRICS_SCHEMA};
 pub use sink::{close_json, debug, error, event, info, set_json_path, warn, FieldValue};
-pub use span::{current_path, phase, span, span_app, SpanGuard};
+pub use span::{current_path, phase, set_span_listener, span, span_app, SpanGuard, SpanListener};
 
 /// Initialise from the environment: `MUSA_LOG` (level), `MUSA_METRICS=1`
 /// (metrics registry on) and `MUSA_LOG_JSON` (JSONL sink path).

@@ -1,5 +1,12 @@
-//! The fill heartbeat: points done/total, rows/s and ETA on stderr,
-//! rate-limited so tiny batches don't spam the terminal.
+//! The fill heartbeat: points done/total, rows/s, p95 point latency
+//! and ETA on stderr, rate-limited so tiny batches don't spam the
+//! terminal.
+//!
+//! All timing is monotonic ([`Instant`]), never wall-clock — an NTP
+//! step mid-campaign must not produce a negative rate or a bogus ETA.
+//! The p95 is over per-point latencies fed via [`Progress::observe`]:
+//! a mean hides stragglers, and stragglers are what an operator
+//! watching a week-long sweep needs to see.
 
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -48,6 +55,18 @@ pub(crate) fn rate_eta(done: u64, total: u64, elapsed_secs: f64) -> (f64, f64) {
     (rate, eta)
 }
 
+/// Nearest-rank percentile of **unsorted** observations; `None` when
+/// empty. Pure so the heartbeat's p95 is unit-testable.
+pub(crate) fn percentile_of(values: &[f64], q: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    Some(sorted[rank.clamp(1, sorted.len()) - 1])
+}
+
 /// A progress heartbeat over a known total.
 ///
 /// Printing goes straight to stderr — the heartbeat is explicit opt-in
@@ -59,6 +78,7 @@ pub struct Progress {
     start: Instant,
     last_print: Mutex<Option<Instant>>,
     min_interval: Duration,
+    latencies: Mutex<Vec<f64>>,
 }
 
 impl Progress {
@@ -71,7 +91,27 @@ impl Progress {
             start: Instant::now(),
             last_print: Mutex::new(None),
             min_interval: Duration::from_millis(200),
+            latencies: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Record one point's simulation latency (seconds); subsequent
+    /// beats report the running p95 so stragglers are visible live.
+    pub fn observe(&self, secs: f64) {
+        if !crate::COMPILED || !secs.is_finite() || secs < 0.0 {
+            return;
+        }
+        self.latencies
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(secs);
+    }
+
+    /// The current p95 point latency, seconds (`None` before any
+    /// [`Self::observe`]).
+    pub fn p95_latency(&self) -> Option<f64> {
+        let lat = self.latencies.lock().unwrap_or_else(|e| e.into_inner());
+        percentile_of(&lat, 0.95)
     }
 
     /// Report completion of `done` points so far (absolute, not delta).
@@ -108,13 +148,19 @@ impl Progress {
         } else {
             100.0 * done as f64 / self.total as f64
         };
+        let p95 = self.p95_latency();
+        let p95_str = match p95 {
+            Some(s) => format!(" p95 {}", fmt_secs(s)),
+            None => String::new(),
+        };
         eprintln!(
-            "[musa progress] {}: {}/{} ({:.1}%) {:.2} rows/s elapsed {} eta {}",
+            "[musa progress] {}: {}/{} ({:.1}%) {:.2} rows/s{} elapsed {} eta {}",
             self.label,
             done,
             self.total,
             pct,
             rate,
+            p95_str,
             fmt_secs(elapsed),
             fmt_secs(eta),
         );
@@ -126,6 +172,7 @@ impl Progress {
                 ("done", FieldValue::U64(done)),
                 ("total", FieldValue::U64(self.total)),
                 ("rows_per_s", FieldValue::F64(rate)),
+                ("p95_s", FieldValue::F64(p95.unwrap_or(0.0))),
                 ("eta_s", FieldValue::F64(eta)),
             ],
         );
@@ -171,6 +218,32 @@ mod tests {
         // Even at elapsed == 0 exactly.
         let (rate, eta) = rate_eta(0, 864, 0.0);
         assert!(rate == 0.0 && eta.is_infinite());
+    }
+
+    #[test]
+    fn p95_latency_tracks_stragglers_not_the_mean() {
+        assert_eq!(percentile_of(&[], 0.95), None);
+        assert_eq!(percentile_of(&[0.2], 0.95), Some(0.2));
+        // 19 fast points and one straggler: the mean stays near 0.1,
+        // the p95 must surface the tail.
+        let mut v = vec![0.1; 19];
+        v.push(30.0);
+        assert_eq!(percentile_of(&v, 0.95), Some(0.1));
+        v.push(31.0);
+        assert_eq!(percentile_of(&v, 0.95), Some(30.0));
+
+        let p = Progress::new("fill", 100);
+        assert_eq!(p.p95_latency(), None);
+        for secs in [0.1, 0.2, 0.3] {
+            p.observe(secs);
+        }
+        p.observe(f64::NAN); // ignored, never poisons the percentile
+        p.observe(-1.0);
+        if crate::COMPILED {
+            assert_eq!(p.p95_latency(), Some(0.3));
+        } else {
+            assert_eq!(p.p95_latency(), None);
+        }
     }
 
     #[test]

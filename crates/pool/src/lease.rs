@@ -63,6 +63,15 @@ pub fn result_path(dir: &Path, lease: u64, attempt: u32) -> PathBuf {
         .join(format!("result-l{lease}-a{attempt}.json"))
 }
 
+/// Metrics manifest path for a (lease, attempt): the worker's own
+/// `musa_obs` snapshot, rewritten atomically after every point so a
+/// killed worker still leaves its tallies behind. The supervisor
+/// absorbs it at reap time, whatever the exit looked like.
+pub fn metrics_path(dir: &Path, lease: u64, attempt: u32) -> PathBuf {
+    dir.join(SCRATCH_DIR)
+        .join(format!("metrics-l{lease}-a{attempt}.json"))
+}
+
 /// Encode a sorted index list as a compact range spec: `0-4,7,9-12`.
 pub fn encode_points(points: &[u64]) -> String {
     let mut out = String::new();

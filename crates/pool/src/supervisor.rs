@@ -131,6 +131,13 @@ pub struct PoolReport {
     pub spawn_failures: u64,
     /// The run drained early on SIGINT/SIGTERM.
     pub interrupted: bool,
+    /// Fold of every worker's metrics manifest, absorbed at reap time
+    /// (clean exits, drains and deaths alike — a died worker's work
+    /// was still performed and paid for). Empty when workers ran with
+    /// metrics off.
+    pub worker_metrics: musa_obs::MetricsSnapshot,
+    /// Manifests that were found and absorbed into `worker_metrics`.
+    pub worker_metrics_sources: u64,
 }
 
 impl PoolReport {
@@ -337,6 +344,18 @@ impl Pool<'_> {
         let result = WorkerResult::read(&w.result_path);
         let hb = Heartbeat::read(&w.hb_path).unwrap_or(w.last_hb);
         let lease = w.lease;
+        // The worker's metrics manifest is absorbed whatever the exit
+        // looked like — the process is dead, so the file is final.
+        if let Ok(raw) = std::fs::read_to_string(crate::lease::metrics_path(
+            self.dir,
+            lease.id,
+            lease.attempt,
+        )) {
+            if let Ok(snap) = musa_obs::MetricsSnapshot::from_json(&raw) {
+                self.report.worker_metrics.absorb(&snap);
+                self.report.worker_metrics_sources += 1;
+            }
+        }
         let clean = status.code() == Some(0)
             && result
                 .as_ref()
@@ -526,6 +545,19 @@ pub fn run_pool(
 ) -> io::Result<PoolReport> {
     signals::install_term_handlers();
     std::fs::create_dir_all(dir.join(crate::lease::SCRATCH_DIR))?;
+
+    // Merge profiling leftovers of a previous crashed run (staged
+    // worker files, a torn profiles.jsonl tail) before this run's
+    // workers create fresh staging files — the flight-recorder
+    // analogue of the journal replay below. Best-effort: a failed
+    // merge degrades profiling, never the campaign.
+    if let Err(e) = musa_prof::harvest(dir) {
+        musa_obs::warn(
+            "musa-pool",
+            "profile harvest failed on startup, profiles may be incomplete",
+            &[("error", e.to_string().into())],
+        );
+    }
 
     let (journal, replayed) = LeaseJournal::open(dir)?;
     let strikes = replayed.strikes();
@@ -717,6 +749,27 @@ pub fn run_pool(
     pool.report.completed = pool.done_points.len();
     if let Some(hb) = &heartbeat {
         hb.finish(pool.done_points.len() as u64);
+    }
+    // All workers are reaped: fold their staged per-point profiles
+    // into profiles.jsonl (dedup by point fingerprint, latest attempt
+    // wins — matching the row that survived).
+    match musa_prof::harvest(dir) {
+        Ok(h) if h.repaired_anything() => musa_obs::debug(
+            "musa-pool",
+            "worker profiles merged into profiles.jsonl",
+            &[
+                ("records", h.records.into()),
+                ("staged_files", h.staged_files.into()),
+                ("duplicates", h.duplicates.into()),
+                ("torn_tails", h.torn_tails.into()),
+            ],
+        ),
+        Ok(_) => {}
+        Err(e) => musa_obs::warn(
+            "musa-pool",
+            "profile harvest failed, staged worker profiles left in place",
+            &[("error", e.to_string().into())],
+        ),
     }
     if !pool.report.interrupted {
         pool.journal.append(&LeaseEvent::Complete {

@@ -26,7 +26,7 @@ use musa_core::{MultiscaleSim, SweepOptions};
 use musa_store::{CampaignStore, PointKey, PoisonedPoint, StoreRow};
 
 use crate::lease::{
-    heartbeat_path, point_at, result_path, worker_row_file, Heartbeat, WorkerResult,
+    heartbeat_path, metrics_path, point_at, result_path, worker_row_file, Heartbeat, WorkerResult,
 };
 use crate::signals;
 
@@ -108,6 +108,29 @@ pub enum WorkerStatus {
     Interrupted,
 }
 
+/// Uninstalls the profiling recorder on every exit path of
+/// [`run_worker`], including errors — the staged file must be left
+/// closed and flushed for the supervisor to harvest.
+struct ProfGuard;
+
+impl Drop for ProfGuard {
+    fn drop(&mut self) {
+        musa_prof::uninstall_recorder();
+    }
+}
+
+/// Atomically rewrite this worker's metrics manifest from the live
+/// registry. Best-effort and a no-op with metrics off: losing a
+/// manifest write must never fail a lease.
+fn write_metrics_manifest(path: &std::path::Path) {
+    if !musa_obs::metrics_enabled() {
+        return;
+    }
+    let mut text = musa_obs::snapshot().to_json();
+    text.push('\n');
+    let _ = musa_store::atomic_write(path, text.as_bytes(), "store.rewrite");
+}
+
 fn panic_reason(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
@@ -131,6 +154,25 @@ pub fn run_worker(
     std::fs::create_dir_all(cfg.dir.join(crate::lease::SCRATCH_DIR))?;
     let hb_path = heartbeat_path(&cfg.dir, cfg.lease, cfg.attempt);
     let res_path = result_path(&cfg.dir, cfg.lease, cfg.attempt);
+    let met_path = metrics_path(&cfg.dir, cfg.lease, cfg.attempt);
+
+    // Per-point flight recorder, staged under pool/ so the supervisor
+    // merges it into profiles.jsonl even if this process is kill -9'd.
+    let _prof = if musa_prof::enabled_from_env() {
+        match musa_prof::install_worker_recorder(&cfg.dir, cfg.lease, cfg.attempt) {
+            Ok(()) => Some(ProfGuard),
+            Err(e) => {
+                musa_obs::warn(
+                    "musa-pool",
+                    "profiling recorder unavailable, lease runs unprofiled",
+                    &[("error", e.to_string().into())],
+                );
+                None
+            }
+        }
+    } else {
+        None
+    };
 
     let mut result = WorkerResult {
         lease: cfg.lease,
@@ -227,6 +269,7 @@ pub fn run_worker(
             if signals::termination_requested() {
                 result.done = hb.done;
                 result.write(&res_path)?;
+                write_metrics_manifest(&met_path);
                 if let Some(cache) = &cache {
                     cache.persist_session("pool-worker");
                 }
@@ -250,6 +293,8 @@ pub fn run_worker(
             hb.current = Some(idx);
             hb.write(&hb_path);
             let sim = sim.as_ref().expect("missing point implies sim exists");
+            let key_hex = PointKey::for_point(app, &config, sweep).to_hex();
+            musa_prof::point_begin();
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 let r = sim.simulate(config, sweep.full_replay);
                 StoreRow::new(sweep.gen, sweep.full_replay, r)
@@ -259,13 +304,30 @@ pub fn run_worker(
                     // One point per flush: siblings die independently,
                     // so the durability unit is the point, not a batch.
                     store.append_batch_retrying([row], cfg.max_retries)?;
+                    // Sealed after the flush so the point's own
+                    // store-flush span is charged to it, not its
+                    // successor.
+                    musa_prof::point_finish(
+                        &key_hex,
+                        app.label(),
+                        &config.label(),
+                        false,
+                        cfg.attempt,
+                    );
                     result.rows += 1;
                 }
                 Err(payload) => {
+                    musa_prof::point_finish(
+                        &key_hex,
+                        app.label(),
+                        &config.label(),
+                        true,
+                        cfg.attempt,
+                    );
                     let p = PoisonedPoint {
                         app: app.label().to_string(),
                         config: config.label(),
-                        key: PointKey::for_point(app, &config, sweep).to_hex(),
+                        key: key_hex.clone(),
                         reason: panic_reason(payload),
                     };
                     musa_obs::warn(
@@ -293,12 +355,14 @@ pub fn run_worker(
             hb.done += 1;
             hb.current = None;
             hb.write(&hb_path);
+            write_metrics_manifest(&met_path);
         }
         i = end;
     }
 
     result.done = hb.done;
     result.write(&res_path)?;
+    write_metrics_manifest(&met_path);
     if let Some(cache) = &cache {
         cache.persist_session("pool-worker");
     }

@@ -1,0 +1,252 @@
+//! The profile record schema and its sealed JSONL serialisation.
+//!
+//! One [`PointProfile`] is written per simulated point — including
+//! poisoned ones, which is exactly when the timing breakdown of the
+//! attempt matters most. Serialisation uses the dependency-free
+//! `musa_obs::json` writer (fixed key order, byte-deterministic) and
+//! the same sealing discipline as store rows: the line is the
+//! canonical JSON with a trailing `"crc"` field holding the CRC-32 of
+//! the canonical bytes, verified before a record is trusted on read.
+
+use std::collections::BTreeMap;
+
+use musa_cache::crc32;
+use musa_obs::json::{JsonObj, JsonValue};
+
+/// Version of the profile record schema. Bump on shape changes;
+/// records of other versions are skipped (counted, never fatal) on
+/// read — profiles are telemetry, not campaign data.
+pub const PROF_SCHEMA: u32 = 1;
+
+/// Name of the merged flight-recorder file inside a store directory.
+///
+/// The campaign row loader must never parse this as rows; the store
+/// excludes it from its `*.jsonl` glob exactly like the quarantine
+/// file.
+pub const PROFILES_FILE: &str = "profiles.jsonl";
+
+/// Prefix of per-worker staging files inside the pool scratch
+/// directory (`pool/prof-l####-a#.jsonl`). Staged there — not in the
+/// store directory — so the row loader and the store-identity test
+/// glob never see partially-written worker profiles.
+pub const WORKER_PROFILE_PREFIX: &str = "prof-";
+
+/// Staging file name for one (lease, attempt), mirroring the worker
+/// row file naming (`pool-l####-a#.jsonl`).
+pub fn worker_profile_file(lease: u64, attempt: u32) -> String {
+    format!("{WORKER_PROFILE_PREFIX}l{lease:04}-a{attempt}.jsonl")
+}
+
+/// One per-point flight-recorder record.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PointProfile {
+    /// [`PROF_SCHEMA`] at write time.
+    pub schema: u32,
+    /// Hex [`musa_store` PointKey](../musa_store/index.html) of the
+    /// point — the dedup fingerprint when merging across processes.
+    pub key: String,
+    /// Application label.
+    pub app: String,
+    /// Node-configuration label.
+    pub config: String,
+    /// Who simulated it: `"fill"` for the sequential path,
+    /// `"l####-a#"` for a pool worker (lease and attempt).
+    pub worker: String,
+    /// OS process id of the writer.
+    pub pid: u32,
+    /// Stable per-process thread tag (rayon threads of a sequential
+    /// fill get distinct tags; a pool worker's point loop is one tag).
+    pub tid: u32,
+    /// Wall-clock start of the point, µs since the UNIX epoch. Used
+    /// only for timeline ordering — never for results.
+    pub start_us: u64,
+    /// Total wall time of the point's simulation, ns.
+    pub wall_ns: u64,
+    /// Whether the simulation panicked (point poisoned, no row).
+    pub poisoned: bool,
+    /// Store flush retries charged to this point (pool workers flush
+    /// per point; sequential fills retry per batch and report 0 here).
+    pub retries: u32,
+    /// Artifact-cache hits observed during this point (detailed
+    /// windows + burst baselines).
+    pub cache_hits: u32,
+    /// Artifact-cache misses observed during this point.
+    pub cache_misses: u32,
+    /// Peak resident set size of the writing process at record time,
+    /// kB (`VmHWM`; 0 where unavailable).
+    pub peak_rss_kb: u64,
+    /// Per-phase wall time, ns, keyed by `musa_obs::phase` name.
+    /// Spans nest, so `detailed-sim` includes its `burst` and `dram`
+    /// children. Trace generation is amortised per app and attributed
+    /// to the first point simulated after it.
+    pub phases: BTreeMap<String, u64>,
+}
+
+impl PointProfile {
+    /// The record's canonical JSON (fixed key order, no `crc`).
+    pub fn canonical_json(&self) -> String {
+        let mut phases = JsonObj::new();
+        for (k, v) in &self.phases {
+            phases = phases.field_u64(k, *v);
+        }
+        JsonObj::new()
+            .field_u64("schema", u64::from(self.schema))
+            .field_str("key", &self.key)
+            .field_str("app", &self.app)
+            .field_str("config", &self.config)
+            .field_str("worker", &self.worker)
+            .field_u64("pid", u64::from(self.pid))
+            .field_u64("tid", u64::from(self.tid))
+            .field_u64("start_us", self.start_us)
+            .field_u64("wall_ns", self.wall_ns)
+            .field_bool("poisoned", self.poisoned)
+            .field_u64("retries", u64::from(self.retries))
+            .field_u64("cache_hits", u64::from(self.cache_hits))
+            .field_u64("cache_misses", u64::from(self.cache_misses))
+            .field_u64("peak_rss_kb", self.peak_rss_kb)
+            .field_raw("phases", &phases.finish())
+            .finish()
+    }
+
+    /// The sealed line written to disk: canonical JSON with a trailing
+    /// `"crc"` field of the canonical bytes (no newline).
+    pub fn to_line(&self) -> String {
+        seal_line(&self.canonical_json())
+    }
+
+    /// Parse one sealed line back. `None` for anything untrustworthy:
+    /// torn JSON, a checksum mismatch, a missing field or a foreign
+    /// schema version. Readers count, never crash — a profile line is
+    /// telemetry.
+    pub fn parse(line: &str) -> Option<PointProfile> {
+        let (canonical, crc) = unseal_line(line)?;
+        if crc32(canonical.as_bytes()) != crc {
+            return None;
+        }
+        let v = JsonValue::parse(line.trim_end()).ok()?;
+        let schema = v.get("schema").and_then(JsonValue::as_u64)? as u32;
+        if schema != PROF_SCHEMA {
+            return None;
+        }
+        let mut phases = BTreeMap::new();
+        for (k, val) in v.get("phases").and_then(JsonValue::as_obj)? {
+            phases.insert(k.clone(), val.as_u64()?);
+        }
+        Some(PointProfile {
+            schema,
+            key: v.get("key").and_then(JsonValue::as_str)?.to_string(),
+            app: v.get("app").and_then(JsonValue::as_str)?.to_string(),
+            config: v.get("config").and_then(JsonValue::as_str)?.to_string(),
+            worker: v.get("worker").and_then(JsonValue::as_str)?.to_string(),
+            pid: v.get("pid").and_then(JsonValue::as_u64)? as u32,
+            tid: v.get("tid").and_then(JsonValue::as_u64).unwrap_or(0) as u32,
+            start_us: v.get("start_us").and_then(JsonValue::as_u64)?,
+            wall_ns: v.get("wall_ns").and_then(JsonValue::as_u64)?,
+            poisoned: matches!(v.get("poisoned"), Some(JsonValue::Bool(true))),
+            retries: v.get("retries").and_then(JsonValue::as_u64).unwrap_or(0) as u32,
+            cache_hits: v.get("cache_hits").and_then(JsonValue::as_u64).unwrap_or(0) as u32,
+            cache_misses: v
+                .get("cache_misses")
+                .and_then(JsonValue::as_u64)
+                .unwrap_or(0) as u32,
+            peak_rss_kb: v
+                .get("peak_rss_kb")
+                .and_then(JsonValue::as_u64)
+                .unwrap_or(0),
+            phases,
+        })
+    }
+
+    /// One phase's wall time, ns (0 when the phase never ran).
+    pub fn phase_ns(&self, phase: &str) -> u64 {
+        self.phases.get(phase).copied().unwrap_or(0)
+    }
+}
+
+/// Append the CRC-32 of `canonical` as a final `"crc"` field.
+/// `canonical` must be a JSON object (ends with `}`).
+fn seal_line(canonical: &str) -> String {
+    debug_assert!(canonical.ends_with('}'));
+    let crc = crc32(canonical.as_bytes());
+    format!("{},\"crc\":{}}}", &canonical[..canonical.len() - 1], crc)
+}
+
+/// Split a sealed line into (canonical JSON, stored CRC).
+fn unseal_line(line: &str) -> Option<(String, u32)> {
+    let line = line.trim_end();
+    let idx = line.rfind(",\"crc\":")?;
+    let crc: u32 = line
+        .get(idx + 7..line.len().checked_sub(1)?)?
+        .parse()
+        .ok()?;
+    if !line.ends_with('}') {
+        return None;
+    }
+    Some((format!("{}}}", &line[..idx]), crc))
+}
+
+/// Test fixture shared by this crate's unit tests.
+#[cfg(test)]
+pub(crate) fn sample(key: &str, app: &str, config: &str, wall_ns: u64) -> PointProfile {
+    let mut phases = BTreeMap::new();
+    phases.insert("detailed-sim".to_string(), wall_ns / 2);
+    phases.insert("net-replay".to_string(), wall_ns / 4);
+    PointProfile {
+        schema: PROF_SCHEMA,
+        key: key.to_string(),
+        app: app.to_string(),
+        config: config.to_string(),
+        worker: "fill".to_string(),
+        pid: 4242,
+        tid: 1,
+        start_us: 1_700_000_000_000_000,
+        wall_ns,
+        poisoned: false,
+        retries: 0,
+        cache_hits: 2,
+        cache_misses: 1,
+        peak_rss_kb: 10_240,
+        phases,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_roundtrip_is_lossless() {
+        let p = sample("00aa11bb22cc33dd", "hydro", "c64", 1_500_000);
+        let line = p.to_line();
+        assert!(line.contains("\"crc\":"));
+        assert_eq!(PointProfile::parse(&line), Some(p));
+    }
+
+    #[test]
+    fn tampered_or_torn_lines_are_rejected() {
+        let p = sample("00aa11bb22cc33dd", "hydro", "c64", 1_500_000);
+        let line = p.to_line();
+        // Flip one digit of wall_ns.
+        let bad = line.replacen("1500000", "1500001", 1);
+        assert!(PointProfile::parse(&bad).is_none());
+        // Torn tails at every byte boundary parse as None, never panic.
+        for cut in 0..line.len() {
+            assert!(PointProfile::parse(&line[..cut]).is_none(), "cut={cut}");
+        }
+        assert!(PointProfile::parse("").is_none());
+        assert!(PointProfile::parse("{}").is_none());
+    }
+
+    #[test]
+    fn foreign_schema_is_skipped() {
+        let mut p = sample("00aa11bb22cc33dd", "hydro", "c64", 9);
+        p.schema = PROF_SCHEMA + 1;
+        assert!(PointProfile::parse(&p.to_line()).is_none());
+    }
+
+    #[test]
+    fn worker_staging_names_mirror_row_files() {
+        assert_eq!(worker_profile_file(3, 0), "prof-l0003-a0.jsonl");
+        assert_eq!(worker_profile_file(12, 4), "prof-l0012-a4.jsonl");
+    }
+}

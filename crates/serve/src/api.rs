@@ -118,12 +118,21 @@ pub fn respond(engine: &QueryEngine, allow_quit: bool, req: &Request) -> (Respon
                     .finish(),
             ))
         }
-        "/metrics" => Ok(Response::ok(
-            JsonObj::new()
-                .field_bool("observability", musa_obs::COMPILED)
-                .field_raw("metrics", &musa_obs::snapshot().to_json())
-                .finish(),
-        )),
+        "/metrics" => match req.param("format") {
+            Some("prometheus") => Ok(Response::ok_prometheus(musa_obs::prometheus_text(
+                &musa_obs::snapshot(),
+            ))),
+            None | Some("json") => Ok(Response::ok(
+                JsonObj::new()
+                    .field_bool("observability", musa_obs::COMPILED)
+                    .field_raw("metrics", &musa_obs::snapshot().to_json())
+                    .finish(),
+            )),
+            Some(other) => Err(Response::error(
+                400,
+                &format!("unknown format {other:?} (expected json or prometheus)"),
+            )),
+        },
         "/rows" => handle_rows(engine, req),
         "/best" => handle_best(engine, req),
         "/pareto" => handle_pareto(engine, req),
@@ -294,6 +303,25 @@ mod tests {
             JsonValue::parse(&resp.body)
                 .unwrap_or_else(|err| panic!("{target} body not JSON ({err}): {}", resp.body));
         }
+    }
+
+    #[test]
+    fn metrics_format_selects_prometheus_exposition() {
+        let e = engine();
+        let resp = get(&e, "/metrics?format=prometheus");
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.content_type, crate::http::PROMETHEUS_CONTENT_TYPE);
+        // The body is text exposition, not JSON: either empty (metrics
+        // registry off) or newline-terminated metric lines.
+        assert!(resp.body.is_empty() || resp.body.ends_with('\n'));
+        assert!(!resp.body.starts_with('{'));
+        // json stays the default and the explicit spelling.
+        for target in ["/metrics", "/metrics?format=json"] {
+            let resp = get(&e, target);
+            assert_eq!(resp.content_type, "application/json");
+            JsonValue::parse(&resp.body).unwrap();
+        }
+        assert_eq!(get(&e, "/metrics?format=xml").status, 400);
     }
 
     #[test]

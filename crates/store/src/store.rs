@@ -460,7 +460,12 @@ impl CampaignStore {
             .filter_map(|e| e.ok())
             .map(|e| e.path())
             .filter(|p| p.extension().is_some_and(|x| x == "jsonl"))
-            .filter(|p| p.file_name().is_none_or(|n| n != QUARANTINE_FILE))
+            // Not row shards: the quarantine file (corrupt rows set
+            // aside by repair) and the profiling flight record.
+            .filter(|p| {
+                p.file_name()
+                    .is_none_or(|n| n != QUARANTINE_FILE && n != musa_prof::PROFILES_FILE)
+            })
             .collect();
         files.sort();
         for file in files {
@@ -924,11 +929,20 @@ impl CampaignStore {
                     (Arc::new(generate(app, &opts.sweep.gen)), None)
                 }
             };
+            // Trace acquisition ran on this coordinating thread, so its
+            // TRACE_GEN span parked there; move the time onto the first
+            // simulated point of this app — the point that paid for it.
+            let carried_trace_ns = musa_prof::take_phase_ns(musa_obs::phase::TRACE_GEN);
             let mut sim = MultiscaleSim::new(&trace);
             if let (Some(cache), Some(key)) = (&self.artifact_cache, trace_key) {
                 sim = sim.with_cache(Arc::clone(cache), key);
             }
+            let mut first_chunk = true;
             for chunk in missing.chunks(opts.batch.max(1)) {
+                // The previous batch's STORE_FLUSH span also landed on
+                // this thread; drain it so a point closure that rayon
+                // happens to run *here* doesn't inherit it.
+                let _ = musa_prof::take_phase_ns(musa_obs::phase::STORE_FLUSH);
                 if opts.cancel.is_some_and(|cancelled| cancelled()) {
                     report.interrupted = true;
                     musa_obs::warn(
@@ -946,25 +960,45 @@ impl CampaignStore {
                 // points of the chunk are still persisted, and because a
                 // poisoned point never reaches the store, `--resume`
                 // re-attempts exactly the poisoned set.
-                let outcomes: Vec<Result<StoreRow, PoisonedPoint>> = chunk
+                let outcomes: Vec<(Result<StoreRow, PoisonedPoint>, f64)> = chunk
                     .par_iter()
-                    .map(|cfg| {
-                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            let result = sim.simulate(*cfg, opts.sweep.full_replay);
-                            StoreRow::new(opts.sweep.gen, opts.sweep.full_replay, result)
-                        }))
-                        .map_err(|payload| PoisonedPoint {
-                            app: app.label().to_string(),
-                            config: cfg.label(),
-                            key: PointKey::for_point(app, cfg, &opts.sweep).to_hex(),
-                            reason: panic_reason(payload),
-                        })
+                    .enumerate()
+                    .map(|(i, cfg)| {
+                        musa_prof::point_begin();
+                        if first_chunk && i == 0 {
+                            musa_prof::add_phase_ns(musa_obs::phase::TRACE_GEN, carried_trace_ns);
+                        }
+                        let t0 = std::time::Instant::now();
+                        let key = PointKey::for_point(app, cfg, &opts.sweep).to_hex();
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                let result = sim.simulate(*cfg, opts.sweep.full_replay);
+                                StoreRow::new(opts.sweep.gen, opts.sweep.full_replay, result)
+                            }))
+                            .map_err(|payload| PoisonedPoint {
+                                app: app.label().to_string(),
+                                config: cfg.label(),
+                                key: key.clone(),
+                                reason: panic_reason(payload),
+                            });
+                        musa_prof::point_finish(
+                            &key,
+                            app.label(),
+                            &cfg.label(),
+                            outcome.is_err(),
+                            0,
+                        );
+                        (outcome, t0.elapsed().as_secs_f64())
                     })
                     .collect();
+                first_chunk = false;
                 done += outcomes.len();
                 let mut rows = Vec::with_capacity(outcomes.len());
                 let mut poisoned = Vec::new();
-                for outcome in outcomes {
+                for (outcome, secs) in outcomes {
+                    if let Some(hb) = &heartbeat {
+                        hb.observe(secs);
+                    }
                     match outcome {
                         Ok(row) => rows.push(row),
                         Err(p) => poisoned.push(p),

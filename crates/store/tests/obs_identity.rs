@@ -10,8 +10,8 @@
 
 use musa_apps::{generate, AppId, GenParams};
 use musa_arch::{CoresPerNode, NodeConfig};
-use musa_core::MultiscaleSim;
-use musa_store::{PointKey, StoreRow};
+use musa_core::{MultiscaleSim, SweepOptions};
+use musa_store::{CampaignStore, FillOptions, PointKey, StoreRow};
 
 /// Simulate one point and build its store row.
 fn row(app: AppId, config: NodeConfig) -> StoreRow {
@@ -64,4 +64,69 @@ fn rows_and_fingerprints_are_identical_with_observability_on_and_off() {
         );
         assert!(q.is_consistent() && i.is_consistent());
     }
+}
+
+/// The profiling flight recorder must be as inert as the rest of the
+/// instrumentation: a store fill with the recorder installed produces
+/// rows (and fingerprints) identical to an unprofiled fill, while one
+/// sealed profile record lands per simulated point.
+#[test]
+fn rows_and_fingerprints_are_identical_with_profiling_on_and_off() {
+    // See `forward_compat.rs`: runtime (de)serialisation is unavailable
+    // under the typecheck-only serde_json stub; persistence tests skip.
+    if !std::panic::catch_unwind(|| serde_json::to_string(&()).is_ok()).unwrap_or(false) {
+        eprintln!("skipping: serde_json runtime unavailable (typecheck-only stub)");
+        return;
+    }
+    let apps = [AppId::Hydro, AppId::Spmz];
+    let configs = [
+        NodeConfig::REFERENCE,
+        NodeConfig::REFERENCE.with_cores(CoresPerNode::C64),
+    ];
+    let opts = SweepOptions {
+        gen: GenParams::tiny(),
+        full_replay: true,
+    };
+
+    let base = std::env::temp_dir().join(format!("musa-prof-identity-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+
+    let fill_in = |dir: &std::path::Path| {
+        let mut store = CampaignStore::open(dir).unwrap();
+        store
+            .fill(&apps, &configs, &FillOptions::new(opts))
+            .unwrap();
+        store.campaign_for(&apps, &configs, &opts)
+    };
+
+    let quiet = fill_in(&base.join("quiet"));
+
+    let profiled_dir = base.join("profiled");
+    std::fs::create_dir_all(&profiled_dir).unwrap();
+    musa_prof::install_store_recorder(&profiled_dir).unwrap();
+    let profiled = fill_in(&profiled_dir);
+    musa_prof::uninstall_recorder();
+
+    assert_eq!(quiet.results.len(), apps.len() * configs.len());
+    assert_eq!(quiet.results.len(), profiled.results.len());
+    for (q, p) in quiet.results.iter().zip(&profiled.results) {
+        assert_eq!(format!("{q:?}"), format!("{p:?}"));
+    }
+
+    // In `runtime` builds the profiled fill really recorded: one
+    // record per point, all parseable, none torn. Compiled out, the
+    // recorder install is a no-op and the file never appears — the
+    // identity above is the whole test.
+    if musa_prof::COMPILED {
+        let (records, rep) = musa_prof::load_profiles(&profiled_dir).unwrap();
+        assert_eq!((rep.torn_tails, rep.corrupt), (0, 0));
+        assert_eq!(records.len(), apps.len() * configs.len(), "{records:?}");
+        for r in &records {
+            assert!(r.wall_ns > 0, "{r:?}");
+            assert_eq!(r.worker, "fill");
+        }
+    } else {
+        assert!(!profiled_dir.join(musa_prof::PROFILES_FILE).exists());
+    }
+    let _ = std::fs::remove_dir_all(&base);
 }

@@ -38,6 +38,21 @@ echo "== serve without observability =="
 # compiled out — the full e2e suite runs both ways.
 cargo test -q -p musa-serve --no-default-features
 
+echo "== build with profiling compiled out (obs + fault kept) =="
+# The flight recorder must fold away independently of the rest of the
+# instrumentation; `dse profile` (reading, aggregation, trace export)
+# stays available either way.
+cargo build -p musa-bench --no-default-features --features obs,fault
+
+echo "== profiling e2e (report, trace export, row identity) =="
+# `dse profile` and `--trace-export` through the real binary, plus
+# byte-identity of rows with the recorder on/off (skips where rows
+# cannot persist).
+cargo test -q -p musa-bench --test prof_e2e
+
+echo "== profiling smoke (real binary, trace JSON validated) =="
+bash scripts/prof_smoke.sh
+
 echo "== serve smoke (real binary, ephemeral port) =="
 bash scripts/serve_smoke.sh
 
@@ -68,6 +83,12 @@ if [[ "${CHAOS:-0}" == "1" ]]; then
     # window; --resume must converge byte-identically, nothing torn may
     # verify, and gc must reclaim the stranded litter.
     CHAOS=1 cargo test -q -p musa-bench --test cache_e2e
+
+    echo "== chaos: kill -9 with the flight recorder running (CHAOS=1) =="
+    # Murdered workers leave staged profile files behind; the
+    # supervisor must merge them torn-tail-tolerantly and the trace
+    # export must stay valid.
+    CHAOS=1 cargo test -q -p musa-bench --test prof_e2e
 fi
 
 echo "All checks passed."

@@ -33,10 +33,10 @@ if ! "$DSE_BIN" --store-dir "$WORK/probe" >/dev/null 2>&1 \
 fi
 
 store_lines() {
-    # All data lines, sorted; quarantine records are repair metadata,
-    # not campaign data.
+    # All data lines, sorted; quarantine records are repair metadata
+    # and profiles carry wall-clock timings — neither is campaign data.
     find "$1" -maxdepth 1 -name '*.jsonl' ! -name 'quarantine.jsonl' \
-        -exec cat {} + | sort
+        ! -name 'profiles.jsonl' -exec cat {} + | sort
 }
 
 echo "pool_smoke: sequential reference run"
