@@ -1,0 +1,108 @@
+//! Strategy shoot-out for the adaptive search, printed as JSON: every
+//! registered strategy runs the same pinned-seed budgeted search
+//! (hydro × the 864-config paper space, tiny scale, in-process
+//! evaluator), scored against the exhaustively computed hypervolume.
+//!
+//! ```text
+//! cargo run --release -p musa-bench --example bench_search > results/BENCH_search.json
+//! ```
+//!
+//! `recovered` is the fraction of the exhaustive front's hypervolume a
+//! strategy reaches at a ~10% evaluation budget — the quantity the
+//! acceptance test (`crates/search/tests/recovery.rs`) pins at ≥0.99
+//! for `anneal`. The trajectory (hypervolume after each generation)
+//! shows *how fast* each strategy gets there.
+
+use std::time::Instant;
+
+use musa_apps::{generate, AppId, GenParams};
+use musa_arch::{DesignSpace, NodeConfig};
+use musa_core::{dominated_hypervolume, MultiscaleSim, SweepOptions};
+use musa_obs::json::JsonObj;
+use musa_search::{run_search, MemEvaluator, SearchConfig, SpaceId, STRATEGIES};
+
+const APP: AppId = AppId::Hydro;
+const SEED: u64 = 1;
+const BUDGET: u64 = 86; // ~10% of the 864-config space
+const HV_REF: f64 = 8.0;
+
+fn main() {
+    let opts = SweepOptions {
+        gen: GenParams::tiny(),
+        full_replay: true,
+    };
+
+    // Exhaustive reference: all 864 configurations, normalized against
+    // the reference config, scored against (8, 8).
+    let start = Instant::now();
+    let trace = generate(APP, &opts.gen);
+    let sim = MultiscaleSim::new(&trace);
+    let reference = sim.simulate(NodeConfig::REFERENCE, opts.full_replay);
+    let points: Vec<(f64, f64)> = DesignSpace::all()
+        .iter()
+        .map(|cfg| {
+            let r = sim.simulate(*cfg, opts.full_replay);
+            (
+                r.time_ns / reference.time_ns,
+                r.energy_j / reference.energy_j,
+            )
+        })
+        .collect();
+    let exhaustive = dominated_hypervolume(&points, (HV_REF, HV_REF));
+    let exhaustive_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let mut rows = Vec::new();
+    for (name, _) in STRATEGIES {
+        let config = SearchConfig {
+            strategy: name.into(),
+            seed: SEED,
+            budget: BUDGET,
+            batch: 16,
+            space: SpaceId::Paper,
+            apps: vec![APP],
+            hv_ref: HV_REF,
+            scale: "tiny".into(),
+        };
+        let mut ev = MemEvaluator::new(opts);
+        let start = Instant::now();
+        let out = run_search(&config, &mut ev, None, None).expect("search runs");
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        let trajectory: Vec<String> = out
+            .trajectory
+            .iter()
+            .map(|g| {
+                JsonObj::new()
+                    .field_u64("evaluated", g.evaluated)
+                    .field_f64("hv", g.hypervolume)
+                    .finish()
+            })
+            .collect();
+        rows.push(
+            JsonObj::new()
+                .field_str("strategy", name)
+                .field_u64("evaluated", out.state.evaluated.len() as u64)
+                .field_u64("front", out.state.front.len() as u64)
+                .field_f64("hypervolume", out.state.hypervolume)
+                .field_f64("recovered", out.state.hypervolume / exhaustive)
+                .field_f64("ms", ms)
+                .field_raw("trajectory", &format!("[{}]", trajectory.join(",")))
+                .finish(),
+        );
+    }
+
+    println!(
+        "{}",
+        JsonObj::new()
+            .field_str("bench", "musa-search strategy shoot-out")
+            .field_str("app", APP.label())
+            .field_str("space", "paper")
+            .field_u64("space_configs", DesignSpace::all().len() as u64)
+            .field_u64("seed", SEED)
+            .field_u64("budget", BUDGET)
+            .field_f64("hv_ref", HV_REF)
+            .field_f64("exhaustive_hypervolume", exhaustive)
+            .field_f64("exhaustive_ms", exhaustive_ms)
+            .field_raw("strategies", &format!("[{}]", rows.join(",")))
+            .finish()
+    );
+}

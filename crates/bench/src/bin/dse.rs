@@ -31,14 +31,17 @@ use std::path::{Path, PathBuf};
 
 use musa_apps::AppId;
 use musa_bench::cli::{
-    parse_dse_args, CacheArgs, CacheCmd, DseArgs, Parsed, ProfileArgs, ServeArgs, CACHE_USAGE,
-    PROFILE_USAGE, SERVE_USAGE, USAGE,
+    parse_dse_args, CacheArgs, CacheCmd, DseArgs, Parsed, ProfileArgs, SearchArgs, ServeArgs,
+    CACHE_USAGE, PROFILE_USAGE, SEARCH_USAGE, SERVE_USAGE, USAGE,
 };
 use musa_bench::{configs, gen_params, paper_scale, store_dir};
 use musa_cache::ArtifactCache;
 use musa_core::report::table;
 use musa_core::SweepOptions;
 use musa_pool::{signals, WorkerStatus};
+use musa_search::{
+    run_search, Evaluator, GenerationRecord, SearchConfig, SearchError, SearchJournal,
+};
 use musa_store::{export, CampaignStore, FillOptions, LeaseEvent, LeaseJournal};
 
 /// Exit code for a sweep that completed but holds poisoned points:
@@ -80,6 +83,23 @@ fn main() {
             use std::io::Write;
             let _ = writeln!(std::io::stdout(), "{PROFILE_USAGE}");
             std::process::exit(0);
+        }
+        Ok(Parsed::SearchHelp) => {
+            use std::io::Write;
+            let _ = writeln!(std::io::stdout(), "{SEARCH_USAGE}");
+            std::process::exit(0);
+        }
+        Ok(Parsed::SearchStrategies) => {
+            use std::io::Write;
+            let mut out = std::io::stdout();
+            let _ = writeln!(out, "search strategies:");
+            for (name, what) in musa_search::STRATEGIES {
+                let _ = writeln!(out, "  {name:<12} {what}");
+            }
+            std::process::exit(0);
+        }
+        Ok(Parsed::Search(args)) => {
+            search_main(args);
         }
         Ok(Parsed::Profile(args)) => {
             profile_main(args);
@@ -250,14 +270,24 @@ fn main() {
             "[dse] interrupted: {} point(s) flushed, the rest resume with --resume",
             report.cached + report.simulated
         );
-        finish_observability(&args, None);
+        finish_observability(
+            args.progress,
+            args.metrics.as_deref(),
+            args.metrics_prom.as_deref(),
+            None,
+        );
         std::process::exit(EXIT_INTERRUPTED);
     }
 
     let campaign = store.campaign_for(&AppId::ALL, &configs, &opts);
     export_campaign(&args, &campaign);
     summarise(&campaign, &configs, &dir);
-    finish_observability(&args, None);
+    finish_observability(
+        args.progress,
+        args.metrics.as_deref(),
+        args.metrics_prom.as_deref(),
+        None,
+    );
     if !report.poisoned.is_empty() {
         std::process::exit(EXIT_PARTIAL);
     }
@@ -367,7 +397,12 @@ fn pool_main(
 
     if report.interrupted {
         eprintln!("[dse] interrupted: workers drained, resume with --resume");
-        finish_observability(args, Some(&report.worker_metrics));
+        finish_observability(
+            args.progress,
+            args.metrics.as_deref(),
+            args.metrics_prom.as_deref(),
+            Some(&report.worker_metrics),
+        );
         std::process::exit(EXIT_INTERRUPTED);
     }
 
@@ -393,12 +428,22 @@ fn pool_main(
             report.requested,
             dir.display()
         );
-        finish_observability(args, Some(&report.worker_metrics));
+        finish_observability(
+            args.progress,
+            args.metrics.as_deref(),
+            args.metrics_prom.as_deref(),
+            Some(&report.worker_metrics),
+        );
         std::process::exit(1);
     }
     export_campaign(args, &campaign);
     summarise(&campaign, configs, dir);
-    finish_observability(args, Some(&report.worker_metrics));
+    finish_observability(
+        args.progress,
+        args.metrics.as_deref(),
+        args.metrics_prom.as_deref(),
+        Some(&report.worker_metrics),
+    );
     if report.poisoned_total() > 0 {
         std::process::exit(EXIT_PARTIAL);
     }
@@ -415,23 +460,401 @@ fn worker_main(cfg: musa_pool::WorkerConfig) -> ! {
         gen: gen_params(),
         full_replay: true,
     };
-    let configs = configs();
+    // A search supervisor hands workers their geometry explicitly (a
+    // search batch is an arbitrary subset of an arbitrary space, not
+    // the fixed campaign this binary derives by default); the campaign
+    // path leaves the variable unset.
+    let (apps, configs) = match std::env::var(musa_bench::SEARCH_GEOM_ENV) {
+        Ok(spec) => match musa_bench::parse_search_geometry(&spec) {
+            Ok(geom) => geom,
+            Err(e) => {
+                eprintln!(
+                    "dse pool-worker (lease {}): bad {}: {e}",
+                    cfg.lease,
+                    musa_bench::SEARCH_GEOM_ENV
+                );
+                std::process::exit(musa_pool::EXIT_GEOMETRY_MISMATCH);
+            }
+        },
+        Err(_) => (AppId::ALL.to_vec(), configs()),
+    };
     // Refuse to simulate anything if this process derives a different
     // sweep than the supervisor that spawned it (scale or config
     // environment lost in the re-exec): every row would land under the
     // wrong key. The distinct exit code makes the supervisor abort
     // instead of retrying.
-    if let Err(e) = musa_pool::verify_sweep_key(&cfg, &AppId::ALL, &configs, &opts) {
+    if let Err(e) = musa_pool::verify_sweep_key(&cfg, &apps, &configs, &opts) {
         eprintln!("dse pool-worker (lease {}): {e}", cfg.lease);
         std::process::exit(musa_pool::EXIT_GEOMETRY_MISMATCH);
     }
-    match musa_pool::run_worker(&cfg, &AppId::ALL, &configs, &opts) {
+    match musa_pool::run_worker(&cfg, &apps, &configs, &opts) {
         Ok(WorkerStatus::Complete) => std::process::exit(0),
         Ok(WorkerStatus::Interrupted) => std::process::exit(EXIT_INTERRUPTED),
         Err(e) => {
             eprintln!("dse pool-worker (lease {}): {e}", cfg.lease);
             std::process::exit(1);
         }
+    }
+}
+
+/// Order-preserving per-app grouping of an evaluation batch. The
+/// within-group config order is load-bearing: it defines the point
+/// enumeration a pool supervisor and its workers must share.
+fn group_by_app(
+    batch: &[(AppId, musa_arch::NodeConfig)],
+) -> Vec<(AppId, Vec<musa_arch::NodeConfig>)> {
+    let mut out: Vec<(AppId, Vec<musa_arch::NodeConfig>)> = Vec::new();
+    for &(app, cfg) in batch {
+        match out.iter_mut().find(|(a, _)| *a == app) {
+            Some((_, v)) => v.push(cfg),
+            None => out.push((app, vec![cfg])),
+        }
+    }
+    out
+}
+
+/// Read one batch's results back out of the store, in batch order. A
+/// missing row after a fill means the point was poisoned (its
+/// simulation panicked) — fatal for a search, because the trajectory
+/// cannot continue without the objective value; the row-less point is
+/// retried by a later `--resume`.
+fn batch_results(
+    store: &CampaignStore,
+    opts: &SweepOptions,
+    batch: &[(AppId, musa_arch::NodeConfig)],
+) -> Vec<(f64, f64)> {
+    batch
+        .iter()
+        .map(|(app, cfg)| match store.get(*app, cfg, opts) {
+            Some(r) => (r.time_ns, r.energy_j),
+            None => {
+                eprintln!(
+                    "dse search: {}/{} has no stored row after evaluation \
+                     (poisoned simulation?) — re-run with --resume to retry it",
+                    app.label(),
+                    cfg.label()
+                );
+                std::process::exit(1);
+            }
+        })
+        .collect()
+}
+
+/// Sequential search evaluation through the campaign store: every
+/// batch is a normal `fill` (rows persist, the artifact cache and the
+/// flight recorder apply), results are read back by point key. Store
+/// warmth affects only speed, never values — that memoization is what
+/// makes `--resume` replay free.
+struct StoreEvaluator {
+    store: CampaignStore,
+    opts: SweepOptions,
+    hits: u64,
+}
+
+impl Evaluator for StoreEvaluator {
+    fn evaluate(&mut self, batch: &[(AppId, musa_arch::NodeConfig)]) -> Vec<(f64, f64)> {
+        for (app, cfgs) in group_by_app(batch) {
+            let report = self
+                .store
+                .fill(&[app], &cfgs, &FillOptions::new(self.opts))
+                .unwrap_or_else(|e| {
+                    eprintln!("dse search: fill failed: {e}");
+                    std::process::exit(1);
+                });
+            self.hits += report.cached as u64;
+        }
+        batch_results(&self.store, &self.opts, batch)
+    }
+
+    fn memo_hits(&self) -> u64 {
+        self.hits
+    }
+}
+
+/// `--workers N` search evaluation: each generation's per-app batch
+/// runs under a supervised worker pool (`musa_pool::run_pool`), with
+/// the searched geometry handed to the re-exec'd workers through
+/// [`musa_bench::SEARCH_GEOM_ENV`] so both sides enumerate identical
+/// point keys (`verify_sweep_key` aborts the run otherwise). Results
+/// are read back through a read-only store open per generation — the
+/// supervisor never holds a writer while workers do.
+struct PoolEvaluator {
+    exe: PathBuf,
+    dir: PathBuf,
+    opts: SweepOptions,
+    space: musa_search::SearchSpace,
+    space_id: musa_search::SpaceId,
+    pool_opts: musa_pool::PoolOptions,
+    hits: u64,
+}
+
+impl Evaluator for PoolEvaluator {
+    fn evaluate(&mut self, batch: &[(AppId, musa_arch::NodeConfig)]) -> Vec<(f64, f64)> {
+        for (app, cfgs) in group_by_app(batch) {
+            let idxs: Vec<u64> = cfgs
+                .iter()
+                .map(|c| {
+                    self.space
+                        .index_of(c)
+                        .expect("searched config is in the space")
+                })
+                .collect();
+            let mut pool_opts = self.pool_opts.clone();
+            pool_opts.env.push((
+                musa_bench::SEARCH_GEOM_ENV.to_string(),
+                musa_bench::search_geometry_spec(self.space_id, app, &idxs),
+            ));
+            let report =
+                musa_pool::run_pool(&self.exe, &self.dir, &[app], &cfgs, &self.opts, &pool_opts)
+                    .unwrap_or_else(|e| {
+                        eprintln!(
+                            "dse search: pool fill in {} failed: {e}",
+                            self.dir.display()
+                        );
+                        std::process::exit(1);
+                    });
+            self.hits += report.cached as u64;
+            if report.interrupted {
+                eprintln!(
+                    "[search] interrupted: evaluated points are stored, \
+                     continue with --resume"
+                );
+                std::process::exit(EXIT_INTERRUPTED);
+            }
+        }
+        let store = CampaignStore::open_read_only(&self.dir).unwrap_or_else(|e| {
+            eprintln!("open campaign store {}: {e}", self.dir.display());
+            std::process::exit(1);
+        });
+        batch_results(&store, &self.opts, batch)
+    }
+
+    fn memo_hits(&self) -> u64 {
+        self.hits
+    }
+}
+
+/// `dse search`: the adaptive, journaled, resumable Pareto-front
+/// search. Evaluation goes through the exact machinery a plain sweep
+/// uses — store rows, artifact cache, flight recorder, worker pool —
+/// so a search leaves behind a perfectly ordinary (partial) campaign
+/// plus its own journal under `<store-dir>/search/`.
+fn search_main(args: SearchArgs) -> ! {
+    if let Some(level) = args.log {
+        musa_obs::set_max_level(level);
+    }
+    if let Some(path) = &args.log_json {
+        if let Err(e) = musa_obs::set_json_path(path) {
+            eprintln!("dse search: cannot open --log-json {}: {e}", path.display());
+            std::process::exit(2);
+        }
+    }
+    let want_report = args.metrics.is_some() || args.metrics_prom.is_some() || args.progress;
+    if want_report {
+        musa_obs::enable_metrics(true);
+    }
+
+    let dir: PathBuf = args.store_dir.clone().unwrap_or_else(store_dir);
+    let opts = SweepOptions {
+        gen: gen_params(),
+        full_replay: true,
+    };
+    let config = SearchConfig {
+        strategy: args.strategy.clone(),
+        seed: args.seed,
+        budget: args.budget,
+        batch: args.batch,
+        space: args.space,
+        apps: args.apps.clone().unwrap_or_else(|| AppId::ALL.to_vec()),
+        hv_ref: args.hv_ref,
+        scale: musa_bench::scale_label().to_string(),
+    };
+
+    // A fresh (non --resume) search discards only the search scratch:
+    // campaign rows are memoization, not search state, and survive so
+    // a re-run (or a different strategy) evaluates for free.
+    let search_dir = dir.join(musa_search::SEARCH_DIR);
+    if !args.resume {
+        let _ = std::fs::remove_dir_all(&search_dir);
+    }
+    let mut journal = match SearchJournal::open(search_dir.join(musa_search::JOURNAL_FILE)) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!(
+                "dse search: cannot open journal in {}: {e}",
+                search_dir.display()
+            );
+            std::process::exit(1);
+        }
+    };
+    if args.resume && !journal.existing().is_empty() {
+        eprintln!(
+            "[search] resuming: replaying {} journaled line(s) from {}",
+            journal.existing().len(),
+            search_dir.display()
+        );
+    }
+
+    let progress = args.progress;
+    let mut on_gen = |g: &GenerationRecord| {
+        if progress {
+            eprintln!(
+                "[search] gen {:>3}: {:>5} evaluated, front {:>3}, hv {:.4}, T={:.3}",
+                g.generation, g.evaluated, g.front, g.hypervolume, g.temperature
+            );
+        }
+    };
+
+    let outcome = if let Some(workers) = args.workers {
+        let exe = std::env::current_exe().unwrap_or_else(|e| {
+            eprintln!("dse search: cannot locate own binary for worker re-exec: {e}");
+            std::process::exit(1);
+        });
+        let env = musa_bench::pool_worker_env(
+            None,
+            paper_scale(),
+            !args.no_cache,
+            want_report,
+            !args.no_prof && musa_prof::enabled_from_env(),
+        );
+        let mut ev = PoolEvaluator {
+            exe,
+            dir: dir.clone(),
+            opts,
+            space: musa_search::SearchSpace::new(args.space),
+            space_id: args.space,
+            pool_opts: musa_pool::PoolOptions {
+                workers,
+                progress: args.progress,
+                env,
+                ..musa_pool::PoolOptions::default()
+            },
+            hits: 0,
+        };
+        run_search(&config, &mut ev, Some(&mut journal), Some(&mut on_gen))
+    } else {
+        let mut store = CampaignStore::open(&dir).unwrap_or_else(|e| {
+            eprintln!("open campaign store {}: {e}", dir.display());
+            std::process::exit(1);
+        });
+        let cache = if args.no_cache || !musa_cache::enabled_from_env() {
+            None
+        } else {
+            match ArtifactCache::open(&dir) {
+                Ok(cache) => {
+                    store.set_artifact_cache(std::sync::Arc::clone(&cache));
+                    Some(cache)
+                }
+                Err(e) => {
+                    eprintln!("[dse] artifact cache unavailable ({e}), computing uncached");
+                    None
+                }
+            }
+        };
+        if !args.no_prof && musa_prof::enabled_from_env() {
+            if let Err(e) = musa_prof::install_store_recorder(&dir) {
+                eprintln!("[dse] profiling unavailable ({e}), search runs unprofiled");
+            }
+        }
+        let mut ev = StoreEvaluator {
+            store,
+            opts,
+            hits: 0,
+        };
+        let r = run_search(&config, &mut ev, Some(&mut journal), Some(&mut on_gen));
+        musa_prof::uninstall_recorder();
+        if let Some(cache) = &cache {
+            cache.persist_session("search");
+            let stats = cache.stats();
+            if stats.hits() + stats.misses() > 0 {
+                eprintln!("[dse] cache: {}", stats.report());
+            }
+        }
+        r
+    };
+
+    let outcome = match outcome {
+        Ok(o) => o,
+        Err(SearchError::Mismatch(m)) => {
+            eprintln!(
+                "dse search: {m}\n\
+                 (the journal in {} was recorded under different flags; \
+                 re-run without --resume to start a fresh search)",
+                search_dir.display()
+            );
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("dse search: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    if let Some(path) = &args.report {
+        match musa_search::write_report(path, &outcome) {
+            Ok(()) => println!("wrote search report to {}", path.display()),
+            Err(e) => {
+                eprintln!("search report to {} failed: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    summarise_search(&outcome);
+    finish_observability(
+        args.progress,
+        args.metrics.as_deref(),
+        args.metrics_prom.as_deref(),
+        None,
+    );
+    std::process::exit(0);
+}
+
+/// Print the discovered front and the trajectory endpoint.
+fn summarise_search(outcome: &musa_search::SearchOutcome) {
+    println!(
+        "== Discovered Pareto front ({} of {} points evaluated) ==\n",
+        outcome.state.evaluated.len(),
+        outcome.ps.len()
+    );
+    let rows: Vec<Vec<String>> = musa_search::front_rows(outcome)
+        .iter()
+        .map(|r| {
+            vec![
+                r.app.clone(),
+                r.config.clone(),
+                format!("{:.2} ms", r.time_ns / 1e6),
+                format!("{:.2} J", r.energy_j),
+                format!("{:.3}x", r.time_rel),
+                format!("{:.3}x", r.energy_rel),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(
+            &[
+                "app",
+                "configuration",
+                "time",
+                "energy",
+                "time/ref",
+                "energy/ref"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "search: strategy {}, seed {}, {} generation(s), {} point(s) evaluated, \
+         front {}, hypervolume {:.4}",
+        outcome.config.strategy,
+        outcome.config.seed,
+        outcome.trajectory.len(),
+        outcome.state.evaluated.len(),
+        outcome.state.front.len(),
+        outcome.state.hypervolume
+    );
+    if outcome.exhausted {
+        println!("(the space ran out of fresh points before the budget)");
     }
 }
 
@@ -677,6 +1100,40 @@ fn summarise(
         campaign.results.len(),
         campaign.results.len() / AppId::ALL.len()
     );
+
+    // Front quality as one scalar per application: dominated
+    // hypervolume over (time, energy), normalised against the
+    // reference configuration inside the same [0,8]² box `dse search`
+    // maximises — a budgeted search's end-of-run score is directly
+    // comparable to this exhaustive sweep's.
+    let mut hv_lines = Vec::new();
+    for app in AppId::ALL {
+        let Some(refrow) = campaign
+            .for_app(app)
+            .find(|r| r.config == musa_arch::NodeConfig::REFERENCE)
+        else {
+            continue; // sliced sweeps may omit the reference point
+        };
+        let raw_hv = campaign.hypervolume(
+            app,
+            musa_core::RowMetric::TimeNs,
+            musa_core::RowMetric::EnergyJ,
+            (8.0 * refrow.time_ns, 8.0 * refrow.energy_j),
+        );
+        // Dividing the raw-unit volume by the reference rectangle
+        // yields the hypervolume of the normalised front vs (8, 8).
+        hv_lines.push(format!(
+            "  {:<8} {:.4}",
+            app.label(),
+            raw_hv / (refrow.time_ns * refrow.energy_j)
+        ));
+    }
+    if !hv_lines.is_empty() {
+        println!("front quality (dominated hypervolume vs 8x reference):");
+        for line in hv_lines {
+            println!("{line}");
+        }
+    }
 }
 
 /// End-of-run telemetry: the phase table on stderr, the `--metrics`
@@ -685,14 +1142,19 @@ fn summarise(
 /// harvested from per-lease manifests; they are absorbed into this
 /// process's own snapshot so the report covers the whole run, not just
 /// the supervisor.
-fn finish_observability(args: &DseArgs, extra: Option<&musa_obs::MetricsSnapshot>) {
-    if args.metrics.is_some() || args.metrics_prom.is_some() || args.progress {
+fn finish_observability(
+    progress: bool,
+    metrics: Option<&Path>,
+    metrics_prom: Option<&Path>,
+    extra: Option<&musa_obs::MetricsSnapshot>,
+) {
+    if metrics.is_some() || metrics_prom.is_some() || progress {
         let mut snap = musa_obs::snapshot();
         if let Some(extra) = extra {
             snap.absorb(extra);
         }
         eprintln!("{}", musa_obs::phase_table(&snap));
-        if let Some(path) = &args.metrics {
+        if let Some(path) = metrics {
             match snap.write_json_file(path) {
                 Ok(()) => eprintln!("[dse] wrote metrics snapshot to {}", path.display()),
                 Err(e) => {
@@ -701,7 +1163,7 @@ fn finish_observability(args: &DseArgs, extra: Option<&musa_obs::MetricsSnapshot
                 }
             }
         }
-        if let Some(path) = &args.metrics_prom {
+        if let Some(path) = metrics_prom {
             match std::fs::write(path, musa_obs::prometheus_text(&snap)) {
                 Ok(()) => eprintln!("[dse] wrote Prometheus exposition to {}", path.display()),
                 Err(e) => {

@@ -8,9 +8,11 @@
 use std::path::PathBuf;
 use std::time::Duration;
 
+use musa_apps::AppId;
 use musa_fault::FaultPlan;
 use musa_obs::Level;
 use musa_pool::{WorkerConfig, DEFAULT_LEASE_BATCH, DEFAULT_POISON_CAP};
+use musa_search::{SpaceId, STRATEGIES};
 use musa_store::{Shard, DEFAULT_MAX_RETRIES};
 
 /// `dse` usage text (printed on `--help` and after a parse error).
@@ -22,6 +24,9 @@ usage: dse [options]
                                    (see dse cache --help)
        dse profile [profile-options]   per-point profiling report and
                                    timeline export (see dse profile --help)
+       dse search [search-options]  adaptive Pareto-front search over a
+                                   parameterized design space
+                                   (see dse search --help)
   --resume           keep existing store rows, simulate only missing points
   --shard i/n        simulate only shard i of an n-way split (0-based)
   --store-dir DIR    campaign store directory (default target/musa-store-<scale>)
@@ -221,6 +226,8 @@ pub enum Parsed {
     /// Analyse the per-point profiling flight record
     /// (`dse profile ...`).
     Profile(ProfileArgs),
+    /// Run an adaptive design-space search (`dse search ...`).
+    Search(SearchArgs),
     /// Print usage and exit 0.
     Help,
     /// Print serve usage and exit 0.
@@ -229,6 +236,11 @@ pub enum Parsed {
     CacheHelp,
     /// Print profile usage and exit 0.
     ProfileHelp,
+    /// Print search usage and exit 0.
+    SearchHelp,
+    /// Print the strategy registry and exit 0
+    /// (`dse search --list-strategies`).
+    SearchStrategies,
 }
 
 fn required<'a, I: Iterator<Item = &'a str>>(
@@ -268,6 +280,9 @@ pub fn parse_dse_args<S: AsRef<str>>(args: &[S]) -> Result<Parsed, String> {
     }
     if args.first().map(AsRef::as_ref) == Some("profile") {
         return parse_profile_args(&args[1..]);
+    }
+    if args.first().map(AsRef::as_ref) == Some("search") {
+        return parse_search_args(&args[1..]);
     }
     let mut out = DseArgs::default();
     let mut it = args.iter().map(AsRef::as_ref).peekable();
@@ -509,6 +524,225 @@ fn parse_profile_args<S: AsRef<str>>(args: &[S]) -> Result<Parsed, String> {
         }
     }
     Ok(Parsed::Profile(out))
+}
+
+/// `dse search` usage text.
+pub const SEARCH_USAGE: &str = "\
+usage: dse search [options]
+  adaptive Pareto-front search over a parameterized design space:
+  a seeded strategy proposes candidate configurations generation by
+  generation, each batch is simulated through the normal store/cache/
+  pool machinery (already-simulated points are free), and the run is
+  scored by dominated hypervolume over (time, energy) normalized
+  against the per-app reference configuration. Progress is journaled
+  next to the store; --resume continues a killed search
+  deterministically.
+options:
+  --strategy NAME    search strategy (default anneal); see
+                     --list-strategies
+  --seed N           PRNG seed (default 42); same seed => byte-identical
+                     journal, report and evaluated-point set
+  --budget N         maximum points to evaluate, reference points
+                     included (default 100)
+  --batch N          points proposed per generation (default 16)
+  --space NAME       configuration space: paper (864 configs) or
+                     expanded (20736 configs; >=100k points over all
+                     apps) (default paper)
+  --apps LIST        comma-separated application subset, e.g.
+                     hydro,lulesh (default: all five)
+  --hv-ref X         hypervolume reference point, as a multiple of the
+                     per-app reference config's (time, energy)
+                     (default 8)
+  --search-report PATH  write the final report — discovered front plus
+                     hypervolume-vs-evaluations trajectory — as JSON
+  --resume           continue a killed search: replay the decision loop
+                     against the journal (memoized points are free) and
+                     keep going
+  --list-strategies  print the strategy registry and exit
+  --store-dir DIR    campaign store directory (default
+                     target/musa-store-<scale>)
+  --workers N        evaluate each generation with N supervised worker
+                     processes instead of the in-process fill
+  --full             paper scale (256 ranks) instead of the reduced scale
+  --no-cache         disable the intermediate-artifact cache
+  --progress         per-generation progress on stderr
+  --metrics PATH     write the end-of-run metrics snapshot as JSON
+  --metrics-prom PATH  the same snapshot in Prometheus text format
+  --no-prof          disable the per-point profiling flight recorder
+  --log LEVEL        stderr event level: error|warn|info|debug|trace|off
+  --log-json PATH    record every structured event to a JSONL file
+  -h, --help         this help";
+
+/// Parsed `dse search` arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchArgs {
+    /// Strategy name (validated against the registry at parse time).
+    pub strategy: String,
+    /// PRNG seed.
+    pub seed: u64,
+    /// Maximum points to evaluate.
+    pub budget: u64,
+    /// Points per generation.
+    pub batch: u64,
+    /// Configuration space.
+    pub space: SpaceId,
+    /// Application subset; `None` means all.
+    pub apps: Option<Vec<AppId>>,
+    /// Hypervolume reference multiple.
+    pub hv_ref: f64,
+    /// Final report output path.
+    pub report: Option<PathBuf>,
+    /// Continue a killed search.
+    pub resume: bool,
+    /// Campaign store directory override.
+    pub store_dir: Option<PathBuf>,
+    /// Pool evaluation with this many workers.
+    pub workers: Option<usize>,
+    /// Paper scale (256 ranks).
+    pub full: bool,
+    /// Disable the intermediate-artifact cache.
+    pub no_cache: bool,
+    /// Per-generation progress on stderr.
+    pub progress: bool,
+    /// Metrics snapshot output path.
+    pub metrics: Option<PathBuf>,
+    /// Prometheus text-exposition output path.
+    pub metrics_prom: Option<PathBuf>,
+    /// Disable the per-point profiling flight recorder.
+    pub no_prof: bool,
+    /// Stderr event level override; `Some(None)` is `--log off`.
+    pub log: Option<Option<Level>>,
+    /// JSONL event sink path.
+    pub log_json: Option<PathBuf>,
+}
+
+impl Default for SearchArgs {
+    fn default() -> SearchArgs {
+        SearchArgs {
+            strategy: "anneal".into(),
+            seed: 42,
+            budget: 100,
+            batch: 16,
+            space: SpaceId::Paper,
+            apps: None,
+            hv_ref: 8.0,
+            report: None,
+            resume: false,
+            store_dir: None,
+            workers: None,
+            full: false,
+            no_cache: false,
+            progress: false,
+            metrics: None,
+            metrics_prom: None,
+            no_prof: false,
+            log: None,
+            log_json: None,
+        }
+    }
+}
+
+/// Parse `dse search` arguments (after the `search` token).
+fn parse_search_args<S: AsRef<str>>(args: &[S]) -> Result<Parsed, String> {
+    let mut out = SearchArgs::default();
+    let mut it = args.iter().map(AsRef::as_ref).peekable();
+    while let Some(arg) = it.next() {
+        match arg {
+            "-h" | "--help" => return Ok(Parsed::SearchHelp),
+            "--list-strategies" => return Ok(Parsed::SearchStrategies),
+            "--strategy" => {
+                let name = required(&mut it, "--strategy")?;
+                if !STRATEGIES.iter().any(|(n, _)| *n == name) {
+                    return Err(format!(
+                        "unknown strategy {name:?} (see dse search --list-strategies)"
+                    ));
+                }
+                out.strategy = name.to_string();
+            }
+            "--seed" => out.seed = parse_number("--seed", required(&mut it, "--seed")?)?,
+            "--budget" => {
+                out.budget = parse_number("--budget", required(&mut it, "--budget")?)?;
+                if out.budget == 0 {
+                    return Err("--budget must be at least 1".into());
+                }
+            }
+            "--batch" => {
+                out.batch = parse_number("--batch", required(&mut it, "--batch")?)?;
+                if out.batch == 0 {
+                    return Err("--batch must be at least 1".into());
+                }
+            }
+            "--space" => {
+                let name = required(&mut it, "--space")?;
+                out.space = SpaceId::parse(name)
+                    .ok_or_else(|| format!("unknown space {name:?} (paper or expanded)"))?;
+            }
+            "--apps" => {
+                let spec = required(&mut it, "--apps")?;
+                let mut apps = Vec::new();
+                for part in spec.split(',') {
+                    let part = part.trim();
+                    let app = AppId::ALL
+                        .iter()
+                        .find(|a| a.label() == part)
+                        .copied()
+                        .ok_or_else(|| {
+                            let known: Vec<&str> = AppId::ALL.iter().map(|a| a.label()).collect();
+                            format!("unknown app {part:?} (expected one of {known:?})")
+                        })?;
+                    if !apps.contains(&app) {
+                        apps.push(app);
+                    }
+                }
+                if apps.is_empty() {
+                    return Err("--apps needs at least one application".into());
+                }
+                out.apps = Some(apps);
+            }
+            "--hv-ref" => {
+                out.hv_ref = parse_number("--hv-ref", required(&mut it, "--hv-ref")?)?;
+                if !out.hv_ref.is_finite() || out.hv_ref <= 1.0 {
+                    return Err("--hv-ref must be a finite multiple greater than 1".into());
+                }
+            }
+            "--search-report" => {
+                out.report = Some(required(&mut it, "--search-report")?.into());
+            }
+            "--resume" => out.resume = true,
+            "--store-dir" => out.store_dir = Some(required(&mut it, "--store-dir")?.into()),
+            "--workers" => {
+                let n: usize = parse_number("--workers", required(&mut it, "--workers")?)?;
+                if n == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+                out.workers = Some(n);
+            }
+            "--full" => out.full = true,
+            "--no-cache" => out.no_cache = true,
+            "--progress" => out.progress = true,
+            "--metrics" => out.metrics = Some(required(&mut it, "--metrics")?.into()),
+            "--metrics-prom" => {
+                out.metrics_prom = Some(required(&mut it, "--metrics-prom")?.into());
+            }
+            "--no-prof" => out.no_prof = true,
+            "--log-json" => out.log_json = Some(required(&mut it, "--log-json")?.into()),
+            "--log" => {
+                let spec = required(&mut it, "--log")?;
+                let norm = spec.trim().to_ascii_lowercase();
+                out.log = Some(if norm == "off" || norm == "none" {
+                    None
+                } else {
+                    Some(
+                        Level::parse(spec)
+                            .ok_or_else(|| format!("bad --log level {spec:?} (see usage)"))?,
+                    )
+                });
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag {other:?}")),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    Ok(Parsed::Search(out))
 }
 
 /// Parse the hidden `pool-worker` argv the supervisor generates. As
@@ -1062,5 +1296,121 @@ mod tests {
         assert_eq!(parse_dse_args(&["serve", "--help"]), Ok(Parsed::ServeHelp));
         // `serve` is only a subcommand in first position.
         assert!(parse_dse_args(&["--resume", "serve"]).is_err());
+    }
+
+    fn search(args: &[&str]) -> SearchArgs {
+        match parse_dse_args(args).unwrap() {
+            Parsed::Search(a) => a,
+            other => panic!("unexpected parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn search_defaults() {
+        let a = search(&["search"]);
+        assert_eq!(a, SearchArgs::default());
+        assert_eq!(a.strategy, "anneal");
+        assert_eq!((a.seed, a.budget, a.batch), (42, 100, 16));
+        assert_eq!(a.space, SpaceId::Paper);
+        assert!((a.hv_ref - 8.0).abs() < 1e-12);
+        assert!(a.apps.is_none() && a.report.is_none() && !a.resume);
+    }
+
+    #[test]
+    fn search_flags_parse() {
+        let a = search(&[
+            "search",
+            "--strategy",
+            "stratified",
+            "--seed",
+            "7",
+            "--budget",
+            "250",
+            "--batch",
+            "32",
+            "--space",
+            "expanded",
+            "--apps",
+            "hydro,lulesh",
+            "--hv-ref",
+            "4",
+            "--search-report",
+            "out.json",
+            "--resume",
+            "--store-dir",
+            "/tmp/s",
+            "--workers",
+            "4",
+            "--progress",
+            "--metrics",
+            "m.json",
+            "--log",
+            "info",
+        ]);
+        assert_eq!(a.strategy, "stratified");
+        assert_eq!((a.seed, a.budget, a.batch), (7, 250, 32));
+        assert_eq!(a.space, SpaceId::Expanded);
+        let apps = a.apps.expect("apps parsed");
+        assert_eq!(apps.len(), 2);
+        assert!(apps.iter().any(|x| x.label() == "hydro"));
+        assert!(apps.iter().any(|x| x.label() == "lulesh"));
+        assert!((a.hv_ref - 4.0).abs() < 1e-12);
+        assert_eq!(a.report.as_deref(), Some(std::path::Path::new("out.json")));
+        assert!(a.resume && a.progress);
+        assert_eq!(a.workers, Some(4));
+        assert_eq!(a.log, Some(Some(Level::Info)));
+    }
+
+    #[test]
+    fn search_help_and_list_strategies_short_circuit() {
+        assert_eq!(
+            parse_dse_args(&["search", "--help"]),
+            Ok(Parsed::SearchHelp)
+        );
+        assert_eq!(parse_dse_args(&["search", "-h"]), Ok(Parsed::SearchHelp));
+        assert_eq!(
+            parse_dse_args(&["search", "--list-strategies"]),
+            Ok(Parsed::SearchStrategies)
+        );
+        assert_eq!(
+            parse_dse_args(&["search", "--list-strategies", "--nope"]),
+            Ok(Parsed::SearchStrategies),
+            "short-circuits like --help"
+        );
+        // `search` is only a subcommand in first position.
+        assert!(parse_dse_args(&["--resume", "search"]).is_err());
+    }
+
+    #[test]
+    fn search_subcommand_is_strict() {
+        assert!(parse_dse_args(&["search", "--nope"]).is_err());
+        assert!(parse_dse_args(&["search", "stray"]).is_err());
+        assert!(parse_dse_args(&["search", "--strategy"]).is_err());
+        assert!(parse_dse_args(&["search", "--strategy", "gradient"]).is_err());
+        assert!(parse_dse_args(&["search", "--seed"]).is_err());
+        assert!(parse_dse_args(&["search", "--seed", "many"]).is_err());
+        assert!(parse_dse_args(&["search", "--budget", "0"]).is_err());
+        assert!(parse_dse_args(&["search", "--batch", "0"]).is_err());
+        assert!(parse_dse_args(&["search", "--space", "galaxy"]).is_err());
+        assert!(parse_dse_args(&["search", "--apps", "hydro,warp"]).is_err());
+        assert!(parse_dse_args(&["search", "--apps", ""]).is_err());
+        assert!(parse_dse_args(&["search", "--hv-ref", "1"]).is_err());
+        assert!(parse_dse_args(&["search", "--hv-ref", "nan"]).is_err());
+        assert!(parse_dse_args(&["search", "--workers", "0"]).is_err());
+        assert!(parse_dse_args(&["search", "--search-report"]).is_err());
+    }
+
+    #[test]
+    fn search_strategy_registry_accepts_every_registered_name() {
+        for (name, _) in STRATEGIES {
+            let a = search(&["search", "--strategy", name]);
+            assert_eq!(a.strategy, name);
+        }
+    }
+
+    #[test]
+    fn search_apps_dedupe_and_trim() {
+        let a = search(&["search", "--apps", " hydro , hydro ,lulesh"]);
+        assert_eq!(a.apps.unwrap().len(), 2);
     }
 }

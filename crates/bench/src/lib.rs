@@ -106,6 +106,76 @@ pub fn pool_worker_env(
     env
 }
 
+/// The trace-scale label pinned into search journals: the journal
+/// refuses to resume at a different scale than it was recorded at, so
+/// this must track exactly what [`gen_params`] selects.
+pub fn scale_label() -> &'static str {
+    if std::env::var("MUSA_TINY")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+    {
+        "tiny"
+    } else if paper_scale() {
+        "paper"
+    } else {
+        "small"
+    }
+}
+
+/// Environment variable a search supervisor sets for each pool batch
+/// so its re-exec'd workers derive the searched geometry instead of
+/// the default 864-config campaign. Value syntax:
+/// `<space>:<app>:<config-indices>` with the indices in
+/// `musa_pool::lease` range syntax, ordered exactly as the supervisor
+/// passed the configurations to `run_pool` — both sides must
+/// enumerate identical point keys (`verify_sweep_key` aborts the
+/// worker otherwise).
+pub const SEARCH_GEOM_ENV: &str = "MUSA_SEARCH_GEOM";
+
+/// Encode one per-app search batch as a [`SEARCH_GEOM_ENV`] value.
+pub fn search_geometry_spec(
+    space: musa_search::SpaceId,
+    app: AppId,
+    config_indices: &[u64],
+) -> String {
+    format!(
+        "{}:{}:{}",
+        space.label(),
+        app.label(),
+        musa_pool::lease::encode_points(config_indices)
+    )
+}
+
+/// Decode a [`SEARCH_GEOM_ENV`] value back into the `(apps, configs)`
+/// a pool worker must enumerate.
+pub fn parse_search_geometry(spec: &str) -> Result<(Vec<AppId>, Vec<NodeConfig>), String> {
+    let mut it = spec.splitn(3, ':');
+    let (Some(space), Some(app), Some(points)) = (it.next(), it.next(), it.next()) else {
+        return Err(format!(
+            "bad search geometry {spec:?} (want space:app:config-indices)"
+        ));
+    };
+    let space = musa_search::SpaceId::parse(space)
+        .ok_or_else(|| format!("unknown search space {space:?}"))?;
+    let app = AppId::ALL
+        .iter()
+        .find(|a| a.label() == app)
+        .copied()
+        .ok_or_else(|| format!("unknown app {app:?}"))?;
+    let space = musa_search::SearchSpace::new(space);
+    let mut configs = Vec::new();
+    for idx in musa_pool::lease::parse_points(points)? {
+        if idx >= space.len() {
+            return Err(format!(
+                "config index {idx} out of range for the {}-config space",
+                space.len()
+            ));
+        }
+        configs.push(space.config(idx));
+    }
+    Ok((vec![app], configs))
+}
+
 /// Campaign store directory for the current scale (override with
 /// `MUSA_STORE_DIR`).
 pub fn store_dir() -> PathBuf {
@@ -193,7 +263,38 @@ pub fn print_feature_figure(
 
 #[cfg(test)]
 mod tests {
-    use super::pool_worker_env;
+    use super::{parse_search_geometry, pool_worker_env, search_geometry_spec};
+    use musa_apps::AppId;
+    use musa_search::{SearchSpace, SpaceId};
+
+    #[test]
+    fn search_geometry_roundtrips_in_batch_order() {
+        // Batch order is load-bearing: point index i of the pool
+        // enumeration must be the i-th config of the supervisor's
+        // batch, so the spec must preserve arbitrary (unsorted) order.
+        let idxs = [5u64, 3, 100, 101, 102, 7];
+        let spec = search_geometry_spec(SpaceId::Expanded, AppId::Hydro, &idxs);
+        let (apps, configs) = parse_search_geometry(&spec).unwrap();
+        assert_eq!(apps, vec![AppId::Hydro]);
+        let space = SearchSpace::new(SpaceId::Expanded);
+        let expect: Vec<_> = idxs.iter().map(|&i| space.config(i)).collect();
+        assert_eq!(configs, expect);
+    }
+
+    #[test]
+    fn search_geometry_rejects_garbage() {
+        assert!(
+            parse_search_geometry("paper:hydro").is_err(),
+            "missing points"
+        );
+        assert!(parse_search_geometry("warp:hydro:0").is_err(), "bad space");
+        assert!(parse_search_geometry("paper:doom:0").is_err(), "bad app");
+        assert!(
+            parse_search_geometry("paper:hydro:999999").is_err(),
+            "index out of range"
+        );
+        assert!(parse_search_geometry("paper:hydro:x").is_err(), "bad index");
+    }
 
     #[test]
     fn pool_worker_env_propagates_scale_and_faults() {

@@ -171,6 +171,48 @@ pub fn pareto_front_indices(points: &[(f64, f64)]) -> Vec<usize> {
     front
 }
 
+/// The dominated hypervolume (S-metric) of a point set in a
+/// 2-objective minimisation plane, against an explicit reference
+/// point.
+///
+/// The hypervolume is the area of the region dominated by at least one
+/// point and bounded above-right by `reference` — the standard scalar
+/// quality indicator for a Pareto front (larger is better; the metric
+/// rl-explorer-style search loops maximise). Only points that strictly
+/// dominate the reference contribute; points at or beyond the
+/// reference in either coordinate, and points with a non-finite
+/// coordinate, contribute nothing. Duplicates are counted once.
+///
+/// Computed by the classic O(n log n) sweep: keep the Pareto-minimal
+/// points, walk them in x-ascending (y-descending) order, and sum the
+/// rectangles `(ref_x − x_i) × (y_{i−1} − y_i)` with `y_{−1} = ref_y`.
+/// Verified against a brute-force grid integration in
+/// `crates/core/tests/pareto.rs`.
+pub fn dominated_hypervolume(points: &[(f64, f64)], reference: (f64, f64)) -> f64 {
+    let (rx, ry) = reference;
+    let contributing: Vec<(f64, f64)> = points
+        .iter()
+        .copied()
+        .filter(|&(x, y)| x.is_finite() && y.is_finite() && x < rx && y < ry)
+        .collect();
+    let mut front: Vec<(f64, f64)> = pareto_front_indices(&contributing)
+        .into_iter()
+        .map(|i| contributing[i])
+        .collect();
+    front.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.total_cmp(&b.1)));
+    front.dedup();
+    let mut hv = 0.0;
+    let mut prev_y = ry;
+    for (x, y) in front {
+        // Along a 2D front sorted by ascending x, y strictly decreases
+        // (duplicates removed above), so each point owns the rectangle
+        // between its y and the previous point's y.
+        hv += (rx - x) * (prev_y - y);
+        prev_y = y;
+    }
+    hv
+}
+
 /// A campaign: the result table of a sweep.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub struct Campaign {
@@ -258,6 +300,25 @@ impl Campaign {
                 .then_with(|| a.config.label().cmp(&b.config.label()))
         });
         front
+    }
+
+    /// The dominated hypervolume of one application's rows in the
+    /// `(x_metric, y_metric)` plane against an explicit reference
+    /// point — the scalar front-quality indicator printed by the `dse`
+    /// end-of-run summary and maximised by `musa-search`. See
+    /// [`dominated_hypervolume`].
+    pub fn hypervolume(
+        &self,
+        app: AppId,
+        x_metric: RowMetric,
+        y_metric: RowMetric,
+        reference: (f64, f64),
+    ) -> f64 {
+        let points: Vec<(f64, f64)> = self
+            .for_app(app)
+            .map(|r| (x_metric.of(r), y_metric.of(r)))
+            .collect();
+        dominated_hypervolume(&points, reference)
     }
 
     /// Serialise to JSON.

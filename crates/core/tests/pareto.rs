@@ -5,7 +5,7 @@
 //! non-finite coordinates) and over a deterministic LCG sweep so the
 //! check survives environments where the proptest runner is stubbed.
 
-use musa_core::pareto_front_indices;
+use musa_core::{dominated_hypervolume, pareto_front_indices};
 
 /// Brute-force O(n²) reference: keep every point no other point
 /// dominates. Non-finite points are excluded on both sides of the
@@ -83,6 +83,111 @@ fn pareto_of_all_duplicates_keeps_everything() {
     assert_eq!(pareto_front_indices(&points), (0..9).collect::<Vec<_>>());
 }
 
+/// Brute-force O(n·grid) hypervolume reference: integrate the
+/// dominated region on a fine grid of cells over `[0, ref] × [0, ref]`
+/// and sum the area of cells whose centre is dominated by some point.
+/// Converges to the sweep's exact answer as the grid refines; the
+/// tests use integer-coordinate points so a grid aligned to half-unit
+/// cells is *exact*.
+fn brute_force_hypervolume(points: &[(f64, f64)], reference: (f64, f64), grid: usize) -> f64 {
+    let (rx, ry) = reference;
+    let (dx, dy) = (rx / grid as f64, ry / grid as f64);
+    let mut cells = 0usize;
+    for i in 0..grid {
+        let cx = (i as f64 + 0.5) * dx;
+        for j in 0..grid {
+            let cy = (j as f64 + 0.5) * dy;
+            let dominated = points.iter().any(|&(x, y)| {
+                x.is_finite() && y.is_finite() && x < rx && y < ry && x <= cx && y <= cy
+            });
+            if dominated {
+                cells += 1;
+            }
+        }
+    }
+    cells as f64 * dx * dy
+}
+
+#[test]
+fn hypervolume_single_point() {
+    // One point at (2, 3) against ref (10, 10): rectangle 8 × 7.
+    assert_eq!(dominated_hypervolume(&[(2.0, 3.0)], (10.0, 10.0)), 56.0);
+}
+
+#[test]
+fn hypervolume_empty_and_out_of_bounds() {
+    assert_eq!(dominated_hypervolume(&[], (10.0, 10.0)), 0.0);
+    // At or beyond the reference in either coordinate: no contribution.
+    let pts = [(10.0, 1.0), (1.0, 10.0), (11.0, 11.0), (f64::NAN, 1.0)];
+    assert_eq!(dominated_hypervolume(&pts, (10.0, 10.0)), 0.0);
+}
+
+#[test]
+fn hypervolume_dominated_points_add_nothing() {
+    let front = [(1.0, 5.0), (3.0, 2.0)];
+    let with_dominated = [(1.0, 5.0), (3.0, 2.0), (4.0, 6.0), (3.0, 2.0), (2.0, 5.0)];
+    assert_eq!(
+        dominated_hypervolume(&front, (10.0, 10.0)),
+        dominated_hypervolume(&with_dominated, (10.0, 10.0)),
+    );
+}
+
+#[test]
+fn hypervolume_two_point_staircase_by_hand() {
+    // (1, 5) and (3, 2) vs ref (10, 10):
+    //   (1,5): (10-1) × (10-5) = 45
+    //   (3,2): (10-3) × (5-2)  = 21
+    assert_eq!(
+        dominated_hypervolume(&[(1.0, 5.0), (3.0, 2.0)], (10.0, 10.0)),
+        66.0
+    );
+}
+
+#[test]
+fn hypervolume_monotone_in_points() {
+    // Adding a non-dominated point can only grow the hypervolume.
+    let mut pts: Vec<(f64, f64)> = vec![(6.0, 1.0)];
+    let mut last = dominated_hypervolume(&pts, (8.0, 8.0));
+    for p in [(4.0, 3.0), (2.0, 5.0), (1.0, 7.0)] {
+        pts.push(p);
+        let hv = dominated_hypervolume(&pts, (8.0, 8.0));
+        assert!(hv > last, "adding {p:?} must grow hv ({hv} vs {last})");
+        last = hv;
+    }
+}
+
+#[test]
+fn hypervolume_matches_brute_force_lcg_sweep() {
+    // Deterministic xorshift clouds on an integer grid: the half-unit
+    // aligned grid integration is exact there, so sweep == brute force
+    // to f64 round-off.
+    let mut state = 0x1234_5678_9abc_def0u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for case in 0..50 {
+        let n = (next() % 20) as usize;
+        let mut points = Vec::with_capacity(n);
+        for k in 0..n {
+            let mut x = (next() % 12) as f64;
+            let y = (next() % 12) as f64;
+            if case % 4 == 0 && k % 7 == 3 {
+                x = f64::NAN;
+            }
+            points.push((x, y));
+        }
+        let fast = dominated_hypervolume(&points, (10.0, 10.0));
+        let brute = brute_force_hypervolume(&points, (10.0, 10.0), 20);
+        assert!(
+            (fast - brute).abs() < 1e-9,
+            "hv sweep {fast} != brute force {brute} on {points:?}"
+        );
+    }
+}
+
 mod prop {
     use super::*;
     use proptest::prelude::*;
@@ -100,6 +205,20 @@ mod prop {
             let points: Vec<(f64, f64)> =
                 raw.iter().map(|&(x, y)| (x as f64, y as f64)).collect();
             check(&points);
+        }
+
+        /// Random integer clouds: the O(n log n) hypervolume sweep
+        /// equals the O(n·grid) cell integration (exact on half-unit
+        /// aligned grids).
+        #[test]
+        fn hypervolume_equals_brute_force(
+            raw in proptest::collection::vec((0u32..12, 0u32..12), 0..30),
+        ) {
+            let points: Vec<(f64, f64)> =
+                raw.iter().map(|&(x, y)| (x as f64, y as f64)).collect();
+            let fast = dominated_hypervolume(&points, (10.0, 10.0));
+            let brute = brute_force_hypervolume(&points, (10.0, 10.0), 20);
+            prop_assert!((fast - brute).abs() < 1e-9);
         }
 
         /// Scaling both coordinates by a positive factor never changes

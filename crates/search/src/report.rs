@@ -1,0 +1,224 @@
+//! The final search report (`--search-report FILE`): discovered front
+//! plus the hypervolume-vs-evaluations trajectory, as hand-rolled
+//! deterministic JSON.
+//!
+//! Every value in the report is a pure function of
+//! `(SearchConfig, simulator)` — floats go through
+//! [`musa_obs::json::fmt_f64`], front rows are sorted by a total
+//! order, and nothing wall-clock- or warmth-dependent is included —
+//! so two same-seed runs emit byte-identical reports (pinned by the
+//! reproducibility tests).
+
+use std::io::Write;
+use std::path::Path;
+
+use musa_obs::json::JsonObj;
+
+use crate::driver::SearchOutcome;
+
+/// Report schema version.
+pub const REPORT_SCHEMA: u64 = 1;
+
+/// One front row, resolved for the report.
+#[derive(Debug, Clone)]
+pub struct FrontRow {
+    /// Application label.
+    pub app: String,
+    /// Configuration label.
+    pub config: String,
+    /// Raw runtime, ns.
+    pub time_ns: f64,
+    /// Raw energy-to-solution, J.
+    pub energy_j: f64,
+    /// Runtime relative to the app's reference config.
+    pub time_rel: f64,
+    /// Energy relative to the app's reference config.
+    pub energy_rel: f64,
+}
+
+/// Resolve and deterministically order the front rows of an outcome:
+/// apps in selection order, then ascending (time_rel, energy_rel,
+/// config label).
+pub fn front_rows(outcome: &SearchOutcome) -> Vec<FrontRow> {
+    let ps = &outcome.ps;
+    let mut rows: Vec<(usize, FrontRow)> = outcome
+        .state
+        .front
+        .iter()
+        .map(|&p| {
+            let (app, cfg) = ps.decode(p);
+            let app_idx = (p / ps.space.len()) as usize;
+            let raw = outcome.raw[&p];
+            let norm = outcome.state.evaluated[&p];
+            (
+                app_idx,
+                FrontRow {
+                    app: app.label().to_string(),
+                    config: cfg.label(),
+                    time_ns: raw.0,
+                    energy_j: raw.1,
+                    time_rel: norm.0,
+                    energy_rel: norm.1,
+                },
+            )
+        })
+        .collect();
+    rows.sort_by(|(ai, a), (bi, b)| {
+        ai.cmp(bi)
+            .then_with(|| a.time_rel.total_cmp(&b.time_rel))
+            .then_with(|| a.energy_rel.total_cmp(&b.energy_rel))
+            .then_with(|| a.config.cmp(&b.config))
+    });
+    rows.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Render the full report document.
+pub fn render_report(outcome: &SearchOutcome) -> String {
+    let cfg = &outcome.config;
+    let trajectory: Vec<String> = outcome
+        .trajectory
+        .iter()
+        .map(|g| {
+            JsonObj::new()
+                .field_u64("gen", g.generation)
+                .field_f64("temp", g.temperature)
+                .field_u64("proposed", g.proposed)
+                .field_u64("evaluated", g.evaluated)
+                .field_u64("front", g.front)
+                .field_f64("hv", g.hypervolume)
+                .finish()
+        })
+        .collect();
+    let front: Vec<String> = front_rows(outcome)
+        .into_iter()
+        .map(|r| {
+            JsonObj::new()
+                .field_str("app", &r.app)
+                .field_str("config", &r.config)
+                .field_f64("time_ns", r.time_ns)
+                .field_f64("energy_j", r.energy_j)
+                .field_f64("time_rel", r.time_rel)
+                .field_f64("energy_rel", r.energy_rel)
+                .finish()
+        })
+        .collect();
+    let mut doc = JsonObj::new()
+        .field_u64("schema", REPORT_SCHEMA)
+        .field_str("strategy", &cfg.strategy)
+        .field_u64("seed", cfg.seed)
+        .field_str("space", cfg.space.label())
+        .field_str("apps", &cfg.apps_label())
+        .field_str("scale", &cfg.scale)
+        .field_u64("budget", cfg.budget)
+        .field_u64("batch", cfg.batch)
+        .field_f64("hv_ref", cfg.hv_ref)
+        .field_u64("total_points", outcome.ps.len())
+        .field_u64("evaluated", outcome.state.evaluated.len() as u64)
+        .field_bool("exhausted", outcome.exhausted)
+        .field_u64("generations", outcome.trajectory.len() as u64)
+        .field_u64("front_size", outcome.state.front.len() as u64)
+        .field_f64("hypervolume", outcome.state.hypervolume);
+    doc = doc.field_raw("trajectory", &format!("[{}]", trajectory.join(",")));
+    doc = doc.field_raw("front", &format!("[{}]", front.join(",")));
+    let mut s = doc.finish();
+    s.push('\n');
+    s
+}
+
+/// Write the report atomically (tmp + rename), so a crash mid-write
+/// never leaves a torn report behind.
+pub fn write_report(path: impl AsRef<Path>, outcome: &SearchOutcome) -> std::io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(render_report(outcome).as_bytes())?;
+        f.sync_data()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{run_search, MemEvaluator, SearchConfig};
+    use crate::space::SpaceId;
+    use musa_apps::{AppId, GenParams};
+    use musa_core::SweepOptions;
+
+    fn outcome() -> SearchOutcome {
+        let cfg = SearchConfig {
+            strategy: "anneal".into(),
+            seed: 42,
+            budget: 12,
+            batch: 4,
+            space: SpaceId::Paper,
+            apps: vec![AppId::ALL[0]],
+            hv_ref: 8.0,
+            scale: "tiny".into(),
+        };
+        let mut ev = MemEvaluator::new(SweepOptions {
+            gen: GenParams::tiny(),
+            full_replay: true,
+        });
+        run_search(&cfg, &mut ev, None, None).unwrap()
+    }
+
+    #[test]
+    fn report_is_deterministic_and_wellformed() {
+        let a = render_report(&outcome());
+        let b = render_report(&outcome());
+        assert_eq!(a, b, "same seed, same bytes");
+        // Parseable by the in-house JSON reader.
+        let doc = musa_obs::json::JsonValue::parse(a.trim()).expect("report parses");
+        let obj = doc.as_obj().unwrap();
+        assert_eq!(obj.get("schema").unwrap().as_u64(), Some(REPORT_SCHEMA));
+        assert_eq!(
+            obj.get("evaluated").unwrap().as_u64(),
+            Some(12),
+            "budget respected in report"
+        );
+        let front = obj.get("front").unwrap().as_arr().unwrap();
+        assert!(!front.is_empty());
+        let traj = obj.get("trajectory").unwrap().as_arr().unwrap();
+        assert!(!traj.is_empty());
+    }
+
+    #[test]
+    fn front_rows_are_sorted_and_on_reference_scale() {
+        let out = outcome();
+        let rows = front_rows(&out);
+        assert_eq!(rows.len(), out.state.front.len());
+        for w in rows.windows(2) {
+            assert!(
+                w[0].time_rel <= w[1].time_rel
+                    || w[0].app != w[1].app
+                    || w[0].time_rel == w[1].time_rel,
+                "rows ordered"
+            );
+        }
+        for r in &rows {
+            assert!(r.time_rel > 0.0 && r.time_rel.is_finite());
+            assert!(r.energy_rel > 0.0 && r.energy_rel.is_finite());
+        }
+    }
+
+    #[test]
+    fn write_report_is_atomic_and_replaces() {
+        let dir = std::env::temp_dir().join(format!("musa-search-report-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+        std::fs::write(&path, "old").unwrap();
+        let out = outcome();
+        write_report(&path, &out).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), render_report(&out));
+        assert!(!path.with_extension("tmp").exists(), "tmp cleaned up");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

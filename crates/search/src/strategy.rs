@@ -1,0 +1,495 @@
+//! Search strategies: how the next batch of candidate points is chosen.
+//!
+//! A strategy is a *pure decision procedure*: given the search state
+//! (what has been evaluated, with what normalized objectives, and what
+//! the current front is) and the seeded [`SearchRng`], it proposes the
+//! next batch of distinct, not-yet-evaluated point indices. Strategies
+//! hold no hidden state of their own beyond fixed parameters — every
+//! decision is a function of `(seed, results so far)` — which is what
+//! makes a killed search resumable by deterministic replay
+//! (see `crates/search/src/driver.rs`).
+//!
+//! Three strategies ship, mirroring the reference implementations in
+//! SNIPPETS.md:
+//!
+//! * [`RandomStrategy`] — seeded uniform sampling without replacement;
+//!   the unbiased baseline every adaptive method must beat.
+//! * [`StratifiedStrategy`] — Brainsmith-style balanced sampling:
+//!   every proposal picks, per axis, the least-used value so far
+//!   (seeded tie-breaks), spreading the budget evenly across the
+//!   marginals of the space instead of clumping.
+//! * [`AnnealStrategy`] — an rl-explorer-style simulated-annealing /
+//!   evolutionary loop: parents are drawn from the current Pareto
+//!   front, mutated along the mixed-radix axes with a
+//!   temperature-controlled step count, plus a temperature-controlled
+//!   fraction of random immigrants; scored by dominated hypervolume.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use crate::rng::SearchRng;
+use crate::space::PointSpace;
+
+/// Everything a strategy may condition on. Maintained by the driver;
+/// all values are deterministic functions of `(seed, simulator)`.
+#[derive(Debug, Clone, Default)]
+pub struct SearchState {
+    /// Evaluated points → normalized objectives
+    /// `(time / ref_time, energy / ref_energy)` of the point's app.
+    pub evaluated: BTreeMap<u64, (f64, f64)>,
+    /// Union of the per-app Pareto fronts, ascending point index.
+    pub front: Vec<u64>,
+    /// Sum of per-app dominated hypervolumes against
+    /// `(hv_ref, hv_ref)` in normalized coordinates.
+    pub hypervolume: f64,
+    /// Completed generations.
+    pub generation: u64,
+}
+
+/// A candidate-proposal policy.
+pub trait SearchStrategy {
+    /// The CLI name.
+    fn name(&self) -> &'static str;
+
+    /// Annealing temperature at the current state — journaled per
+    /// generation. Non-annealing strategies report 1.
+    fn temperature(&self, _state: &SearchState) -> f64 {
+        1.0
+    }
+
+    /// Propose up to `want` distinct point indices that are not in
+    /// `state.evaluated`. Fewer (or none) only when the space is
+    /// nearly (or fully) exhausted.
+    fn propose(
+        &mut self,
+        ps: &PointSpace,
+        state: &SearchState,
+        rng: &mut SearchRng,
+        want: usize,
+    ) -> Vec<u64>;
+}
+
+/// The strategy registry: `(name, summary)` rows for
+/// `dse search --list-strategies`, in presentation order.
+pub const STRATEGIES: [(&str, &str); 3] = [
+    (
+        "random",
+        "seeded uniform sampling without replacement (baseline)",
+    ),
+    (
+        "stratified",
+        "balanced marginals: per axis, pick the least-used value (Brainsmith-style)",
+    ),
+    (
+        "anneal",
+        "simulated annealing over the Pareto front, scored by dominated hypervolume",
+    ),
+];
+
+/// Instantiate a strategy by CLI name.
+pub fn strategy_by_name(name: &str) -> Option<Box<dyn SearchStrategy>> {
+    match name {
+        "random" => Some(Box::new(RandomStrategy)),
+        "stratified" => Some(Box::new(StratifiedStrategy)),
+        "anneal" => Some(Box::new(AnnealStrategy::default())),
+        _ => None,
+    }
+}
+
+/// Is `point` fresh: unevaluated and not already in this batch? If so,
+/// claim it.
+fn claim(point: u64, state: &SearchState, batch: &mut BTreeSet<u64>) -> bool {
+    !state.evaluated.contains_key(&point) && batch.insert(point)
+}
+
+/// Deterministic fallback when random draws keep colliding (space
+/// nearly exhausted): walk the index range from a seeded offset and
+/// claim the first fresh points. Guarantees forward progress until the
+/// space is fully evaluated.
+fn scan_fresh(
+    ps: &PointSpace,
+    state: &SearchState,
+    rng: &mut SearchRng,
+    batch: &mut BTreeSet<u64>,
+    out: &mut Vec<u64>,
+    want: usize,
+) {
+    let total = ps.len();
+    let start = rng.below(total);
+    let mut p = start;
+    loop {
+        if out.len() >= want {
+            break;
+        }
+        if claim(p, state, batch) {
+            out.push(p);
+        }
+        p = (p + 1) % total;
+        if p == start {
+            break;
+        }
+    }
+}
+
+/// Seeded uniform sampling without replacement.
+pub struct RandomStrategy;
+
+impl SearchStrategy for RandomStrategy {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn propose(
+        &mut self,
+        ps: &PointSpace,
+        state: &SearchState,
+        rng: &mut SearchRng,
+        want: usize,
+    ) -> Vec<u64> {
+        let total = ps.len();
+        let mut batch = BTreeSet::new();
+        let mut out = Vec::with_capacity(want);
+        let mut attempts = 0u64;
+        let max_attempts = want as u64 * 50 + 100;
+        while out.len() < want && attempts < max_attempts {
+            attempts += 1;
+            let p = rng.below(total);
+            if claim(p, state, &mut batch) {
+                out.push(p);
+            }
+        }
+        if out.len() < want {
+            scan_fresh(ps, state, rng, &mut batch, &mut out, want);
+        }
+        out
+    }
+}
+
+/// Brainsmith-style balanced sampling: spread the budget evenly over
+/// every axis's values.
+pub struct StratifiedStrategy;
+
+impl SearchStrategy for StratifiedStrategy {
+    fn name(&self) -> &'static str {
+        "stratified"
+    }
+
+    fn propose(
+        &mut self,
+        ps: &PointSpace,
+        state: &SearchState,
+        rng: &mut SearchRng,
+        want: usize,
+    ) -> Vec<u64> {
+        let radices = ps.point_radices();
+        // Per-axis usage counts over everything already selected —
+        // rebuilt from the state each call so replay needs no strategy
+        // memory.
+        let mut counts: Vec<Vec<u64>> = radices.iter().map(|&r| vec![0u64; r as usize]).collect();
+        for &p in state.evaluated.keys() {
+            let d = ps.point_digits(p);
+            for (axis, &digit) in d.iter().enumerate() {
+                counts[axis][digit as usize] += 1;
+            }
+        }
+        let mut batch = BTreeSet::new();
+        let mut out = Vec::with_capacity(want);
+        'slots: for _ in 0..want {
+            // Least-used value per axis, ties broken by a seeded
+            // rotation so equal counts don't always resolve to the
+            // lowest index.
+            let mut d = [0u64; 7];
+            for axis in 0..7 {
+                let r = radices[axis];
+                let rot = rng.below(r);
+                let mut best = rot;
+                for k in 0..r {
+                    let v = (rot + k) % r;
+                    if counts[axis][v as usize] < counts[axis][best as usize] {
+                        best = v;
+                    }
+                }
+                d[axis] = best;
+            }
+            // The balanced pick may collide with an evaluated point;
+            // jitter single axes until fresh.
+            let mut point = ps.from_point_digits(d);
+            let mut tries = 0;
+            while !claim(point, state, &mut batch) {
+                tries += 1;
+                if tries > 64 {
+                    // Dense neighbourhood: fall back to a scan for the
+                    // remaining slots and stop proposing.
+                    scan_fresh(ps, state, rng, &mut batch, &mut out, want);
+                    break 'slots;
+                }
+                let axis = rng.below(7) as usize;
+                d[axis] = rng.below(radices[axis]);
+                point = ps.from_point_digits(d);
+            }
+            if out.len() >= want {
+                break;
+            }
+            out.push(point);
+            let d = ps.point_digits(point);
+            for (axis, &digit) in d.iter().enumerate() {
+                counts[axis][digit as usize] += 1;
+            }
+        }
+        out
+    }
+}
+
+/// Simulated annealing over the Pareto archive.
+pub struct AnnealStrategy {
+    /// Initial temperature.
+    pub t0: f64,
+    /// Per-generation geometric decay.
+    pub decay: f64,
+    /// Temperature floor — keeps a trickle of exploration alive.
+    pub t_min: f64,
+}
+
+impl Default for AnnealStrategy {
+    fn default() -> Self {
+        AnnealStrategy {
+            t0: 1.0,
+            decay: 0.90,
+            t_min: 0.05,
+        }
+    }
+}
+
+impl AnnealStrategy {
+    fn temp_at(&self, generation: u64) -> f64 {
+        (self.t0 * self.decay.powi(generation as i32)).max(self.t_min)
+    }
+
+    /// Mutate a front member: step a temperature-scaled number of axes.
+    /// Steps are ±1 along the ordered axis (reflected at the ends) at
+    /// low temperature, uniform re-draws at high temperature.
+    fn mutate(&self, ps: &PointSpace, parent: u64, temp: f64, rng: &mut SearchRng) -> u64 {
+        let radices = ps.point_radices();
+        let mut d = ps.point_digits(parent);
+        let k = 1 + (temp * 2.0 * rng.next_f64()) as u64;
+        for _ in 0..k {
+            let axis = rng.below(7) as usize;
+            let r = radices[axis];
+            if r <= 1 {
+                continue;
+            }
+            if rng.next_f64() < temp {
+                // Hot: jump anywhere on this axis.
+                d[axis] = rng.below(r);
+            } else {
+                // Cold: neighbouring value, reflected at the ends.
+                let step_up = rng.below(2) == 1;
+                d[axis] = match (d[axis], step_up) {
+                    (0, false) => 1,
+                    (v, false) => v - 1,
+                    (v, true) if v + 1 >= r => r - 2,
+                    (v, true) => v + 1,
+                };
+            }
+        }
+        ps.from_point_digits(d)
+    }
+}
+
+impl SearchStrategy for AnnealStrategy {
+    fn name(&self) -> &'static str {
+        "anneal"
+    }
+
+    fn temperature(&self, state: &SearchState) -> f64 {
+        self.temp_at(state.generation)
+    }
+
+    fn propose(
+        &mut self,
+        ps: &PointSpace,
+        state: &SearchState,
+        rng: &mut SearchRng,
+        want: usize,
+    ) -> Vec<u64> {
+        if state.front.is_empty() {
+            // Cold start: no archive to exploit yet.
+            return RandomStrategy.propose(ps, state, rng, want);
+        }
+        let temp = self.temp_at(state.generation);
+        // A temperature-scaled slice of every batch stays random
+        // immigrants so the archive can never trap the search.
+        let immigrant_prob = (0.10 + 0.40 * temp).min(1.0);
+        let mut batch = BTreeSet::new();
+        let mut out = Vec::with_capacity(want);
+        let mut attempts = 0u64;
+        let max_attempts = want as u64 * 50 + 100;
+        while out.len() < want && attempts < max_attempts {
+            attempts += 1;
+            let p = if rng.next_f64() < immigrant_prob {
+                rng.below(ps.len())
+            } else {
+                let parent = *rng.choose(&state.front);
+                self.mutate(ps, parent, temp, rng)
+            };
+            if claim(p, state, &mut batch) {
+                out.push(p);
+            }
+        }
+        if out.len() < want {
+            scan_fresh(ps, state, rng, &mut batch, &mut out, want);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::{SearchSpace, SpaceId};
+    use musa_apps::AppId;
+
+    fn ps() -> PointSpace {
+        PointSpace::new(SearchSpace::new(SpaceId::Paper), &AppId::ALL)
+    }
+
+    fn proposals_ok(out: &[u64], ps: &PointSpace, state: &SearchState) {
+        let mut seen = BTreeSet::new();
+        for &p in out {
+            assert!(p < ps.len(), "index in range");
+            assert!(!state.evaluated.contains_key(&p), "fresh");
+            assert!(seen.insert(p), "distinct within batch");
+        }
+    }
+
+    #[test]
+    fn every_strategy_proposes_fresh_distinct_points() {
+        let ps = ps();
+        let mut state = SearchState::default();
+        // Pre-mark some points evaluated, including a front.
+        for p in [0u64, 1, 2, 100, 101, 500] {
+            state.evaluated.insert(p, (1.0, 1.0));
+        }
+        state.front = vec![100, 500];
+        for (name, _) in STRATEGIES {
+            let mut s = strategy_by_name(name).unwrap();
+            let mut rng = SearchRng::new(42);
+            let out = s.propose(&ps, &state, &mut rng, 16);
+            assert_eq!(out.len(), 16, "{name} fills the batch");
+            proposals_ok(&out, &ps, &state);
+        }
+    }
+
+    #[test]
+    fn strategies_are_seed_deterministic() {
+        let ps = ps();
+        let mut state = SearchState {
+            front: vec![7, 9],
+            ..Default::default()
+        };
+        state.evaluated.insert(7, (0.5, 0.9));
+        state.evaluated.insert(9, (0.9, 0.5));
+        for (name, _) in STRATEGIES {
+            let run = |seed: u64| {
+                let mut s = strategy_by_name(name).unwrap();
+                let mut rng = SearchRng::new(seed);
+                s.propose(&ps, &state, &mut rng, 32)
+            };
+            assert_eq!(run(1), run(1), "{name} same seed same batch");
+            assert_ne!(run(1), run(2), "{name} different seed different batch");
+        }
+    }
+
+    #[test]
+    fn exhausted_space_yields_partial_then_empty_batches() {
+        // A 2-app paper space has 1728 points; mark all but 3 evaluated.
+        let ps = PointSpace::new(
+            SearchSpace::new(SpaceId::Paper),
+            &[AppId::ALL[0], AppId::ALL[1]],
+        );
+        let mut state = SearchState::default();
+        for p in 0..ps.len() {
+            if p != 3 && p != 700 && p != 1700 {
+                state.evaluated.insert(p, (1.0, 1.0));
+            }
+        }
+        state.front = vec![0];
+        for (name, _) in STRATEGIES {
+            let mut s = strategy_by_name(name).unwrap();
+            let mut rng = SearchRng::new(5);
+            let out = s.propose(&ps, &state, &mut rng, 10);
+            let mut got = out.clone();
+            got.sort_unstable();
+            assert_eq!(got, vec![3, 700, 1700], "{name} finds the remnant");
+        }
+        // Fully exhausted: nothing to propose.
+        let mut full = state.clone();
+        for p in [3u64, 700, 1700] {
+            full.evaluated.insert(p, (1.0, 1.0));
+        }
+        for (name, _) in STRATEGIES {
+            let mut s = strategy_by_name(name).unwrap();
+            let mut rng = SearchRng::new(5);
+            assert!(s.propose(&ps, &full, &mut rng, 10).is_empty(), "{name}");
+        }
+    }
+
+    #[test]
+    fn stratified_balances_axis_marginals() {
+        let ps = ps();
+        let mut state = SearchState::default();
+        let mut s = StratifiedStrategy;
+        let mut rng = SearchRng::new(17);
+        // Select 240 points in batches, tracking app-axis usage.
+        for _ in 0..10 {
+            let out = s.propose(&ps, &state, &mut rng, 24);
+            for p in out {
+                state.evaluated.insert(p, (1.0, 1.0));
+            }
+        }
+        let mut app_counts = [0u64; 5];
+        for &p in state.evaluated.keys() {
+            app_counts[ps.point_digits(p)[0] as usize] += 1;
+        }
+        // 240 / 5 = 48 per app; balanced sampling should stay close.
+        for (i, &c) in app_counts.iter().enumerate() {
+            assert!(
+                (40..=56).contains(&c),
+                "app axis {i} unbalanced: {app_counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn anneal_cools_and_exploits_front() {
+        let s = AnnealStrategy::default();
+        let mut state = SearchState::default();
+        assert!((s.temperature(&state) - 1.0).abs() < 1e-12);
+        state.generation = 40;
+        assert!((s.temperature(&state) - s.t_min).abs() < 1e-12, "floors");
+
+        // At low temperature, most proposals are near front members:
+        // Hamming distance (in digits) from the nearest parent ≤ 2 for
+        // the bulk of the batch.
+        let ps = ps();
+        state.front = vec![1000, 2000];
+        state.evaluated.insert(1000, (0.5, 0.8));
+        state.evaluated.insert(2000, (0.8, 0.5));
+        let mut strat = AnnealStrategy::default();
+        let mut rng = SearchRng::new(3);
+        let out = strat.propose(&ps, &state, &mut rng, 32);
+        let dist = |a: u64, b: u64| {
+            let (da, db) = (ps.point_digits(a), ps.point_digits(b));
+            da.iter().zip(db.iter()).filter(|(x, y)| x != y).count()
+        };
+        let near = out
+            .iter()
+            .filter(|&&p| state.front.iter().any(|&f| dist(p, f) <= 2))
+            .count();
+        assert!(
+            near * 2 > out.len(),
+            "cold anneal should mostly mutate parents ({near}/{})",
+            out.len()
+        );
+    }
+}

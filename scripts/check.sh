@@ -44,6 +44,18 @@ echo "== build with profiling compiled out (obs + fault kept) =="
 # stays available either way.
 cargo build -p musa-bench --no-default-features --features obs,fault
 
+echo "== search without the store backend =="
+# The strategy/journal/driver layer must stand alone (MemEvaluator
+# path): no store, no pool, no obs.
+cargo build -p musa-search --no-default-features
+cargo test -q -p musa-search --no-default-features
+
+echo "== search e2e (CLI strictness, determinism, resume) =="
+# `dse search` through the real binary: strict flags, byte-identical
+# journals/reports across runs and worker counts, resume semantics.
+# Persistence drills skip where rows cannot persist.
+cargo test -q -p musa-bench --test search_e2e
+
 echo "== profiling e2e (report, trace export, row identity) =="
 # `dse profile` and `--trace-export` through the real binary, plus
 # byte-identity of rows with the recorder on/off (skips where rows
@@ -60,6 +72,13 @@ echo "== pool smoke (supervised --workers 2 vs sequential) =="
 # Byte-identity of the multi-process fill against a sequential run,
 # through the actual shipped binary. Skips where rows cannot persist.
 bash scripts/pool_smoke.sh
+
+echo "== search smoke (tiny-budget adaptive search, resume) =="
+# A budgeted `dse search` through the real binary: sealed journal,
+# parseable report, same-seed byte-identity, pure-replay --resume.
+# With CHAOS=1 adds a kill -9 + --resume leg. Skips where rows cannot
+# persist.
+bash scripts/search_smoke.sh
 
 echo "== zero-overhead bench (smoke) =="
 # Criterion in --test mode: one pass over the disabled/enabled metric
@@ -83,6 +102,11 @@ if [[ "${CHAOS:-0}" == "1" ]]; then
     # window; --resume must converge byte-identically, nothing torn may
     # verify, and gc must reclaim the stranded litter.
     CHAOS=1 cargo test -q -p musa-bench --test cache_e2e
+
+    echo "== chaos: kill -9 mid-search, then --resume (CHAOS=1) =="
+    # Murders a budgeted search between generations; --resume must
+    # finish it with a journal byte-identical to a never-killed run.
+    CHAOS=1 cargo test -q -p musa-bench --test search_e2e
 
     echo "== chaos: kill -9 with the flight recorder running (CHAOS=1) =="
     # Murdered workers leave staged profile files behind; the
