@@ -31,8 +31,8 @@ use std::path::{Path, PathBuf};
 
 use musa_apps::AppId;
 use musa_bench::cli::{
-    parse_dse_args, CacheArgs, CacheCmd, DseArgs, Parsed, ProfileArgs, SearchArgs, ServeArgs,
-    CACHE_USAGE, PROFILE_USAGE, SEARCH_USAGE, SERVE_USAGE, USAGE,
+    parse_dse_args, CacheArgs, CacheCmd, DistWorkerArgs, DseArgs, Parsed, ProfileArgs, SearchArgs,
+    ServeArgs, CACHE_USAGE, DIST_WORKER_USAGE, PROFILE_USAGE, SEARCH_USAGE, SERVE_USAGE, USAGE,
 };
 use musa_bench::{configs, gen_params, paper_scale, store_dir};
 use musa_cache::ArtifactCache;
@@ -112,6 +112,14 @@ fn main() {
         }
         Ok(Parsed::PoolWorker(cfg)) => {
             worker_main(cfg);
+        }
+        Ok(Parsed::DistWorker(args)) => {
+            dist_worker_main(args);
+        }
+        Ok(Parsed::DistWorkerHelp) => {
+            use std::io::Write;
+            let _ = writeln!(std::io::stdout(), "{DIST_WORKER_USAGE}");
+            std::process::exit(0);
         }
         Ok(Parsed::Run(args)) => args,
         Err(e) => {
@@ -340,11 +348,39 @@ fn pool_main(
         progress: args.progress,
         env,
     };
-    let report = musa_pool::run_pool(&exe, dir, &AppId::ALL, configs, opts, &pool_opts)
+    // `--listen ADDR`: open the distributed endpoint before the pool
+    // starts, so remote workers can join (and draw leases) from the
+    // first poll. Zero remotes is not an error — the local pool makes
+    // the same progress it would without the flag.
+    let mut hub = args.listen.as_deref().map(|addr| {
+        let sig = musa_bench::campaign_sweep_sig(&AppId::ALL, configs, opts);
+        let hub = musa_dist::DistHub::bind(
+            addr,
+            musa_dist::DistHubOptions {
+                sig,
+                store_dir: dir.to_path_buf(),
+                point_timeout: args.point_timeout,
+            },
+        )
         .unwrap_or_else(|e| {
-            eprintln!("dse: pool fill in {} failed: {e}", dir.display());
+            eprintln!("dse: cannot listen for dist-workers on {addr}: {e}");
             std::process::exit(1);
         });
+        eprintln!(
+            "[dse] listening for dist-workers on {} (connect with: dse dist-worker \
+             --connect {})",
+            hub.local_addr(),
+            hub.local_addr()
+        );
+        hub
+    });
+    let remote = hub.as_mut().map(|h| h as &mut dyn musa_pool::RemoteHub);
+    let report =
+        musa_pool::run_pool_with_remote(&exe, dir, &AppId::ALL, configs, opts, &pool_opts, remote)
+            .unwrap_or_else(|e| {
+                eprintln!("dse: pool fill in {} failed: {e}", dir.display());
+                std::process::exit(1);
+            });
     eprintln!(
         "[dse] pool {}: {} requested, {} cached, {} completed by {} workers \
          ({} rows flushed, {} requeues, {} worker deaths, {} deadline kills)",
@@ -492,6 +528,267 @@ fn worker_main(cfg: musa_pool::WorkerConfig) -> ! {
         Ok(WorkerStatus::Interrupted) => std::process::exit(EXIT_INTERRUPTED),
         Err(e) => {
             eprintln!("dse pool-worker (lease {}): {e}", cfg.lease);
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The campaign-specific [`musa_dist::PointRunner`]: simulates each
+/// leased point into a fresh per-lease staging store under the
+/// worker's own scratch directory, then ships the exact bytes that
+/// flush appended — which is what makes a distributed run's store
+/// byte-identical to a sequential one (the hub appends them verbatim).
+///
+/// The staging directory is wiped on every `begin_lease`: a requeued
+/// point (e.g. its first Point frame was garbled on the wire) must be
+/// re-simulated and re-shipped, never silently skipped as "already
+/// stored locally". Simulation is deterministic, so the re-shipped
+/// bytes are identical. The artifact cache lives *beside* the staging
+/// store and persists across leases, so reconnects and requeues reload
+/// traces instead of regenerating them.
+struct DistPointRunner {
+    scratch: PathBuf,
+    apps: Vec<AppId>,
+    configs: Vec<musa_arch::NodeConfig>,
+    sweep: SweepOptions,
+    max_retries: u32,
+    cache: Option<std::sync::Arc<ArtifactCache>>,
+    store: Option<CampaignStore>,
+    rows_path: PathBuf,
+    shipped: u64,
+    attempt: u32,
+    trace_memo: Option<(
+        AppId,
+        std::sync::Arc<musa_trace::AppTrace>,
+        Option<musa_cache::ArtifactKey>,
+    )>,
+}
+
+impl DistPointRunner {
+    fn trace_for(
+        &mut self,
+        app: AppId,
+    ) -> (
+        std::sync::Arc<musa_trace::AppTrace>,
+        Option<musa_cache::ArtifactKey>,
+    ) {
+        if let Some((memo_app, trace, key)) = &self.trace_memo {
+            if *memo_app == app {
+                return (std::sync::Arc::clone(trace), *key);
+            }
+        }
+        let (trace, key) = match &self.cache {
+            Some(cache) => {
+                let (trace, key) = cache.trace(app, &self.sweep.gen);
+                (trace, Some(key))
+            }
+            None => (
+                std::sync::Arc::new(musa_apps::generate(app, &self.sweep.gen)),
+                None,
+            ),
+        };
+        self.trace_memo = Some((app, std::sync::Arc::clone(&trace), key));
+        (trace, key)
+    }
+}
+
+fn panic_reason(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+impl musa_dist::PointRunner for DistPointRunner {
+    fn begin_lease(&mut self, _lease: u64, attempt: u32) -> std::io::Result<()> {
+        let staging = self.scratch.join("staging");
+        let _ = std::fs::remove_dir_all(&staging);
+        std::fs::create_dir_all(&staging)?;
+        self.rows_path = staging.join("rows.jsonl");
+        self.store = Some(CampaignStore::open_worker(&staging, "rows.jsonl")?);
+        self.shipped = 0;
+        self.attempt = attempt;
+        Ok(())
+    }
+
+    fn run_point(&mut self, idx: u64) -> std::io::Result<musa_dist::PointOutcome> {
+        let Some((app, config)) = musa_pool::point_at(idx, &self.apps, &self.configs) else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("point index {idx} out of range"),
+            ));
+        };
+        let (trace, trace_key) = self.trace_for(app);
+        let mut sim = musa_core::MultiscaleSim::new(&trace);
+        if let (Some(cache), Some(key)) = (&self.cache, trace_key) {
+            sim = sim.with_cache(std::sync::Arc::clone(cache), key);
+        }
+        let key_hex = musa_store::PointKey::for_point(app, &config, &self.sweep).to_hex();
+        let sweep = self.sweep;
+        musa_prof::point_begin();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let r = sim.simulate(config, sweep.full_replay);
+            musa_store::StoreRow::new(sweep.gen, sweep.full_replay, r)
+        }));
+        match outcome {
+            Ok(row) => {
+                let store = self
+                    .store
+                    .as_mut()
+                    .expect("begin_lease opened the staging store");
+                // One point per flush, exactly like a local pool
+                // worker: the durability (and shipping) unit is the
+                // point.
+                store.append_batch_retrying([row], self.max_retries)?;
+                musa_prof::point_finish(
+                    &key_hex,
+                    app.label(),
+                    &config.label(),
+                    false,
+                    self.attempt,
+                );
+                let bytes = std::fs::read(&self.rows_path)?;
+                let row_bytes = bytes[self.shipped as usize..].to_vec();
+                self.shipped = bytes.len() as u64;
+                Ok(musa_dist::PointOutcome {
+                    row_bytes,
+                    rows: 1,
+                    poisoned: None,
+                })
+            }
+            Err(payload) => {
+                musa_prof::point_finish(&key_hex, app.label(), &config.label(), true, self.attempt);
+                // Contained exactly like an in-worker panic in the
+                // local pool: the poison record rides the Point frame,
+                // no strike is charged, the lease keeps going.
+                Ok(musa_dist::PointOutcome {
+                    row_bytes: Vec::new(),
+                    rows: 0,
+                    poisoned: Some(musa_store::PoisonedPoint {
+                        app: app.label().to_string(),
+                        config: config.label(),
+                        key: key_hex,
+                        reason: panic_reason(payload),
+                    }),
+                })
+            }
+        }
+    }
+}
+
+/// `dse dist-worker --connect ADDR`: the remote side of a distributed
+/// campaign. Derives the sweep geometry from its own flags and
+/// environment (`--full`, `MUSA_TINY`, `MUSA_CONFIG_SLICE`), offers
+/// the resulting signature in the hello, and executes leases until
+/// drained, rejected, interrupted, or the reconnect window closes with
+/// the supervisor unreachable.
+fn dist_worker_main(args: DistWorkerArgs) -> ! {
+    if let Some(level) = args.log {
+        musa_obs::set_max_level(level);
+    }
+    if let Some(path) = &args.log_json {
+        if let Err(e) = musa_obs::set_json_path(path) {
+            eprintln!("dse: cannot open --log-json {}: {e}", path.display());
+            std::process::exit(2);
+        }
+    }
+    if let Some(plan) = &args.faults {
+        if !musa_fault::COMPILED {
+            eprintln!(
+                "dse: note: --faults given but fault injection is compiled out \
+                 (build with the 'fault' feature); nothing will fire"
+            );
+        }
+        musa_fault::set_plan(Some(plan.clone()));
+    }
+
+    let sweep = SweepOptions {
+        gen: gen_params(),
+        full_replay: true,
+    };
+    let apps = AppId::ALL.to_vec();
+    let configs = configs();
+    let sig = musa_bench::campaign_sweep_sig(&apps, &configs, &sweep);
+
+    // Scratch root: per-lease staging stores plus a persistent local
+    // artifact cache. Per-process so concurrent workers on one host
+    // never share an append target.
+    let scratch = std::env::temp_dir().join(format!("musa-dist-worker-{}", std::process::id()));
+    if let Err(e) = std::fs::create_dir_all(&scratch) {
+        eprintln!(
+            "dse dist-worker: cannot create scratch {}: {e}",
+            scratch.display()
+        );
+        std::process::exit(1);
+    }
+    let cache = if args.no_cache || !musa_cache::enabled_from_env() {
+        None
+    } else {
+        match ArtifactCache::open(&scratch) {
+            Ok(cache) => Some(cache),
+            Err(e) => {
+                eprintln!("[dse] artifact cache unavailable ({e}), computing uncached");
+                None
+            }
+        }
+    };
+    // Profiles stay local to the worker's scratch (they are diagnosis
+    // for *this* process; rows are what ship).
+    if !args.no_prof && musa_prof::enabled_from_env() {
+        if let Err(e) = musa_prof::install_store_recorder(&scratch) {
+            eprintln!("[dse] profiling unavailable ({e}), worker runs unprofiled");
+        }
+    }
+
+    let mut runner = DistPointRunner {
+        scratch: scratch.clone(),
+        apps,
+        configs,
+        sweep,
+        max_retries: args.max_retries,
+        cache,
+        store: None,
+        rows_path: scratch.join("staging/rows.jsonl"),
+        shipped: 0,
+        attempt: 0,
+        trace_memo: None,
+    };
+    let opts = musa_dist::DistWorkerOptions {
+        connect: args.connect.clone(),
+        sig,
+        tag: format!("w{}", std::process::id()),
+        reconnect_for: args
+            .reconnect_for
+            .unwrap_or(musa_dist::DEFAULT_RECONNECT_FOR),
+    };
+    let result = musa_dist::run_dist_worker(&opts, &mut runner);
+    if let Some(cache) = &runner.cache {
+        cache.persist_session("dist-worker");
+    }
+    musa_prof::uninstall_recorder();
+    match result {
+        Ok(exit) => {
+            match &exit {
+                musa_dist::WorkerExit::Drained => {
+                    eprintln!("[dse] dist-worker drained: the supervisor is done with us");
+                }
+                musa_dist::WorkerExit::Interrupted => {
+                    eprintln!("[dse] dist-worker interrupted, exiting after the shipped point");
+                }
+                musa_dist::WorkerExit::Rejected { code, reason } => {
+                    eprintln!("dse dist-worker: rejected by supervisor ({code}): {reason}");
+                }
+                musa_dist::WorkerExit::GaveUp(why) => {
+                    eprintln!("dse dist-worker: giving up: {why}");
+                }
+            }
+            std::process::exit(exit.code());
+        }
+        Err(e) => {
+            eprintln!("dse dist-worker: {e}");
             std::process::exit(1);
         }
     }
@@ -932,7 +1229,7 @@ fn cache_main(args: CacheArgs) -> ! {
             std::process::exit(if report.clean() { 0 } else { 1 });
         }
         CacheCmd::Gc => {
-            let report = musa_cache::gc(&dir, args.all).unwrap_or_else(|e| {
+            let report = musa_cache::gc(&dir, args.all, args.max_bytes).unwrap_or_else(|e| {
                 eprintln!("dse cache gc: {}: {e}", dir.display());
                 std::process::exit(1);
             });
@@ -944,6 +1241,13 @@ fn cache_main(args: CacheArgs) -> ! {
                 report.quarantine_removed,
                 musa_cache::human_bytes(report.bytes)
             );
+            if args.max_bytes.is_some() {
+                println!(
+                    "  evicted {} healthy artifact(s) ({}) to fit the --max-bytes budget",
+                    report.evicted,
+                    musa_cache::human_bytes(report.evicted_bytes)
+                );
+            }
             std::process::exit(0);
         }
     }

@@ -27,6 +27,10 @@ usage: dse [options]
        dse search [search-options]  adaptive Pareto-front search over a
                                    parameterized design space
                                    (see dse search --help)
+       dse dist-worker --connect ADDR   remote campaign worker: joins a
+                                   dse --listen supervisor and executes
+                                   leases over TCP
+                                   (see dse dist-worker --help)
   --resume           keep existing store rows, simulate only missing points
   --shard i/n        simulate only shard i of an n-way split (0-based)
   --store-dir DIR    campaign store directory (default target/musa-store-<scale>)
@@ -58,6 +62,10 @@ usage: dse [options]
   --poison-cap N     quarantine a point after it kills N workers instead of
                      retrying it forever (default 3)
   --lease-batch N    points per worker lease (default 16)
+  --listen ADDR      with --workers: also accept remote `dse dist-worker`
+                     processes on ADDR (host:port; port 0 picks one — the
+                     bound address is published in <store>/dist-status.json);
+                     remote leases extend the local pool, never replace it
   --faults SPEC      inject deterministic faults, e.g.
                      'seed=7,store.flush=io@0.02,sim.point=panic@0.001'
                      (actions: io, panic, delay:<n><us|ms|s>; needs the
@@ -110,6 +118,9 @@ pub struct DseArgs {
     pub poison_cap: u32,
     /// Points per worker lease.
     pub lease_batch: usize,
+    /// With `--workers`: also accept remote `dse dist-worker`
+    /// connections on this address.
+    pub listen: Option<String>,
     /// Stderr event level override; `Some(None)` is `--log off`.
     pub log: Option<Option<Level>>,
     /// JSONL event sink path.
@@ -138,6 +149,7 @@ impl Default for DseArgs {
             point_timeout: None,
             poison_cap: DEFAULT_POISON_CAP,
             lease_batch: DEFAULT_LEASE_BATCH,
+            listen: None,
             log: None,
             log_json: None,
         }
@@ -228,6 +240,8 @@ pub enum Parsed {
     Profile(ProfileArgs),
     /// Run an adaptive design-space search (`dse search ...`).
     Search(SearchArgs),
+    /// Run a remote campaign worker (`dse dist-worker ...`).
+    DistWorker(DistWorkerArgs),
     /// Print usage and exit 0.
     Help,
     /// Print serve usage and exit 0.
@@ -238,6 +252,8 @@ pub enum Parsed {
     ProfileHelp,
     /// Print search usage and exit 0.
     SearchHelp,
+    /// Print dist-worker usage and exit 0.
+    DistWorkerHelp,
     /// Print the strategy registry and exit 0
     /// (`dse search --list-strategies`).
     SearchStrategies,
@@ -283,6 +299,9 @@ pub fn parse_dse_args<S: AsRef<str>>(args: &[S]) -> Result<Parsed, String> {
     }
     if args.first().map(AsRef::as_ref) == Some("search") {
         return parse_search_args(&args[1..]);
+    }
+    if args.first().map(AsRef::as_ref) == Some("dist-worker") {
+        return parse_dist_worker_args(&args[1..]);
     }
     let mut out = DseArgs::default();
     let mut it = args.iter().map(AsRef::as_ref).peekable();
@@ -342,6 +361,7 @@ pub fn parse_dse_args<S: AsRef<str>>(args: &[S]) -> Result<Parsed, String> {
                     return Err("--lease-batch must be at least 1".into());
                 }
             }
+            "--listen" => out.listen = Some(required(&mut it, "--listen")?.to_string()),
             "--log-json" => out.log_json = Some(required(&mut it, "--log-json")?.into()),
             "--log" => {
                 let spec = required(&mut it, "--log")?;
@@ -373,6 +393,11 @@ pub fn parse_dse_args<S: AsRef<str>>(args: &[S]) -> Result<Parsed, String> {
         if out.poison_cap != DEFAULT_POISON_CAP {
             return Err("--poison-cap requires --workers".into());
         }
+        if out.listen.is_some() {
+            // Remote workers extend a pool; without one there is no
+            // lease loop to offer them anything.
+            return Err("--listen requires --workers".into());
+        }
     } else {
         if out.shard.is_some() {
             return Err("--workers and --shard are mutually exclusive \
@@ -403,6 +428,9 @@ options:
                      (default target/musa-store-<scale>)
   --all              gc only: remove *every* artifact and the session
                      ledger (full cache reset)
+  --max-bytes N      gc only: after the usual cleanup, evict healthy
+                     artifacts oldest-first (by mtime) until the cache
+                     fits in N bytes
   -h, --help         this help";
 
 /// Which `dse cache` command to run.
@@ -425,6 +453,9 @@ pub struct CacheArgs {
     pub store_dir: Option<PathBuf>,
     /// `gc --all`: full cache reset.
     pub all: bool,
+    /// `gc --max-bytes`: size budget; oldest artifacts evicted until
+    /// the cache fits.
+    pub max_bytes: Option<u64>,
 }
 
 /// Parse `dse cache` arguments (after the `cache` token).
@@ -445,6 +476,7 @@ fn parse_cache_args<S: AsRef<str>>(args: &[S]) -> Result<Parsed, String> {
         cmd,
         store_dir: None,
         all: false,
+        max_bytes: None,
     };
     while let Some(arg) = it.next() {
         match arg {
@@ -456,11 +488,137 @@ fn parse_cache_args<S: AsRef<str>>(args: &[S]) -> Result<Parsed, String> {
                 }
                 out.all = true;
             }
+            "--max-bytes" => {
+                if out.cmd != CacheCmd::Gc {
+                    return Err("--max-bytes only applies to dse cache gc".into());
+                }
+                out.max_bytes = Some(parse_number(
+                    "--max-bytes",
+                    required(&mut it, "--max-bytes")?,
+                )?);
+            }
             other if other.starts_with('-') => return Err(format!("unknown flag {other:?}")),
             other => return Err(format!("unexpected argument {other:?}")),
         }
     }
+    if out.all && out.max_bytes.is_some() {
+        return Err("--all and --max-bytes are mutually exclusive \
+                    (--all already removes every artifact)"
+            .into());
+    }
     Ok(Parsed::Cache(out))
+}
+
+/// `dse dist-worker` usage text.
+pub const DIST_WORKER_USAGE: &str = "\
+usage: dse dist-worker --connect ADDR [options]
+  remote campaign worker: connects to a `dse --workers N --listen ADDR`
+  supervisor, verifies the sweep signature, and executes leases over a
+  CRC-sealed framed TCP protocol. Finished points ship immediately, so
+  a killed worker loses at most its in-flight point; the connection
+  reconnects with jittered backoff and survives a supervisor restart
+  (`--resume`). The campaign geometry must match the supervisor's: run
+  with the same --full flag and MUSA_* environment.
+options:
+  --connect ADDR     supervisor address (host:port); required
+  --full             paper scale (256 ranks) — must match the supervisor
+  --no-cache         disable the intermediate-artifact cache
+  --no-prof          disable the per-point profiling flight recorder
+  --max-retries N    flush retries before a transient I/O error is fatal
+                     (default 2)
+  --reconnect-for D  give up after this long without a successful
+                     handshake, e.g. 30s, 5m (default 120s)
+  --faults SPEC      inject deterministic faults (same grammar as dse
+                     --faults; dist.* failpoints act on this worker's
+                     side of the wire)
+  --log LEVEL        stderr event level: error|warn|info|debug|trace|off
+  --log-json PATH    record every structured event to a JSONL file
+  -h, --help         this help";
+
+/// Parsed `dse dist-worker` arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistWorkerArgs {
+    /// Supervisor address.
+    pub connect: String,
+    /// Paper scale (must match the supervisor).
+    pub full: bool,
+    /// Disable the intermediate-artifact cache.
+    pub no_cache: bool,
+    /// Disable the per-point profiling flight recorder.
+    pub no_prof: bool,
+    /// Flush retry budget for transient I/O errors.
+    pub max_retries: u32,
+    /// Reconnect window override.
+    pub reconnect_for: Option<Duration>,
+    /// Parsed `--faults` plan.
+    pub faults: Option<FaultPlan>,
+    /// The raw `--faults` spec (verbatim, for provenance).
+    pub faults_spec: Option<String>,
+    /// Stderr event level override; `Some(None)` is `--log off`.
+    pub log: Option<Option<Level>>,
+    /// JSONL event sink path.
+    pub log_json: Option<PathBuf>,
+}
+
+/// Parse `dse dist-worker` arguments (after the `dist-worker` token).
+fn parse_dist_worker_args<S: AsRef<str>>(args: &[S]) -> Result<Parsed, String> {
+    let mut connect: Option<String> = None;
+    let mut out = DistWorkerArgs {
+        connect: String::new(),
+        full: false,
+        no_cache: false,
+        no_prof: false,
+        max_retries: DEFAULT_MAX_RETRIES,
+        reconnect_for: None,
+        faults: None,
+        faults_spec: None,
+        log: None,
+        log_json: None,
+    };
+    let mut it = args.iter().map(AsRef::as_ref).peekable();
+    while let Some(arg) = it.next() {
+        match arg {
+            "-h" | "--help" => return Ok(Parsed::DistWorkerHelp),
+            "--connect" => connect = Some(required(&mut it, "--connect")?.to_string()),
+            "--full" => out.full = true,
+            "--no-cache" => out.no_cache = true,
+            "--no-prof" => out.no_prof = true,
+            "--max-retries" => {
+                out.max_retries =
+                    parse_number("--max-retries", required(&mut it, "--max-retries")?)?;
+            }
+            "--reconnect-for" => {
+                let spec = required(&mut it, "--reconnect-for")?;
+                out.reconnect_for = Some(
+                    musa_fault::parse_duration(spec)
+                        .map_err(|e| format!("bad --reconnect-for: {e}"))?,
+                );
+            }
+            "--faults" => {
+                let spec = required(&mut it, "--faults")?;
+                out.faults =
+                    Some(FaultPlan::parse(spec).map_err(|e| format!("bad --faults: {e}"))?);
+                out.faults_spec = Some(spec.to_string());
+            }
+            "--log-json" => out.log_json = Some(required(&mut it, "--log-json")?.into()),
+            "--log" => {
+                let spec = required(&mut it, "--log")?;
+                let norm = spec.trim().to_ascii_lowercase();
+                out.log = Some(if norm == "off" || norm == "none" {
+                    None
+                } else {
+                    Some(
+                        Level::parse(spec)
+                            .ok_or_else(|| format!("bad --log level {spec:?} (see usage)"))?,
+                    )
+                });
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag {other:?}")),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    out.connect = connect.ok_or("dist-worker needs --connect ADDR")?;
+    Ok(Parsed::DistWorker(out))
 }
 
 /// `dse profile` usage text.
@@ -1021,6 +1179,7 @@ mod tests {
                 cmd: CacheCmd::Stats,
                 store_dir: None,
                 all: false,
+                max_bytes: None,
             }))
         );
         assert_eq!(
@@ -1029,6 +1188,7 @@ mod tests {
                 cmd: CacheCmd::Verify,
                 store_dir: Some("/tmp/campaign".into()),
                 all: false,
+                max_bytes: None,
             }))
         );
         assert_eq!(
@@ -1037,6 +1197,7 @@ mod tests {
                 cmd: CacheCmd::Gc,
                 store_dir: None,
                 all: true,
+                max_bytes: None,
             }))
         );
         assert_eq!(parse_dse_args(&["cache"]), Ok(Parsed::CacheHelp));
@@ -1059,6 +1220,107 @@ mod tests {
         assert!(parse_dse_args(&["cache", "verify", "--all"]).is_err());
         // Only recognised in first position, like serve.
         assert!(parse_dse_args(&["--resume", "cache"]).is_err());
+    }
+
+    #[test]
+    fn cache_gc_max_bytes_parses_and_is_gc_only() {
+        assert_eq!(
+            parse_dse_args(&["cache", "gc", "--max-bytes", "1048576"]),
+            Ok(Parsed::Cache(CacheArgs {
+                cmd: CacheCmd::Gc,
+                store_dir: None,
+                all: false,
+                max_bytes: Some(1048576),
+            }))
+        );
+        assert!(parse_dse_args(&["cache", "gc", "--max-bytes"]).is_err());
+        assert!(parse_dse_args(&["cache", "gc", "--max-bytes", "big"]).is_err());
+        assert!(parse_dse_args(&["cache", "stats", "--max-bytes", "1"]).is_err());
+        assert!(parse_dse_args(&["cache", "verify", "--max-bytes", "1"]).is_err());
+        // --all already deletes everything; a budget on top is a
+        // contradiction, not a no-op.
+        assert!(parse_dse_args(&["cache", "gc", "--all", "--max-bytes", "1"]).is_err());
+    }
+
+    #[test]
+    fn listen_flag_parses_and_requires_workers() {
+        let a = run(&["--workers", "2", "--listen", "127.0.0.1:0"]);
+        assert_eq!(a.listen.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(run(&["--workers", "2"]).listen, None);
+        assert!(parse_dse_args(&["--listen", "127.0.0.1:0"]).is_err());
+        assert!(parse_dse_args(&["--workers", "2", "--listen"]).is_err());
+    }
+
+    #[test]
+    fn dist_worker_subcommand_parses() {
+        let parsed = parse_dse_args(&["dist-worker", "--connect", "127.0.0.1:7777"]).unwrap();
+        match parsed {
+            Parsed::DistWorker(a) => {
+                assert_eq!(a.connect, "127.0.0.1:7777");
+                assert!(!a.full && !a.no_cache && !a.no_prof);
+                assert_eq!(a.max_retries, DEFAULT_MAX_RETRIES);
+                assert_eq!(a.reconnect_for, None);
+                assert_eq!(a.faults_spec, None);
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        let parsed = parse_dse_args(&[
+            "dist-worker",
+            "--connect",
+            "10.0.0.5:9000",
+            "--full",
+            "--no-cache",
+            "--no-prof",
+            "--max-retries",
+            "5",
+            "--reconnect-for",
+            "30s",
+            "--faults",
+            "seed=7,dist.frame.send=garble@0.05",
+            "--log",
+            "debug",
+        ])
+        .unwrap();
+        match parsed {
+            Parsed::DistWorker(a) => {
+                assert_eq!(a.connect, "10.0.0.5:9000");
+                assert!(a.full && a.no_cache && a.no_prof);
+                assert_eq!(a.max_retries, 5);
+                assert_eq!(a.reconnect_for, Some(Duration::from_secs(30)));
+                assert_eq!(
+                    a.faults_spec.as_deref(),
+                    Some("seed=7,dist.frame.send=garble@0.05")
+                );
+                assert_eq!(a.log, Some(Some(Level::Debug)));
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        assert_eq!(
+            parse_dse_args(&["dist-worker", "--help"]),
+            Ok(Parsed::DistWorkerHelp)
+        );
+        assert_eq!(
+            parse_dse_args(&["dist-worker", "-h"]),
+            Ok(Parsed::DistWorkerHelp)
+        );
+    }
+
+    #[test]
+    fn dist_worker_subcommand_is_strict() {
+        // --connect is mandatory: a worker with nowhere to go is a bug
+        // in the invocation, not an idle success.
+        assert!(parse_dse_args(&["dist-worker"]).is_err());
+        assert!(parse_dse_args(&["dist-worker", "--connect"]).is_err());
+        assert!(parse_dse_args(&["dist-worker", "--nope"]).is_err());
+        assert!(parse_dse_args(&["dist-worker", "stray"]).is_err());
+        assert!(parse_dse_args(&["dist-worker", "--connect", "x:1", "--reconnect-for"]).is_err());
+        assert!(
+            parse_dse_args(&["dist-worker", "--connect", "x:1", "--reconnect-for", "fast"])
+                .is_err()
+        );
+        assert!(parse_dse_args(&["dist-worker", "--connect", "x:1", "--faults", "bogus"]).is_err());
+        // Only recognised in first position, like the other subcommands.
+        assert!(parse_dse_args(&["--resume", "dist-worker"]).is_err());
     }
 
     #[test]

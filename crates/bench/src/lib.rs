@@ -106,6 +106,32 @@ pub fn pool_worker_env(
     env
 }
 
+/// Sweep signature for the distributed handshake: a `dse --listen`
+/// supervisor and every `dse dist-worker` compute this from their own
+/// environment-derived geometry, and the hub rejects (with a typed
+/// code) any worker whose signature differs — before a single
+/// wrong-scale row is simulated. The corner [`musa_store::PointKey`]s
+/// seal app, config, `GenParams`, replay mode and schema version, so
+/// any divergence in `--full` / `MUSA_FULL` / `MUSA_TINY` /
+/// `MUSA_CONFIG_SLICE` or a schema skew between binaries changes the
+/// signature. This is the network-transparent analogue of
+/// `musa_pool::verify_sweep_key`, covering both ends of the
+/// enumeration instead of one lease's first point.
+pub fn campaign_sweep_sig(apps: &[AppId], configs: &[NodeConfig], sweep: &SweepOptions) -> String {
+    use musa_store::PointKey;
+    let corner = |app: Option<&AppId>, config: Option<&NodeConfig>| match (app, config) {
+        (Some(&app), Some(config)) => PointKey::for_point(app, config, sweep).to_hex(),
+        _ => "empty".to_string(),
+    };
+    format!(
+        "v1:{}x{}:{}:{}",
+        apps.len(),
+        configs.len(),
+        corner(apps.first(), configs.first()),
+        corner(apps.last(), configs.last()),
+    )
+}
+
 /// The trace-scale label pinned into search journals: the journal
 /// refuses to resume at a different scale than it was recorded at, so
 /// this must track exactly what [`gen_params`] selects.
@@ -263,9 +289,34 @@ pub fn print_feature_figure(
 
 #[cfg(test)]
 mod tests {
-    use super::{parse_search_geometry, pool_worker_env, search_geometry_spec};
-    use musa_apps::AppId;
+    use super::{campaign_sweep_sig, parse_search_geometry, pool_worker_env, search_geometry_spec};
+    use musa_apps::{AppId, GenParams};
+    use musa_arch::DesignSpace;
+    use musa_core::SweepOptions;
     use musa_search::{SearchSpace, SpaceId};
+
+    #[test]
+    fn campaign_sweep_sig_pins_geometry_and_scale() {
+        let configs = DesignSpace::all();
+        let tiny = SweepOptions {
+            gen: GenParams::tiny(),
+            full_replay: true,
+        };
+        let small = SweepOptions {
+            gen: GenParams::small(),
+            full_replay: true,
+        };
+        let sig = campaign_sweep_sig(&AppId::ALL, &configs, &tiny);
+        assert!(sig.starts_with(&format!("v1:{}x{}:", AppId::ALL.len(), configs.len())));
+        // Deterministic for equal inputs, different across scales,
+        // config slices, and app sets.
+        assert_eq!(sig, campaign_sweep_sig(&AppId::ALL, &configs, &tiny));
+        assert_ne!(sig, campaign_sweep_sig(&AppId::ALL, &configs, &small));
+        assert_ne!(sig, campaign_sweep_sig(&AppId::ALL, &configs[..10], &tiny));
+        assert_ne!(sig, campaign_sweep_sig(&AppId::ALL[..2], &configs, &tiny));
+        // Empty geometry is representable, not a panic.
+        assert_eq!(campaign_sweep_sig(&[], &[], &tiny), "v1:0x0:empty:empty");
+    }
 
     #[test]
     fn search_geometry_roundtrips_in_batch_order() {

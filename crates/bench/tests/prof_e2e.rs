@@ -507,6 +507,62 @@ fn stale_staged_profiles_are_harvested_on_resume() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The full-disk drill: with every `prof.append` failing (injected
+/// I/O errors at the recorder's write), profile records drop and are
+/// counted — and absolutely nothing else changes. Rows land
+/// byte-identically, the run exits 0, and the drops are visible in
+/// the metrics dump as `prof.dropped`.
+#[test]
+fn full_disk_profile_appends_drop_but_rows_still_land() {
+    if !serde_json_works() || !musa_fault::COMPILED || !musa_prof::COMPILED {
+        eprintln!("skipping: needs runtime serde_json, fault and prof features");
+        return;
+    }
+    let reference = tmp_dir("disk-ref");
+    let out = dse(&reference, &[]);
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    let want = sorted_store_lines(&reference);
+    assert!(!want.is_empty());
+
+    let dir = tmp_dir("disk-full");
+    let metrics = dir.join("metrics.json");
+    let out = dse(
+        &dir,
+        &[
+            "--faults",
+            "prof.append=io@1.0",
+            "--metrics",
+            metrics.to_str().unwrap(),
+        ],
+    );
+    assert!(
+        out.status.success(),
+        "a full profile disk must never fail the campaign: {}",
+        stderr_of(&out)
+    );
+    assert_eq!(
+        sorted_store_lines(&dir),
+        want,
+        "dropped profiles must not perturb a single row byte"
+    );
+    let (records, _) = musa_prof::load_profiles(&dir).unwrap();
+    assert!(
+        records.is_empty(),
+        "every append failed, so no record may survive: {} did",
+        records.len()
+    );
+    let snap =
+        musa_obs::MetricsSnapshot::from_json(std::fs::read_to_string(&metrics).unwrap().trim())
+            .expect("metrics dump parses");
+    assert_eq!(
+        snap.counter("prof.dropped"),
+        want.len() as u64,
+        "every dropped record must be counted"
+    );
+    let _ = std::fs::remove_dir_all(&reference);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// CHAOS drill: SIGKILL a live worker mid-batch. The campaign must
 /// converge byte-identically (already proven in pool_e2e) *and* the
 /// profiling side must come out whole: staging merged, records

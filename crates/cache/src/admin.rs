@@ -174,12 +174,16 @@ pub fn verify(dir: &Path) -> io::Result<VerifyReport> {
 pub struct GcReport {
     /// Artifact files removed.
     pub removed: usize,
-    /// Bytes reclaimed (artifacts + litter + quarantine).
+    /// Bytes reclaimed (artifacts + litter + quarantine + evictions).
     pub bytes: u64,
     /// Stranded temp files removed.
     pub tmp_removed: usize,
     /// Quarantined files removed.
     pub quarantine_removed: usize,
+    /// Healthy artifacts evicted to fit a `--max-bytes` budget.
+    pub evicted: usize,
+    /// Bytes of those evictions (also included in `bytes`).
+    pub evicted_bytes: u64,
 }
 
 /// Reclaim space in `dir`.
@@ -188,8 +192,12 @@ pub struct GcReport {
 /// corrupt artifacts (with their quarantine evidence) — everything a
 /// current-schema run can never use again. With `all`, every artifact
 /// and the session ledger go too, leaving an empty directory (a cache
-/// reset; the next run recomputes from scratch).
-pub fn gc(dir: &Path, all: bool) -> io::Result<GcReport> {
+/// reset; the next run recomputes from scratch). With `max_bytes`,
+/// healthy artifacts are additionally evicted oldest-mtime-first
+/// (name-ordered on ties, so the pass is deterministic) until the
+/// survivors fit the budget — an eviction is only a cache miss, never
+/// a correctness event.
+pub fn gc(dir: &Path, all: bool, max_bytes: Option<u64>) -> io::Result<GcReport> {
     let mut report = GcReport::default();
     let inv = inventory(dir)?;
 
@@ -240,6 +248,29 @@ pub fn gc(dir: &Path, all: bool) -> io::Result<GcReport> {
     }
     if all {
         report.bytes += remove(dir.join(crate::cache::SESSIONS_FILE))?;
+    }
+    if let Some(budget) = max_bytes {
+        // Re-inventory: the passes above already removed litter and
+        // corruption, so what's left is healthy and current.
+        let mut survivors: Vec<(std::time::SystemTime, String, u64)> = Vec::new();
+        for e in inventory(dir)?.entries {
+            let mtime = std::fs::metadata(dir.join(&e.name))
+                .and_then(|m| m.modified())
+                .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+            survivors.push((mtime, e.name, e.bytes));
+        }
+        survivors.sort();
+        let mut total: u64 = survivors.iter().map(|(_, _, b)| b).sum();
+        for (_, name, bytes) in &survivors {
+            if total <= budget {
+                break;
+            }
+            let freed = remove(dir.join(name))?;
+            total = total.saturating_sub(*bytes);
+            report.bytes += freed;
+            report.evicted_bytes += freed;
+            report.evicted += 1;
+        }
     }
     Ok(report)
 }
@@ -371,7 +402,7 @@ mod tests {
         std::fs::write(dir.join("quarantine/old.art.1"), b"evidence").unwrap();
         std::fs::write(dir.join("quarantine/old.art.1.reason"), b"why").unwrap();
 
-        let report = gc(&dir, false).unwrap();
+        let report = gc(&dir, false, None).unwrap();
         assert_eq!(report.tmp_removed, 1);
         assert_eq!(report.removed, 1, "only the corrupt artifact");
         assert_eq!(report.quarantine_removed, 1);
@@ -392,7 +423,7 @@ mod tests {
             return; // typecheck-only serde stub in this build
         }
         let (store, dir) = populated("gcall");
-        let report = gc(&dir, true).unwrap();
+        let report = gc(&dir, true, None).unwrap();
         assert_eq!(report.removed, 3);
         let inv = inventory(&dir).unwrap();
         assert!(inv.entries.is_empty());
@@ -435,10 +466,56 @@ mod tests {
             verify(&dir).unwrap().count(|v| *v == VerifyVerdict::Stale),
             1
         );
-        let report = gc(&dir, false).unwrap();
+        let report = gc(&dir, false, None).unwrap();
         assert_eq!(report.removed, 1);
         assert!(!path.exists());
         assert_eq!(inventory(&dir).unwrap().entries.len(), 1);
+        let _ = std::fs::remove_dir_all(&store);
+    }
+
+    #[test]
+    fn gc_max_bytes_evicts_oldest_first_until_budget_fits() {
+        if !crate::serde_json_works() {
+            return; // typecheck-only serde stub in this build
+        }
+        let (store, dir) = populated("evict");
+        // Stamp distinct mtimes so eviction order is unambiguous: the
+        // trace is oldest, then the 32-rank burst, then the 64-rank.
+        let names: Vec<String> = inventory(&dir)
+            .unwrap()
+            .entries
+            .into_iter()
+            .map(|e| e.name)
+            .collect();
+        assert_eq!(names.len(), 3);
+        let mut ordered: Vec<(String, u64)> = Vec::new();
+        for (i, name) in names.iter().enumerate() {
+            let f = std::fs::File::options()
+                .write(true)
+                .open(dir.join(name))
+                .unwrap();
+            let when = std::time::SystemTime::UNIX_EPOCH
+                + std::time::Duration::from_secs(1_000_000 + i as u64 * 100);
+            f.set_modified(when).unwrap();
+            ordered.push((name.clone(), f.metadata().unwrap().len()));
+        }
+        let total: u64 = ordered.iter().map(|(_, b)| b).sum();
+        // Budget fits everything: nothing is evicted.
+        let report = gc(&dir, false, Some(total)).unwrap();
+        assert_eq!(report.evicted, 0);
+        assert_eq!(report.evicted_bytes, 0);
+        // Budget forces exactly the two oldest out.
+        let keep_newest = ordered[2].1;
+        let report = gc(&dir, false, Some(keep_newest)).unwrap();
+        assert_eq!(report.evicted, 2, "two oldest evicted");
+        assert_eq!(report.evicted_bytes, ordered[0].1 + ordered[1].1);
+        let left = inventory(&dir).unwrap();
+        assert_eq!(left.entries.len(), 1);
+        assert_eq!(left.entries[0].name, ordered[2].0, "newest survives");
+        // Budget zero clears the rest.
+        let report = gc(&dir, false, Some(0)).unwrap();
+        assert_eq!(report.evicted, 1);
+        assert!(inventory(&dir).unwrap().entries.is_empty());
         let _ = std::fs::remove_dir_all(&store);
     }
 }

@@ -1,0 +1,335 @@
+//! # musa-dist
+//!
+//! Fault-tolerant distributed campaign execution: remote workers
+//! connect to the pool supervisor over a hand-rolled, length-prefixed,
+//! CRC-32-sealed framed TCP protocol, and `dse --listen ADDR
+//! --workers N` plus any number of `dse dist-worker --connect ADDR`
+//! processes execute one campaign cooperatively.
+//!
+//! The design extends `musa-pool` rather than replacing it: the
+//! supervisor's lease queue, journal, strike/poison/requeue machinery
+//! and drain semantics are all shared. `musa-dist` contributes exactly
+//! three things:
+//!
+//! * [`codec`] — the wire format. One frame is a JSON header line plus
+//!   an opaque body, length-prefixed and CRC-sealed; decoding never
+//!   panics and never trusts the wire (typed errors, hard size cap).
+//!   Campaign rows travel in frame bodies as the exact bytes a
+//!   worker's staging store flushed, which is what makes distributed
+//!   runs byte-identical to sequential ones.
+//! * [`hub`] — [`DistHub`], the supervisor-side
+//!   [`musa_pool::RemoteHub`]: a nonblocking TCP endpoint polled from
+//!   the lease loop, appending shipped rows durably as they arrive and
+//!   converting every connection failure (EOF, CRC mismatch, liveness
+//!   timeout) into a lease-death event the pool already knows how to
+//!   handle.
+//! * [`worker`] — [`run_dist_worker`], the remote side: handshake with
+//!   sweep-signature verification, lease execution through a
+//!   campaign-provided [`PointRunner`], heartbeats over the wire, and
+//!   seeded-jittered reconnect that survives a supervisor `kill -9` +
+//!   `--resume`.
+//!
+//! Network chaos is first-class: the `dist.accept`, `dist.frame.send`
+//! and `dist.frame.recv` failpoints (see `musa-fault`) inject dropped
+//! accepts, I/O errors, delays and single-bit garbles, and the smoke
+//! suite asserts byte-identity of the resulting store under all of it.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod hub;
+pub mod worker;
+
+pub use codec::{Frame, FrameBuf, FrameError, Msg, MAX_FRAME, PROTOCOL_VERSION};
+pub use hub::{DistHub, DistHubOptions, STATUS_FILE};
+pub use worker::{
+    run_dist_worker, DistWorkerOptions, PointOutcome, PointRunner, WorkerExit,
+    DEFAULT_RECONNECT_FOR,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use musa_pool::{RemoteEvent, RemoteHub, RemoteLease};
+    use musa_store::PoisonedPoint;
+    use std::time::{Duration, Instant};
+
+    fn hub_in(dir: &std::path::Path, sig: &str) -> DistHub {
+        DistHub::bind(
+            "127.0.0.1:0",
+            DistHubOptions {
+                sig: sig.to_string(),
+                store_dir: dir.to_path_buf(),
+                point_timeout: Some(Duration::from_secs(5)),
+            },
+        )
+        .expect("bind loopback")
+    }
+
+    fn worker_opts(hub: &DistHub, sig: &str, tag: &str) -> DistWorkerOptions {
+        DistWorkerOptions {
+            connect: hub.local_addr().to_string(),
+            sig: sig.to_string(),
+            tag: tag.to_string(),
+            reconnect_for: Duration::from_secs(5),
+        }
+    }
+
+    /// Poll the hub until `stop` says so or the deadline passes,
+    /// collecting events.
+    fn drive(
+        hub: &mut DistHub,
+        events: &mut Vec<RemoteEvent>,
+        deadline: Instant,
+        mut stop: impl FnMut(&DistHub, &[RemoteEvent]) -> bool,
+    ) {
+        loop {
+            events.extend(hub.poll().expect("poll"));
+            if stop(hub, events) || Instant::now() > deadline {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    struct ScriptedRunner {
+        rows_for: fn(u64) -> PointOutcome,
+    }
+
+    impl PointRunner for ScriptedRunner {
+        fn begin_lease(&mut self, _lease: u64, _attempt: u32) -> std::io::Result<()> {
+            Ok(())
+        }
+        fn run_point(&mut self, idx: u64) -> std::io::Result<PointOutcome> {
+            Ok((self.rows_for)(idx))
+        }
+    }
+
+    fn plain_row(idx: u64) -> PointOutcome {
+        PointOutcome {
+            row_bytes: format!("{{\"point\":{idx}}}\n").into_bytes(),
+            rows: 1,
+            poisoned: None,
+        }
+    }
+
+    #[test]
+    fn lease_roundtrip_ships_rows_and_completes() {
+        let dir = tempdir("dist-roundtrip");
+        let mut hub = hub_in(&dir, "sig-a");
+        let opts = worker_opts(&hub, "sig-a", "w1");
+        let worker = std::thread::spawn(move || {
+            let mut runner = ScriptedRunner {
+                rows_for: plain_row,
+            };
+            run_dist_worker(&opts, &mut runner)
+        });
+
+        let mut events = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        drive(&mut hub, &mut events, deadline, |h, _| h.idle() > 0);
+        assert_eq!(hub.connected(), 1, "worker should have joined");
+
+        let peer = hub
+            .offer(&RemoteLease {
+                id: 1,
+                attempt: 0,
+                points: vec![3, 4, 7],
+                max_retries: 2,
+            })
+            .expect("idle worker takes the lease");
+        assert!(!peer.is_empty());
+
+        drive(&mut hub, &mut events, deadline, |_, evs| !evs.is_empty());
+        match &events[..] {
+            [RemoteEvent::LeaseDone {
+                lease: 1,
+                attempt: 0,
+                rows: 3,
+                poisoned,
+            }] => {
+                assert!(poisoned.is_empty());
+            }
+            other => panic!("expected one LeaseDone, got {other:?}"),
+        }
+        let shipped = std::fs::read_to_string(dir.join("dist-l0001-a0.jsonl")).expect("rows file");
+        assert_eq!(shipped, "{\"point\":3}\n{\"point\":4}\n{\"point\":7}\n");
+
+        // Drain: the idle worker must exit cleanly.
+        hub.drain();
+        drive(&mut hub, &mut events, deadline, |h, _| h.connected() == 0);
+        hub.shutdown();
+        let exit = worker.join().expect("worker thread").expect("worker io");
+        assert_eq!(exit, WorkerExit::Drained);
+        let status = std::fs::read_to_string(dir.join(STATUS_FILE)).expect("status beacon");
+        assert!(status.contains("\"draining\":true"), "status: {status}");
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn poisoned_points_travel_in_the_point_frame() {
+        let dir = tempdir("dist-poison");
+        let mut hub = hub_in(&dir, "sig-p");
+        let opts = worker_opts(&hub, "sig-p", "w1");
+        let worker = std::thread::spawn(move || {
+            let mut runner = ScriptedRunner {
+                rows_for: |idx| {
+                    if idx == 4 {
+                        PointOutcome {
+                            row_bytes: Vec::new(),
+                            rows: 0,
+                            poisoned: Some(PoisonedPoint {
+                                app: "hydro".into(),
+                                config: "cfg4".into(),
+                                key: "k4".into(),
+                                reason: "panicked: boom".into(),
+                            }),
+                        }
+                    } else {
+                        plain_row(idx)
+                    }
+                },
+            };
+            run_dist_worker(&opts, &mut runner)
+        });
+
+        let mut events = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        drive(&mut hub, &mut events, deadline, |h, _| h.idle() > 0);
+        hub.offer(&RemoteLease {
+            id: 2,
+            attempt: 1,
+            points: vec![4, 5],
+            max_retries: 2,
+        })
+        .expect("offer");
+        drive(&mut hub, &mut events, deadline, |_, evs| !evs.is_empty());
+        match &events[..] {
+            [RemoteEvent::LeaseDone {
+                lease: 2,
+                attempt: 1,
+                rows: 1,
+                poisoned,
+            }] => {
+                assert_eq!(poisoned.len(), 1);
+                assert_eq!(poisoned[0].key, "k4");
+                assert_eq!(poisoned[0].reason, "panicked: boom");
+            }
+            other => panic!("expected one LeaseDone, got {other:?}"),
+        }
+        hub.drain();
+        drive(&mut hub, &mut events, deadline, |h, _| h.connected() == 0);
+        hub.shutdown();
+        assert_eq!(worker.join().unwrap().unwrap(), WorkerExit::Drained);
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn signature_mismatch_is_rejected_with_a_typed_code() {
+        let dir = tempdir("dist-sigreject");
+        let mut hub = hub_in(&dir, "sig-ours");
+        let opts = worker_opts(&hub, "sig-theirs", "w1");
+        let worker = std::thread::spawn(move || {
+            let mut runner = ScriptedRunner {
+                rows_for: plain_row,
+            };
+            run_dist_worker(&opts, &mut runner)
+        });
+        let mut events = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        // The worker returns as soon as the reject lands; keep polling
+        // the hub so the reject frame actually flushes.
+        while !worker.is_finished() && Instant::now() < deadline {
+            events.extend(hub.poll().expect("poll"));
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let exit = worker.join().expect("thread").expect("io");
+        match &exit {
+            WorkerExit::Rejected { code, reason } => {
+                assert_eq!(code, codec::REJECT_SIG);
+                assert!(reason.contains("signature"), "reason: {reason}");
+            }
+            other => panic!("expected Rejected, got {other:?}"),
+        }
+        assert_eq!(
+            exit.code(),
+            4,
+            "sig mismatch maps to the geometry-mismatch exit"
+        );
+        assert!(events.is_empty());
+        hub.shutdown();
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn connection_death_mid_lease_surfaces_progress_and_blame() {
+        let dir = tempdir("dist-death");
+        let mut hub = hub_in(&dir, "sig-d");
+        let opts = worker_opts(&hub, "sig-d", "w1");
+        // A runner that ships one point, then kills its own process'
+        // connection by returning an error (tears the stream down).
+        struct DieAfterOne {
+            ran: u64,
+        }
+        impl PointRunner for DieAfterOne {
+            fn begin_lease(&mut self, _l: u64, _a: u32) -> std::io::Result<()> {
+                Ok(())
+            }
+            fn run_point(&mut self, idx: u64) -> std::io::Result<PointOutcome> {
+                self.ran += 1;
+                if self.ran > 1 {
+                    Err(std::io::Error::other("worker exploded"))
+                } else {
+                    Ok(plain_row(idx))
+                }
+            }
+        }
+        let worker = std::thread::spawn(move || {
+            let mut runner = DieAfterOne { ran: 0 };
+            run_dist_worker(&opts, &mut runner)
+        });
+        let mut events = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        drive(&mut hub, &mut events, deadline, |h, _| h.idle() > 0);
+        hub.offer(&RemoteLease {
+            id: 3,
+            attempt: 0,
+            points: vec![10, 11, 12],
+            max_retries: 2,
+        })
+        .expect("offer");
+        drive(&mut hub, &mut events, deadline, |_, evs| !evs.is_empty());
+        match &events[..] {
+            [RemoteEvent::LeaseDead {
+                lease: 3,
+                done: 1,
+                blamed,
+                rows: 1,
+                ..
+            }] => {
+                // The heartbeat named point 11 before the runner blew up.
+                assert_eq!(*blamed, Some(11));
+            }
+            other => panic!("expected one LeaseDead, got {other:?}"),
+        }
+        // The one shipped row is durable despite the death.
+        let shipped = std::fs::read_to_string(dir.join("dist-l0003-a0.jsonl")).expect("rows file");
+        assert_eq!(shipped, "{\"point\":10}\n");
+        hub.shutdown();
+        // The worker's runner error is local and unrecoverable: it
+        // propagates out of run_dist_worker as Err.
+        assert!(worker.join().expect("thread").is_err());
+        cleanup(&dir);
+    }
+
+    fn tempdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("musa-dist-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create tempdir");
+        dir
+    }
+
+    fn cleanup(dir: &std::path::Path) {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,527 @@
+//! The remote campaign worker: connect, handshake, execute leases,
+//! survive the network.
+//!
+//! The loop is deliberately pessimistic about the wire and optimistic
+//! about the work: any connection trouble — refused connect, EOF, a
+//! frame that fails its CRC seal, an unresponsive supervisor — tears
+//! the connection down and retries with seeded-jittered exponential
+//! backoff ([`musa_fault::jittered_backoff`]) until the reconnect
+//! window closes. Progress is never lost to a reconnect: every
+//! finished point was already shipped (and made durable by the hub)
+//! in its own frame, so a re-granted lease resumes exactly after the
+//! last persisted row.
+//!
+//! ## Failure model (worker side)
+//!
+//! | observation                          | reaction                      |
+//! |--------------------------------------|-------------------------------|
+//! | connect refused / EOF / I/O error    | reconnect with backoff        |
+//! | frame CRC / length / header error    | drop connection, reconnect    |
+//! | no frame while idle > 15 s           | drop connection, reconnect    |
+//! | `reject` frame                       | exit — retrying cannot help   |
+//! | `drain` frame                        | finish in-flight point, ship  |
+//! |                                      | partial result, exit cleanly  |
+//! | SIGINT/SIGTERM                       | same as drain, exit 130       |
+//! | reconnect window exhausted           | give up with an error         |
+//!
+//! The reconnect window restarts on every successful handshake, so a
+//! supervisor that is merely being restarted (`kill -9` + `--resume`)
+//! keeps its workers as long as it comes back within the window.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use musa_store::PoisonedPoint;
+
+use crate::codec::{encode, Frame, FrameBuf, Msg, PROTOCOL_VERSION, REJECT_SIG};
+
+/// How long a worker keeps retrying to (re)connect without one
+/// successful handshake before giving up.
+pub const DEFAULT_RECONNECT_FOR: Duration = Duration::from_secs(120);
+
+/// Idle liveness: the worker pings about once a second; a supervisor
+/// silent this long is presumed gone.
+const IDLE_SILENCE: Duration = Duration::from_secs(15);
+
+/// Handshake deadline: a supervisor that accepts but never answers the
+/// hello is treated as dead.
+const HELLO_DEADLINE: Duration = Duration::from_secs(10);
+
+/// Worker configuration.
+#[derive(Debug, Clone)]
+pub struct DistWorkerOptions {
+    /// Supervisor address (`host:port`).
+    pub connect: String,
+    /// Campaign sweep signature derived from this worker's
+    /// environment; the supervisor rejects a mismatch.
+    pub sig: String,
+    /// Worker tag for provenance (host/pid), also the salt for the
+    /// backoff jitter and the wire failpoint keys.
+    pub tag: String,
+    /// Reconnect window (see [`DEFAULT_RECONNECT_FOR`]).
+    pub reconnect_for: Duration,
+}
+
+/// What one executed point produced.
+pub struct PointOutcome {
+    /// The exact bytes the worker's staging store flushed for this
+    /// point — shipped verbatim, appended verbatim, so distributed
+    /// rows are byte-identical to sequential ones by construction.
+    pub row_bytes: Vec<u8>,
+    /// Rows in `row_bytes`.
+    pub rows: u64,
+    /// The poison record when the point panicked (caught in the
+    /// worker; the supervisor quarantines on repeat offense).
+    pub poisoned: Option<PoisonedPoint>,
+}
+
+/// The campaign-specific execution half the binary plugs in; the
+/// worker loop owns the protocol half.
+pub trait PointRunner {
+    /// A lease was granted: set up fresh staging (a reused staging
+    /// store would content-dedup a re-granted point's bytes away).
+    fn begin_lease(&mut self, lease: u64, attempt: u32) -> std::io::Result<()>;
+    /// Execute one global point index. Panics must be caught inside
+    /// and returned as a poisoned [`PointOutcome`].
+    fn run_point(&mut self, idx: u64) -> std::io::Result<PointOutcome>;
+}
+
+/// How the worker ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkerExit {
+    /// The supervisor drained us (campaign finished or sup shutting
+    /// down); exit 0.
+    Drained,
+    /// SIGINT/SIGTERM: partial results shipped; exit 130 by
+    /// convention.
+    Interrupted,
+    /// The supervisor refused the handshake; `code` is
+    /// [`crate::codec::REJECT_SIG`] or [`crate::codec::REJECT_VERSION`].
+    Rejected {
+        /// Machine-readable cause.
+        code: String,
+        /// Human-readable detail.
+        reason: String,
+    },
+    /// The reconnect window closed without a successful handshake.
+    GaveUp(String),
+}
+
+impl WorkerExit {
+    /// The process exit code this outcome maps to, matching the local
+    /// pool's conventions (4 = geometry mismatch, 130 = interrupted).
+    pub fn code(&self) -> i32 {
+        match self {
+            WorkerExit::Drained => 0,
+            WorkerExit::Interrupted => 130,
+            WorkerExit::Rejected { code, .. } if code == REJECT_SIG => 4,
+            WorkerExit::Rejected { .. } => 1,
+            WorkerExit::GaveUp(_) => 1,
+        }
+    }
+}
+
+enum ServeEnd {
+    Drained,
+    Interrupted,
+    Rejected { code: String, reason: String },
+}
+
+/// Connection trouble reconnects; local trouble (the [`PointRunner`]
+/// failing) aborts the worker — retrying cannot repair a broken
+/// staging directory, and looping on it would just churn leases.
+enum ServeErr {
+    Conn(std::io::Error),
+    Fatal(std::io::Error),
+}
+
+enum LeaseEnd {
+    Done,
+    Draining,
+    Interrupted,
+}
+
+struct Wire {
+    stream: TcpStream,
+    inbuf: FrameBuf,
+    send_seq: u64,
+    recv_seq: u64,
+    key_prefix: String,
+}
+
+impl Wire {
+    /// Encode, pass through the `dist.frame.send` failpoint (garble
+    /// flips a bit *after* the CRC seal so the hub detects it), send.
+    fn send(&mut self, msg: &Msg, body: &[u8]) -> std::io::Result<()> {
+        let mut bytes = encode(msg, body);
+        let key = musa_store::fnv1a_64(format!("{}:{}", self.key_prefix, self.send_seq).as_bytes());
+        self.send_seq += 1;
+        musa_fault::fail_wire("dist.frame.send", key, &mut bytes)?;
+        musa_obs::counter_add("dist.frames_sent", 1);
+        self.stream.write_all(&bytes)
+    }
+
+    /// Pull at most one frame, waiting up to `wait` for bytes.
+    /// `Ok(None)` means nothing arrived in time. Frame decode errors
+    /// come back as I/O errors: the connection is unusable.
+    fn recv(&mut self, wait: Duration) -> std::io::Result<Option<Frame>> {
+        if let Some(frame) = self.next_frame()? {
+            return Ok(Some(frame));
+        }
+        self.stream
+            .set_read_timeout(Some(wait.max(Duration::from_millis(1))))?;
+        let mut scratch = [0u8; 64 * 1024];
+        match self.stream.read(&mut scratch) {
+            Ok(0) => Err(std::io::Error::new(
+                ErrorKind::UnexpectedEof,
+                "supervisor closed the connection",
+            )),
+            Ok(n) => {
+                let chunk = &mut scratch[..n];
+                let key = musa_store::fnv1a_64(
+                    format!("{}:r{}", self.key_prefix, self.recv_seq).as_bytes(),
+                );
+                self.recv_seq += 1;
+                musa_fault::fail_wire("dist.frame.recv", key, chunk)?;
+                self.inbuf.extend(chunk);
+                self.next_frame()
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn next_frame(&mut self) -> std::io::Result<Option<Frame>> {
+        match self.inbuf.next_frame() {
+            Ok(f) => {
+                if f.is_some() {
+                    musa_obs::counter_add("dist.frames_recv", 1);
+                }
+                Ok(f)
+            }
+            Err(e) => {
+                musa_obs::counter_add("dist.frame_errors", 1);
+                Err(std::io::Error::other(format!("frame error: {e}")))
+            }
+        }
+    }
+}
+
+/// Run the remote worker until the campaign drains, a signal arrives,
+/// the supervisor rejects us, or the reconnect window closes.
+///
+/// Returns the exit disposition; I/O errors inside a connection never
+/// escape (they trigger reconnect), so the `Err` path is reserved for
+/// local, unrecoverable trouble raised by the [`PointRunner`].
+pub fn run_dist_worker(
+    opts: &DistWorkerOptions,
+    runner: &mut dyn PointRunner,
+) -> std::io::Result<WorkerExit> {
+    musa_pool::signals::install_term_handlers();
+    let salt = musa_store::fnv1a_64(opts.tag.as_bytes());
+    let mut conn_attempt: u32 = 0;
+    let mut window_ends = Instant::now() + opts.reconnect_for;
+    loop {
+        if musa_pool::signals::termination_requested() {
+            return Ok(WorkerExit::Interrupted);
+        }
+        match serve_connection(opts, runner, conn_attempt, &mut window_ends) {
+            Ok(ServeEnd::Drained) => return Ok(WorkerExit::Drained),
+            Ok(ServeEnd::Interrupted) => return Ok(WorkerExit::Interrupted),
+            Ok(ServeEnd::Rejected { code, reason }) => {
+                return Ok(WorkerExit::Rejected { code, reason })
+            }
+            Err(ServeErr::Fatal(e)) => return Err(e),
+            Err(ServeErr::Conn(e)) => {
+                if Instant::now() >= window_ends {
+                    return Ok(WorkerExit::GaveUp(format!(
+                        "no supervisor within the reconnect window (last error: {e})"
+                    )));
+                }
+                let pause = musa_fault::jittered_backoff(conn_attempt, salt);
+                musa_obs::counter_add("dist.reconnects", 1);
+                musa_obs::warn(
+                    "musa-dist",
+                    "connection lost, backing off before reconnect",
+                    &[
+                        ("error", e.to_string().into()),
+                        ("attempt", conn_attempt.into()),
+                        ("backoff_ms", (pause.as_millis() as u64).into()),
+                    ],
+                );
+                conn_attempt = conn_attempt.saturating_add(1);
+                // Sleep in slices so a signal still interrupts promptly.
+                let until = Instant::now() + pause;
+                while Instant::now() < until {
+                    if musa_pool::signals::termination_requested() {
+                        return Ok(WorkerExit::Interrupted);
+                    }
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+            }
+        }
+    }
+}
+
+fn serve_connection(
+    opts: &DistWorkerOptions,
+    runner: &mut dyn PointRunner,
+    conn_attempt: u32,
+    window_ends: &mut Instant,
+) -> Result<ServeEnd, ServeErr> {
+    let conn = |e: std::io::Error| ServeErr::Conn(e);
+    let addr = opts
+        .connect
+        .to_socket_addrs()
+        .map_err(conn)?
+        .next()
+        .ok_or_else(|| {
+            ServeErr::Conn(std::io::Error::other(format!(
+                "cannot resolve {:?}",
+                opts.connect
+            )))
+        })?;
+    let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5)).map_err(conn)?;
+    let _ = stream.set_nodelay(true);
+    stream
+        .set_write_timeout(Some(Duration::from_secs(10)))
+        .map_err(conn)?;
+    let mut wire = Wire {
+        stream,
+        inbuf: FrameBuf::new(),
+        send_seq: 0,
+        recv_seq: 0,
+        // The failpoint key covers (worker, connection attempt, frame
+        // seq): a frame resent after a reconnect re-rolls its fault
+        // decision, so a seeded garble plan cannot pin one frame into a
+        // forever-garble loop.
+        key_prefix: format!("{}:{}", opts.tag, conn_attempt),
+    };
+    wire.send(
+        &Msg::Hello {
+            ver: PROTOCOL_VERSION,
+            sig: opts.sig.clone(),
+            worker: opts.tag.clone(),
+        },
+        &[],
+    )
+    .map_err(conn)?;
+    let hello_deadline = Instant::now() + HELLO_DEADLINE;
+    loop {
+        match wire.recv(Duration::from_millis(100)).map_err(conn)? {
+            Some(Frame {
+                msg: Msg::HelloOk { .. },
+                ..
+            }) => break,
+            Some(Frame {
+                msg: Msg::Reject { code, reason },
+                ..
+            }) => {
+                musa_obs::warn(
+                    "musa-dist",
+                    "supervisor rejected the handshake",
+                    &[
+                        ("code", code.clone().into()),
+                        ("reason", reason.clone().into()),
+                    ],
+                );
+                return Ok(ServeEnd::Rejected { code, reason });
+            }
+            Some(f) => {
+                return Err(ServeErr::Conn(std::io::Error::other(format!(
+                    "protocol error: {:?} before hello_ok",
+                    f.msg
+                ))))
+            }
+            None => {
+                if Instant::now() > hello_deadline {
+                    return Err(ServeErr::Conn(std::io::Error::new(
+                        ErrorKind::TimedOut,
+                        "supervisor never answered the hello",
+                    )));
+                }
+            }
+        }
+    }
+    musa_obs::info(
+        "musa-dist",
+        "joined supervisor",
+        &[("addr", opts.connect.clone().into())],
+    );
+    // A successful handshake restarts the reconnect window: as long as
+    // some supervisor keeps coming back, the worker keeps serving.
+    *window_ends = Instant::now() + opts.reconnect_for;
+
+    let mut last_rx = Instant::now();
+    let mut last_ping = Instant::now();
+    loop {
+        if musa_pool::signals::termination_requested() {
+            let _ = wire.send(
+                &Msg::Bye {
+                    reason: "interrupted".into(),
+                },
+                &[],
+            );
+            return Ok(ServeEnd::Interrupted);
+        }
+        match wire.recv(Duration::from_millis(250)).map_err(conn)? {
+            Some(frame) => {
+                last_rx = Instant::now();
+                match frame.msg {
+                    Msg::Grant {
+                        lease,
+                        attempt,
+                        points,
+                        ..
+                    } => match run_lease(&mut wire, runner, lease, attempt, &points)? {
+                        LeaseEnd::Done => {}
+                        LeaseEnd::Draining => {
+                            wire.send(
+                                &Msg::Bye {
+                                    reason: "drained".into(),
+                                },
+                                &[],
+                            )
+                            .map_err(conn)?;
+                            return Ok(ServeEnd::Drained);
+                        }
+                        LeaseEnd::Interrupted => {
+                            let _ = wire.send(
+                                &Msg::Bye {
+                                    reason: "interrupted".into(),
+                                },
+                                &[],
+                            );
+                            return Ok(ServeEnd::Interrupted);
+                        }
+                    },
+                    Msg::Drain => {
+                        wire.send(
+                            &Msg::Bye {
+                                reason: "drained".into(),
+                            },
+                            &[],
+                        )
+                        .map_err(conn)?;
+                        return Ok(ServeEnd::Drained);
+                    }
+                    Msg::Pong => {}
+                    other => {
+                        return Err(ServeErr::Conn(std::io::Error::other(format!(
+                            "protocol error: unexpected {other:?} while idle"
+                        ))))
+                    }
+                }
+            }
+            None => {
+                let now = Instant::now();
+                if now.duration_since(last_rx) > IDLE_SILENCE {
+                    return Err(ServeErr::Conn(std::io::Error::new(
+                        ErrorKind::TimedOut,
+                        "supervisor unresponsive",
+                    )));
+                }
+                if now.duration_since(last_ping) > Duration::from_secs(1) {
+                    wire.send(&Msg::Ping, &[]).map_err(conn)?;
+                    last_ping = now;
+                }
+            }
+        }
+    }
+}
+
+fn run_lease(
+    wire: &mut Wire,
+    runner: &mut dyn PointRunner,
+    lease: u64,
+    attempt: u32,
+    points_spec: &str,
+) -> Result<LeaseEnd, ServeErr> {
+    let conn = |e: std::io::Error| ServeErr::Conn(e);
+    let points = musa_pool::lease::parse_points(points_spec)
+        .map_err(|e| ServeErr::Conn(std::io::Error::other(format!("bad grant: {e}"))))?;
+    musa_obs::debug(
+        "musa-dist",
+        "lease granted",
+        &[
+            ("lease", lease.into()),
+            ("attempt", attempt.into()),
+            ("points", (points.len() as u64).into()),
+        ],
+    );
+    runner
+        .begin_lease(lease, attempt)
+        .map_err(ServeErr::Fatal)?;
+    let mut done: u64 = 0;
+    let mut rows: u64 = 0;
+    let mut end = LeaseEnd::Done;
+    for (seq, &idx) in points.iter().enumerate() {
+        // Between points: notice a drain (cheap nonblocking-ish peek)
+        // or a signal, then finish the lease partially.
+        if musa_pool::signals::termination_requested() {
+            end = LeaseEnd::Interrupted;
+            break;
+        }
+        match wire.recv(Duration::from_millis(1)) {
+            Ok(Some(Frame {
+                msg: Msg::Drain, ..
+            })) => {
+                end = LeaseEnd::Draining;
+                break;
+            }
+            Ok(Some(Frame { msg: Msg::Pong, .. })) | Ok(None) => {}
+            Ok(Some(f)) => {
+                return Err(ServeErr::Conn(std::io::Error::other(format!(
+                    "protocol error: unexpected {:?} mid-lease",
+                    f.msg
+                ))))
+            }
+            Err(e) => return Err(ServeErr::Conn(e)),
+        }
+        wire.send(
+            &Msg::Hb {
+                lease,
+                done,
+                current: Some(idx),
+            },
+            &[],
+        )
+        .map_err(conn)?;
+        let outcome = runner.run_point(idx).map_err(ServeErr::Fatal)?;
+        wire.send(
+            &Msg::Point {
+                lease,
+                seq: seq as u64,
+                rows: outcome.rows,
+                poisoned: outcome.poisoned,
+            },
+            &outcome.row_bytes,
+        )
+        .map_err(conn)?;
+        done += 1;
+        rows += outcome.rows;
+    }
+    wire.send(
+        &Msg::Hb {
+            lease,
+            done,
+            current: None,
+        },
+        &[],
+    )
+    .map_err(conn)?;
+    wire.send(
+        &Msg::Result {
+            lease,
+            attempt,
+            done,
+            rows,
+        },
+        &[],
+    )
+    .map_err(conn)?;
+    Ok(end)
+}

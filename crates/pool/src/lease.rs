@@ -63,6 +63,28 @@ pub fn result_path(dir: &Path, lease: u64, attempt: u32) -> PathBuf {
         .join(format!("result-l{lease}-a{attempt}.json"))
 }
 
+/// Delete stale heartbeat files (`hb-*`) left in the scratch
+/// directory by previous runs. Called by the supervisor at startup,
+/// before any worker of *this* run exists: every surviving `hb-*`
+/// file belongs to a reaped or crashed worker of an earlier run and
+/// would otherwise sit as litter the next harvest has to tolerate.
+/// Returns how many files were removed; a missing scratch directory
+/// is simply zero.
+pub fn clean_stale_heartbeats(dir: &Path) -> u64 {
+    let Ok(entries) = std::fs::read_dir(dir.join(SCRATCH_DIR)) else {
+        return 0;
+    };
+    let mut removed = 0;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name.starts_with("hb-") && std::fs::remove_file(entry.path()).is_ok() {
+            removed += 1;
+        }
+    }
+    removed
+}
+
 /// Metrics manifest path for a (lease, attempt): the worker's own
 /// `musa_obs` snapshot, rewritten atomically after every point so a
 /// killed worker still leaves its tallies behind. The supervisor
@@ -353,6 +375,33 @@ mod tests {
         };
         assert_eq!(WorkerResult::parse(&r.to_json()), Some(r));
         assert_eq!(WorkerResult::parse("nope"), None);
+    }
+
+    #[test]
+    fn stale_heartbeats_are_cleaned_but_nothing_else() {
+        let dir = std::env::temp_dir().join(format!(
+            "musa-hb-clean-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        // No scratch directory at all: a fresh store is zero, not an
+        // error.
+        assert_eq!(clean_stale_heartbeats(&dir), 0);
+        let scratch = dir.join(SCRATCH_DIR);
+        std::fs::create_dir_all(&scratch).unwrap();
+        std::fs::write(heartbeat_path(&dir, 1, 0), "{\"done\":1}").unwrap();
+        std::fs::write(heartbeat_path(&dir, 2, 3), "{\"done\":0}").unwrap();
+        std::fs::write(result_path(&dir, 1, 0), "{}").unwrap();
+        std::fs::write(metrics_path(&dir, 1, 0), "{}").unwrap();
+        assert_eq!(clean_stale_heartbeats(&dir), 2);
+        assert!(!heartbeat_path(&dir, 1, 0).exists());
+        assert!(!heartbeat_path(&dir, 2, 3).exists());
+        // Result and metrics manifests are harvest inputs, not litter.
+        assert!(result_path(&dir, 1, 0).exists());
+        assert!(metrics_path(&dir, 1, 0).exists());
+        assert_eq!(clean_stale_heartbeats(&dir), 0, "idempotent");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -38,18 +38,24 @@
 //! * [`worker`] — one lease's execution inside a worker process;
 //! * [`supervisor`] — [`run_pool`]: granting, watching, killing,
 //!   requeueing, poisoning, draining;
+//! * [`remote`] — the [`RemoteHub`] trait [`run_pool_with_remote`]
+//!   drives: leases offered to remote workers over a transport
+//!   (`musa-dist` implements it over framed TCP), deaths folded
+//!   through the same strike/poison/requeue machinery;
 //! * [`signals`] — dependency-free SIGINT/SIGTERM latching and
 //!   SIGTERM/SIGKILL delivery (inert on non-unix targets).
 
 pub mod lease;
+pub mod remote;
 pub mod signals;
 pub mod supervisor;
 pub mod worker;
 
 pub use lease::{encode_points, parse_points, point_at, Heartbeat, WorkerResult};
+pub use remote::{RemoteEvent, RemoteHub, RemoteLease};
 pub use supervisor::{
-    run_pool, PoolOptions, PoolReport, DEFAULT_LEASE_BATCH, DEFAULT_POISON_CAP, DEFAULT_WORKERS,
-    MAX_LEASE_ATTEMPTS,
+    run_pool, run_pool_with_remote, PoolOptions, PoolReport, DEFAULT_LEASE_BATCH,
+    DEFAULT_POISON_CAP, DEFAULT_WORKERS, MAX_LEASE_ATTEMPTS,
 };
 pub use worker::{
     run_worker, verify_sweep_key, WorkerConfig, WorkerStatus, EXIT_GEOMETRY_MISMATCH,

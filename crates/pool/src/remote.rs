@@ -1,0 +1,108 @@
+//! The supervisor-side abstraction over remote campaign workers.
+//!
+//! `musa-dist` implements [`RemoteHub`] over a framed TCP endpoint;
+//! the supervisor ([`crate::run_pool_with_remote`]) stays transport-
+//! agnostic: it offers leases from the same pending queue its local
+//! workers draw from, and folds the hub's completion/death events
+//! through the exact strike/poison/requeue machinery local worker
+//! deaths use. A hub with zero connected remotes simply never takes an
+//! offer — graceful degradation costs nothing.
+//!
+//! ## Contract
+//!
+//! * [`RemoteHub::offer`] must only **queue** the grant (no socket
+//!   I/O): the supervisor journals the
+//!   [`musa_store::LeaseEvent::RemoteGrant`] after `offer` returns and
+//!   before the next [`RemoteHub::poll`], and only `poll` may move
+//!   bytes — so the journal never under-describes reality, exactly as
+//!   with local spawns.
+//! * Rows stream into the store **through the hub** (it appends the
+//!   shipped row bytes to its own per-lease `dist-*.jsonl` files as
+//!   frames arrive); events carry counts, never row data. A lease that
+//!   dies after shipping `done` points therefore resumes exactly at
+//!   `done` — the rows for the prefix are already durable.
+//! * `poll` must be non-blocking and cheap: the supervisor calls it
+//!   every ~20 ms tick.
+
+use musa_store::PoisonedPoint;
+
+/// A lease offered to a remote worker — the wire analogue of the
+/// supervisor's internal lease.
+#[derive(Debug, Clone)]
+pub struct RemoteLease {
+    /// Lease id (shared id space with local grants).
+    pub id: u64,
+    /// Attempt number (0 first grant, +1 per requeue).
+    pub attempt: u32,
+    /// Global point indices, enumeration order.
+    pub points: Vec<u64>,
+    /// Per-flush retry budget for the worker.
+    pub max_retries: u32,
+}
+
+/// What happened to remote leases since the last poll.
+#[derive(Debug, Clone)]
+pub enum RemoteEvent {
+    /// The remote worker finished every point of its lease and shipped
+    /// the result manifest.
+    LeaseDone {
+        /// Lease id.
+        lease: u64,
+        /// Attempt number.
+        attempt: u32,
+        /// Rows shipped (already appended to the store by the hub).
+        rows: u64,
+        /// Points that panicked inside the remote worker (caught,
+        /// recorded, skipped).
+        poisoned: Vec<PoisonedPoint>,
+    },
+    /// The connection executing a lease died: EOF, I/O error, a frame
+    /// that failed its CRC seal, a liveness deadline, or a drain that
+    /// stopped the worker mid-lease.
+    LeaseDead {
+        /// Lease id.
+        lease: u64,
+        /// Attempt number.
+        attempt: u32,
+        /// Points completed before death (their rows are durable).
+        done: u64,
+        /// Global index of the point in flight when the connection
+        /// died, if the last heartbeat named one.
+        blamed: Option<u64>,
+        /// Why the connection was declared dead.
+        reason: String,
+        /// Rows shipped before death (already in the store).
+        rows: u64,
+        /// Poison records shipped before death.
+        poisoned: Vec<PoisonedPoint>,
+    },
+}
+
+/// A supervisor endpoint remote workers connect to.
+pub trait RemoteHub {
+    /// Service the endpoint: accept connections, move queued bytes,
+    /// parse arrived frames, detect dead peers. Returns the lease
+    /// events since the last poll. Must not block.
+    fn poll(&mut self) -> std::io::Result<Vec<RemoteEvent>>;
+
+    /// Connected workers currently without a lease.
+    fn idle(&self) -> usize;
+
+    /// All connected workers.
+    fn connected(&self) -> usize;
+
+    /// Queue a grant to an idle worker and return its peer tag, or
+    /// `None` when no worker can take it. Must not perform socket I/O
+    /// (see the module contract).
+    fn offer(&mut self, lease: &RemoteLease) -> Option<String>;
+
+    /// Begin drain: ask every worker to finish its in-flight point,
+    /// ship partial results and disconnect.
+    fn drain(&mut self);
+
+    /// Tear the endpoint down: drain idle workers, close every
+    /// connection. Outstanding leases surface as
+    /// [`RemoteEvent::LeaseDead`] on the next [`RemoteHub::poll`].
+    /// Idempotent.
+    fn shutdown(&mut self);
+}

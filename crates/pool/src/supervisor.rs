@@ -44,6 +44,7 @@ use musa_store::{
 };
 
 use crate::lease::{encode_points, heartbeat_path, point_at, result_path, Heartbeat, WorkerResult};
+use crate::remote::{RemoteEvent, RemoteHub, RemoteLease};
 use crate::signals;
 
 /// Default worker count for `--workers` when the flag is given bare.
@@ -198,6 +199,8 @@ struct Pool<'a> {
     backoff_salt: u64,
     pending: VecDeque<Lease>,
     running: Vec<Running>,
+    /// Leases granted to remote workers through the hub, by lease id.
+    remote_running: HashMap<u64, Lease>,
     /// Strikes charged per blamed point key (restored from the journal
     /// on resume).
     strikes: HashMap<String, u32>,
@@ -471,7 +474,19 @@ impl Pool<'_> {
             self.report.rows_flushed += r.rows;
             self.report.worker_poisoned.extend(r.poisoned);
         }
+        self.strike_and_requeue(lease, done, blamed, reason)
+    }
 
+    /// Death bookkeeping shared by local and remote leases: charge a
+    /// strike to the blamed point (quarantining it at the poison cap)
+    /// and requeue the unfinished, unpoisoned remainder.
+    fn strike_and_requeue(
+        &mut self,
+        lease: Lease,
+        done: usize,
+        blamed: Option<(String, AppId, NodeConfig)>,
+        reason: String,
+    ) -> io::Result<()> {
         let mut poisoned_now = false;
         if let Some((key, app, config)) = blamed {
             let strikes = self.strikes.entry(key.clone()).or_insert(0);
@@ -527,6 +542,127 @@ impl Pool<'_> {
         };
         self.requeue(lease.id, next_attempt, remaining)
     }
+
+    /// Queue a grant to an idle remote worker. The hub only queues the
+    /// frame (bytes move on its next poll), so journaling the
+    /// [`LeaseEvent::RemoteGrant`] here — after the offer, before any
+    /// wire effect — keeps the journal ahead of reality, exactly like
+    /// local grants. Returns `false` (with the lease back in pending)
+    /// when no worker took the offer.
+    fn grant_remote(&mut self, hub: &mut dyn RemoteHub, lease: Lease) -> io::Result<bool> {
+        let offer = RemoteLease {
+            id: lease.id,
+            attempt: lease.attempt,
+            points: lease.points.clone(),
+            max_retries: self.opts.max_retries,
+        };
+        let Some(peer) = hub.offer(&offer) else {
+            self.pending.push_front(lease);
+            return Ok(false);
+        };
+        self.journal.append(&LeaseEvent::RemoteGrant {
+            lease: lease.id,
+            attempt: lease.attempt,
+            points: lease.points.clone(),
+            peer: peer.clone(),
+        })?;
+        musa_obs::counter_add("dist.leases_granted", 1);
+        musa_obs::debug(
+            "musa-pool",
+            "lease granted to remote worker",
+            &[
+                ("lease", lease.id.into()),
+                ("attempt", lease.attempt.into()),
+                ("points", lease.points.len().into()),
+                ("peer", peer.into()),
+            ],
+        );
+        self.remote_running.insert(lease.id, lease);
+        Ok(true)
+    }
+
+    /// Fold one hub event through the same machinery local exits use.
+    fn handle_remote_event(&mut self, ev: RemoteEvent, draining: bool) -> io::Result<()> {
+        match ev {
+            RemoteEvent::LeaseDone {
+                lease,
+                attempt,
+                rows,
+                poisoned,
+            } => {
+                let Some(l) = self.remote_running.remove(&lease) else {
+                    musa_obs::warn(
+                        "musa-pool",
+                        "result for unknown remote lease ignored",
+                        &[("lease", lease.into())],
+                    );
+                    return Ok(());
+                };
+                self.journal.append(&LeaseEvent::Done {
+                    lease,
+                    attempt,
+                    rows,
+                })?;
+                self.done_points.extend(&l.points);
+                self.report.rows_flushed += rows;
+                self.report.worker_poisoned.extend(poisoned);
+                Ok(())
+            }
+            RemoteEvent::LeaseDead {
+                lease,
+                attempt,
+                done,
+                blamed,
+                reason,
+                rows,
+                poisoned,
+            } => {
+                let Some(l) = self.remote_running.remove(&lease) else {
+                    return Ok(());
+                };
+                let done = (done as usize).min(l.points.len());
+                // Rows shipped before death are already durable (the
+                // hub appended them as the frames arrived); count them
+                // like a dead local worker's harvested manifest.
+                self.report.rows_flushed += rows;
+                self.report.worker_poisoned.extend(poisoned);
+                self.done_points.extend(&l.points[..done]);
+                if draining {
+                    // Same as a local worker stopped by our own drain:
+                    // keep the progress, charge no strike.
+                    return self.journal.append(&LeaseEvent::Dead {
+                        lease,
+                        attempt,
+                        done: done as u64,
+                        blamed: None,
+                        reason: format!("interrupted during drain ({reason})"),
+                    });
+                }
+                self.report.worker_deaths += 1;
+                musa_obs::counter_add("pool.worker_deaths", 1);
+                musa_obs::counter_add("dist.lease_deaths", 1);
+                let blamed = blamed.and_then(|idx| self.point_identity(idx));
+                self.journal.append(&LeaseEvent::Dead {
+                    lease,
+                    attempt,
+                    done: done as u64,
+                    blamed: blamed.as_ref().map(|(key, _, _)| key.clone()),
+                    reason: reason.clone(),
+                })?;
+                musa_obs::warn(
+                    "musa-pool",
+                    "remote lease died, requeueing the unfinished remainder",
+                    &[
+                        ("lease", lease.into()),
+                        ("attempt", attempt.into()),
+                        ("done", done.into()),
+                        ("reason", reason.clone().into()),
+                    ],
+                );
+                self.strike_and_requeue(l, done, blamed, reason)
+            }
+        }
+    }
 }
 
 /// Run a full pool sweep: simulate every missing point of
@@ -543,8 +679,37 @@ pub fn run_pool(
     sweep: &SweepOptions,
     opts: &PoolOptions,
 ) -> io::Result<PoolReport> {
+    run_pool_with_remote(exe, dir, apps, configs, sweep, opts, None)
+}
+
+/// [`run_pool`], with an optional [`RemoteHub`] whose connected remote
+/// workers draw leases from the same pending queue as the local pool.
+/// Remote completions and deaths fold through the identical journal /
+/// strike / poison / requeue machinery, and a hub with zero connected
+/// remotes degrades to a plain local run — the campaign keeps making
+/// progress either way.
+pub fn run_pool_with_remote(
+    exe: &Path,
+    dir: &Path,
+    apps: &[AppId],
+    configs: &[NodeConfig],
+    sweep: &SweepOptions,
+    opts: &PoolOptions,
+    mut remote: Option<&mut dyn RemoteHub>,
+) -> io::Result<PoolReport> {
     signals::install_term_handlers();
     std::fs::create_dir_all(dir.join(crate::lease::SCRATCH_DIR))?;
+    // Heartbeats are per-attempt scratch, meaningful only while their
+    // worker runs; anything surviving to this point is litter from a
+    // previous run (nothing of this run has spawned yet).
+    let stale_hb = crate::lease::clean_stale_heartbeats(dir);
+    if stale_hb > 0 {
+        musa_obs::debug(
+            "musa-pool",
+            "stale heartbeat files removed",
+            &[("removed", stale_hb.into())],
+        );
+    }
 
     // Merge profiling leftovers of a previous crashed run (staged
     // worker files, a torn profiles.jsonl tail) before this run's
@@ -566,7 +731,9 @@ pub fn run_pool(
         .events
         .iter()
         .filter_map(|ev| match ev {
-            LeaseEvent::Grant { lease, .. } | LeaseEvent::Requeue { lease, .. } => Some(*lease),
+            LeaseEvent::Grant { lease, .. }
+            | LeaseEvent::RemoteGrant { lease, .. }
+            | LeaseEvent::Requeue { lease, .. } => Some(*lease),
             _ => None,
         })
         .max()
@@ -624,6 +791,7 @@ pub fn run_pool(
         backoff_salt: musa_fault::key_of(&[b"pool.backoff"]),
         pending,
         running: Vec::new(),
+        remote_running: HashMap::new(),
         strikes,
         poisoned_keys,
         done_points: HashSet::new(),
@@ -668,6 +836,9 @@ pub fn run_pool(
             for w in &pool.running {
                 signals::send_term(w.child.id());
             }
+            if let Some(hub) = remote.as_deref_mut() {
+                hub.drain();
+            }
         }
         if draining && Instant::now() >= drain_deadline {
             for w in &mut pool.running {
@@ -675,6 +846,13 @@ pub fn run_pool(
                     w.killed = Some(("SIGKILL after drain grace period".to_string(), None));
                     signals::send_kill(w.child.id());
                 }
+            }
+            // Remote workers that have not finished their in-flight
+            // point within the grace period get cut off; the next poll
+            // surfaces their leases as dead (drain semantics: progress
+            // kept, no strike).
+            if let Some(hub) = remote.as_deref_mut() {
+                hub.shutdown();
             }
         }
 
@@ -735,15 +913,46 @@ pub fn run_pool(
             pool.grant_and_spawn(lease)?;
         }
 
+        // Service the remote hub: fold arrived events, then offer
+        // ready leases to idle remote workers. Local workers got first
+        // pick above — remotes only extend the pool, never starve it.
+        if let Some(hub) = remote.as_deref_mut() {
+            for ev in hub.poll()? {
+                pool.handle_remote_event(ev, draining)?;
+            }
+            while !draining && hub.idle() > 0 {
+                let now = Instant::now();
+                let Some(pos) = pool.pending.iter().position(|l| l.not_before <= now) else {
+                    break;
+                };
+                let lease = pool.pending.remove(pos).expect("position exists");
+                if !pool.grant_remote(hub, lease)? {
+                    break;
+                }
+            }
+            musa_obs::gauge_set("dist.workers_connected", hub.connected() as f64);
+        }
+
         musa_obs::gauge_set("pool.workers_active", pool.running.len() as f64);
         if let Some(hb) = &heartbeat {
             hb.tick(pool.done_points.len() as u64);
         }
 
-        if pool.running.is_empty() && (draining || pool.pending.is_empty()) {
+        if pool.running.is_empty()
+            && pool.remote_running.is_empty()
+            && (draining || pool.pending.is_empty())
+        {
             break;
         }
         std::thread::sleep(POLL);
+    }
+
+    // The sweep is over: drain idle remote workers (they exit 0) and
+    // close the endpoint. Any lease still outstanding here means the
+    // loop exited draining — its final poll already surfaced it dead.
+    if let Some(hub) = remote {
+        hub.shutdown();
+        musa_obs::gauge_set("dist.workers_connected", 0.0);
     }
 
     pool.report.completed = pool.done_points.len();

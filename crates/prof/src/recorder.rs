@@ -48,6 +48,10 @@ static NEXT_TID: AtomicU32 = AtomicU32::new(1);
 struct Recorder {
     file: File,
     worker: String,
+    /// Records offered for appending (the `prof.append` failpoint
+    /// key): deterministic per recorder, so a fault plan targets e.g.
+    /// "every append" or "the third append" reproducibly.
+    offered: u64,
 }
 
 thread_local! {
@@ -158,7 +162,11 @@ pub fn install_worker_recorder(dir: &Path, lease: u64, attempt: u32) -> std::io:
 
 fn install(file: File, worker: String) {
     let mut rec = RECORDER.lock().unwrap_or_else(|e| e.into_inner());
-    *rec = Some(Recorder { file, worker });
+    *rec = Some(Recorder {
+        file,
+        worker,
+        offered: 0,
+    });
     musa_obs::set_span_listener(Some(on_span));
     ACTIVE.store(true, Ordering::Relaxed);
 }
@@ -275,9 +283,17 @@ pub fn point_finish(key: &str, app: &str, config: &str, poisoned: bool, retries:
         .to_line();
         line.push('\n');
         // Best effort by design: a full disk must not fail the
-        // simulation the record describes.
-        let _ = rec.file.write_all(line.as_bytes());
-        let _ = rec.file.flush();
+        // simulation the record describes — the record is dropped and
+        // counted (`prof.dropped`) instead, so a chaos drill (the
+        // `prof.append` failpoint standing in for ENOSPC) can assert
+        // that rows keep landing while profiles silently vanish.
+        rec.offered += 1;
+        let appended = musa_fault::fail_io("prof.append", rec.offered)
+            .and_then(|()| rec.file.write_all(line.as_bytes()))
+            .and_then(|()| rec.file.flush());
+        if appended.is_err() {
+            musa_obs::counter_add("prof.dropped", 1);
+        }
     }
 }
 
@@ -336,6 +352,18 @@ mod tests {
         add_phase_ns(musa_obs::phase::STORE_FLUSH, 7e6);
         assert!(take_phase_ns(musa_obs::phase::STORE_FLUSH) > 0.0);
         assert_eq!(take_phase_ns(musa_obs::phase::STORE_FLUSH), 0.0);
+
+        // Full-disk drill: with the `prof.append` failpoint firing,
+        // the record is dropped and counted — point_finish stays
+        // infallible (the simulation it describes already succeeded).
+        if musa_fault::COMPILED {
+            musa_fault::set_plan(Some(
+                musa_fault::FaultPlan::parse("seed=1,prof.append=io@1.0").unwrap(),
+            ));
+            point_begin();
+            point_finish("k-dropped", "hydro", "c64", false, 0);
+            musa_fault::set_plan(None);
+        }
 
         uninstall_recorder();
         assert!(!recording());

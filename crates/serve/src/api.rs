@@ -107,16 +107,22 @@ pub fn respond(engine: &QueryEngine, allow_quit: bool, req: &Request) -> (Respon
     let resp = match req.path.as_str() {
         "/healthz" => {
             let health = engine.health();
-            Ok(Response::ok(
-                JsonObj::new()
-                    .field_str("status", if health.degraded() { "degraded" } else { "ok" })
-                    .field_u64("rows", engine.len() as u64)
-                    .field_u64("quarantined", health.quarantined)
-                    .field_u64("files_skipped", health.files_skipped)
-                    .field_u64("tails_repaired", health.tails_repaired)
-                    .field_u64("pool_poisoned", health.pool_poisoned)
-                    .finish(),
-            ))
+            let mut body = JsonObj::new()
+                .field_str("status", if health.degraded() { "degraded" } else { "ok" })
+                .field_u64("rows", engine.len() as u64)
+                .field_u64("quarantined", health.quarantined)
+                .field_u64("files_skipped", health.files_skipped)
+                .field_u64("tails_repaired", health.tails_repaired)
+                .field_u64("pool_poisoned", health.pool_poisoned);
+            // Distributed-campaign visibility: present only when a
+            // `dse --listen` supervisor left a beacon beside the store.
+            if let Some(dist) = engine.dist_status() {
+                body = body
+                    .field_u64("dist_workers", dist.workers)
+                    .field_bool("dist_draining", dist.draining)
+                    .field_bool("dist_stale", dist.stale);
+            }
+            Ok(Response::ok(body.finish()))
         }
         "/metrics" => match req.param("format") {
             Some("prometheus") => Ok(Response::ok_prometheus(musa_obs::prometheus_text(
@@ -362,5 +368,34 @@ mod tests {
         let e = engine();
         let req = parse_request(b"POST /healthz HTTP/1.1\r\n\r\n").unwrap();
         assert_eq!(respond(&e, false, &req).0.status, 405);
+    }
+
+    #[test]
+    fn healthz_surfaces_the_dist_beacon_when_present() {
+        // In-memory engine: the dist_* fields are absent, not zeroed.
+        let body = JsonValue::parse(&get(&engine(), "/healthz").body).unwrap();
+        assert!(body.get("dist_workers").is_none());
+
+        let dir = std::env::temp_dir().join(format!("musa-serve-api-dist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let now = std::time::SystemTime::now()
+            .duration_since(std::time::SystemTime::UNIX_EPOCH)
+            .unwrap()
+            .as_secs();
+        std::fs::write(
+            dir.join("dist-status.json"),
+            format!(
+                "{{\"addr\":\"127.0.0.1:9\",\"connected\":3,\"draining\":false,\
+                 \"updated_unix\":{now}}}"
+            ),
+        )
+        .unwrap();
+        let e = QueryEngine::open(&dir).unwrap();
+        let body = JsonValue::parse(&get(&e, "/healthz").body).unwrap();
+        assert_eq!(body.get("dist_workers").unwrap().as_u64(), Some(3));
+        assert_eq!(body.get("dist_draining"), Some(&JsonValue::Bool(false)));
+        assert_eq!(body.get("dist_stale"), Some(&JsonValue::Bool(false)));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

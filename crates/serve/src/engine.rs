@@ -151,7 +151,35 @@ pub struct QueryEngine {
     /// What loading found wrong with the backing store (healthy when
     /// built from in-memory rows).
     health: StoreHealth,
+    /// Path of the distributed-campaign status beacon (store opens
+    /// only; in-memory engines have none).
+    dist_status: Option<std::path::PathBuf>,
 }
+
+/// Snapshot of the `dse --listen` supervisor's status beacon, read
+/// fresh on every `/healthz` (the beacon changes while this process
+/// serves, so it is the one thing the engine never caches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistStatus {
+    /// Remote workers currently connected (post-handshake).
+    pub workers: u64,
+    /// The supervisor is draining (or has shut the endpoint).
+    pub draining: bool,
+    /// The beacon has not been refreshed recently — the supervisor is
+    /// gone or wedged; `workers`/`draining` describe the past.
+    pub stale: bool,
+}
+
+/// A beacon older than this is reported stale: the hub rewrites it
+/// every ~2s, so a generous multiple distinguishes "supervisor gone"
+/// from scheduler jitter.
+const DIST_STATUS_STALE_SECS: u64 = 30;
+
+/// File name of the status beacon a `dse --listen` supervisor
+/// maintains in the store directory (kept in sync with
+/// `musa_dist::STATUS_FILE`; duplicated here so the read-only query
+/// server does not pull in the distributed-execution stack).
+const DIST_STATUS_FILE: &str = "dist-status.json";
 
 impl QueryEngine {
     /// Index a set of results. Row ids are positions in `rows`.
@@ -178,6 +206,7 @@ impl QueryEngine {
             columns,
             postings,
             health: StoreHealth::default(),
+            dist_status: None,
         }
     }
 
@@ -191,7 +220,31 @@ impl QueryEngine {
         let rows = store.into_rows().into_iter().map(|r| r.result).collect();
         let mut engine = QueryEngine::new(rows);
         engine.health = health;
+        engine.dist_status = Some(dir.join(DIST_STATUS_FILE));
         Ok(engine)
+    }
+
+    /// The distributed-campaign beacon beside the store, if one exists:
+    /// `None` for in-memory engines, stores no supervisor ever listened
+    /// on, or an unparseable beacon. Stat'd and parsed per call — it is
+    /// another process's file and changes underneath us.
+    pub fn dist_status(&self) -> Option<DistStatus> {
+        let path = self.dist_status.as_ref()?;
+        let raw = std::fs::read_to_string(path).ok()?;
+        let v = musa_obs::json::JsonValue::parse(&raw).ok()?;
+        let updated = v.get("updated_unix").and_then(|u| u.as_u64()).unwrap_or(0);
+        let now = std::time::SystemTime::now()
+            .duration_since(std::time::SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        Some(DistStatus {
+            workers: v.get("connected").and_then(|c| c.as_u64()).unwrap_or(0),
+            draining: matches!(
+                v.get("draining"),
+                Some(musa_obs::json::JsonValue::Bool(true))
+            ),
+            stale: now.saturating_sub(updated) > DIST_STATUS_STALE_SECS,
+        })
     }
 
     /// Load-time damage report of the backing store.
@@ -421,5 +474,58 @@ mod tests {
         let apps = e.dim_values(Dim::App);
         assert!(apps.windows(2).all(|w| w[0].0 < w[1].0));
         assert_eq!(apps.iter().map(|(_, n)| n).sum::<usize>(), e.len());
+    }
+
+    #[test]
+    fn dist_status_reads_the_beacon_fresh_and_flags_staleness() {
+        // In-memory engines have no beacon path at all.
+        assert_eq!(engine().dist_status(), None);
+
+        let dir =
+            std::env::temp_dir().join(format!("musa-serve-diststatus-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let e = QueryEngine::open(&dir).unwrap();
+        // Store opens carry the path, but no file yet -> None.
+        assert_eq!(e.dist_status(), None);
+
+        let now = std::time::SystemTime::now()
+            .duration_since(std::time::SystemTime::UNIX_EPOCH)
+            .unwrap()
+            .as_secs();
+        let beacon = |connected: u64, draining: bool, updated: u64| {
+            std::fs::write(
+                dir.join(DIST_STATUS_FILE),
+                format!(
+                    "{{\"addr\":\"127.0.0.1:9\",\"connected\":{connected},\
+                     \"draining\":{draining},\"updated_unix\":{updated}}}"
+                ),
+            )
+            .unwrap();
+        };
+        beacon(2, false, now);
+        assert_eq!(
+            e.dist_status(),
+            Some(DistStatus {
+                workers: 2,
+                draining: false,
+                stale: false
+            })
+        );
+        // The file is re-read per call: a later rewrite is visible
+        // without reopening the engine, and an old timestamp is stale.
+        beacon(0, true, now - DIST_STATUS_STALE_SECS - 5);
+        assert_eq!(
+            e.dist_status(),
+            Some(DistStatus {
+                workers: 0,
+                draining: true,
+                stale: true
+            })
+        );
+        // Garbage never panics, it just reports nothing.
+        std::fs::write(dir.join(DIST_STATUS_FILE), b"not json").unwrap();
+        assert_eq!(e.dist_status(), None);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

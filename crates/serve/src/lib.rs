@@ -38,6 +38,6 @@ pub mod http;
 pub mod server;
 pub mod synth;
 
-pub use engine::{Dim, QueryEngine, RowFilter};
+pub use engine::{Dim, DistStatus, QueryEngine, RowFilter};
 pub use http::{Request, Response};
 pub use server::{Server, ServerConfig, ServerHandle};

@@ -95,6 +95,23 @@ pub enum LeaseEvent {
         /// How the worker died.
         reason: String,
     },
+    /// A lease was granted to a **remote** worker connected over the
+    /// dist endpoint. Identical lifecycle to [`LeaseEvent::Grant`] —
+    /// the peer tag records where the work went so a post-mortem can
+    /// tell remote deaths from local ones. Older binaries replay this
+    /// leniently as a skipped line (replay is never fatal on unknown
+    /// events), costing at most one redundant attempt.
+    RemoteGrant {
+        /// Lease id (unique within the journal, shared space with
+        /// local grants).
+        lease: u64,
+        /// 0 for the first grant of a point set, +1 per requeue.
+        attempt: u32,
+        /// Global point indices (enumeration order) in the lease.
+        points: Vec<u64>,
+        /// Peer address/tag of the remote worker.
+        peer: String,
+    },
     /// The unfinished remainder of a dead lease was requeued.
     Requeue {
         /// New lease id.
@@ -178,6 +195,18 @@ impl LeaseEvent {
                 };
                 obj.field_str("reason", reason).finish()
             }
+            LeaseEvent::RemoteGrant {
+                lease,
+                attempt,
+                points,
+                peer,
+            } => JsonObj::new()
+                .field_str("ev", "rgrant")
+                .field_u64("lease", *lease)
+                .field_u64("attempt", u64::from(*attempt))
+                .field_raw("points", &points_json(points))
+                .field_str("peer", peer)
+                .finish(),
             LeaseEvent::Requeue {
                 lease,
                 attempt,
@@ -261,6 +290,22 @@ impl LeaseEvent {
                 blamed: v.get("blamed").and_then(|x| x.as_str()).map(str::to_string),
                 reason: str_of("reason")?,
             }),
+            "rgrant" => {
+                let arr = v
+                    .get("points")
+                    .and_then(|x| x.as_arr())
+                    .ok_or("missing array field \"points\"")?;
+                let mut points = Vec::with_capacity(arr.len());
+                for p in arr {
+                    points.push(p.as_u64().ok_or("non-integer point index")?);
+                }
+                Ok(LeaseEvent::RemoteGrant {
+                    lease: u64_of("lease")?,
+                    attempt: u32_of("attempt")?,
+                    points,
+                    peer: str_of("peer")?,
+                })
+            }
             "requeue" => Ok(LeaseEvent::Requeue {
                 lease: u64_of("lease")?,
                 attempt: u32_of("attempt")?,
@@ -463,6 +508,12 @@ mod tests {
                 from: 1,
                 backoff_ms: 6,
                 points: 2,
+            },
+            LeaseEvent::RemoteGrant {
+                lease: 3,
+                attempt: 0,
+                points: vec![9, 10],
+                peer: "127.0.0.1:45123".into(),
             },
             LeaseEvent::Dead {
                 lease: 2,

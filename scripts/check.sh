@@ -22,7 +22,13 @@ echo "== build with fault injection disabled (obs kept) =="
 # Failpoints must compile out independently of observability.
 cargo build -p musa-store --no-default-features --features obs
 cargo build -p musa-pool --no-default-features --features obs
+cargo build -p musa-dist --no-default-features --features obs
 cargo build -p musa-bench --no-default-features --features obs
+
+echo "== dist protocol without obs and without faults =="
+# The wire protocol must work with everything compiled out — the
+# loopback hub/worker integration tests run either way.
+cargo test -q -p musa-dist --no-default-features
 
 echo "== artifact cache without fault injection =="
 # The cache's durability and verification paths must hold with the
@@ -73,6 +79,12 @@ echo "== pool smoke (supervised --workers 2 vs sequential) =="
 # through the actual shipped binary. Skips where rows cannot persist.
 bash scripts/pool_smoke.sh
 
+echo "== dist smoke (--listen + 2 dist-workers vs sequential) =="
+# Byte-identity of a distributed fill over loopback TCP, with and
+# without garbled frames; with CHAOS=1 adds a kill -9 dist-worker
+# leg. Skips where rows cannot persist.
+bash scripts/dist_smoke.sh
+
 echo "== search smoke (tiny-budget adaptive search, resume) =="
 # A budgeted `dse search` through the real binary: sealed journal,
 # parseable report, same-seed byte-identity, pure-replay --resume.
@@ -96,6 +108,12 @@ if [[ "${CHAOS:-0}" == "1" ]]; then
     # supervisor itself, then resumes); the final store must be
     # byte-identical to a sequential run either way.
     CHAOS=1 cargo test -q -p musa-bench --test pool_e2e
+
+    echo "== chaos: kill -9 dist-worker mid-lease (CHAOS=1) =="
+    # SIGKILLs a remote dist-worker with a lease in flight; the
+    # supervisor must re-issue the lease and the store must still
+    # come out byte-identical to a sequential run.
+    CHAOS=1 cargo test -q -p musa-bench --test dist_e2e
 
     echo "== chaos: kill -9 mid-artifact-write (CHAOS=1) =="
     # SIGKILLs a cached fill while an artifact is in its temp-file
