@@ -31,8 +31,9 @@ use std::path::{Path, PathBuf};
 
 use musa_apps::AppId;
 use musa_bench::cli::{
-    parse_dse_args, CacheArgs, CacheCmd, DistWorkerArgs, DseArgs, Parsed, ProfileArgs, SearchArgs,
-    ServeArgs, CACHE_USAGE, DIST_WORKER_USAGE, PROFILE_USAGE, SEARCH_USAGE, SERVE_USAGE, USAGE,
+    parse_dse_args, CacheArgs, CacheCmd, DistWorkerArgs, DoctorArgs, DseArgs, Parsed, ProfileArgs,
+    SearchArgs, ServeArgs, TortureArgs, CACHE_USAGE, DIST_WORKER_USAGE, DOCTOR_USAGE,
+    PROFILE_USAGE, SEARCH_USAGE, SERVE_USAGE, TORTURE_USAGE, USAGE,
 };
 use musa_bench::{configs, gen_params, paper_scale, store_dir};
 use musa_cache::ArtifactCache;
@@ -119,6 +120,22 @@ fn main() {
         Ok(Parsed::DistWorkerHelp) => {
             use std::io::Write;
             let _ = writeln!(std::io::stdout(), "{DIST_WORKER_USAGE}");
+            std::process::exit(0);
+        }
+        Ok(Parsed::Doctor(args)) => {
+            doctor_main(args);
+        }
+        Ok(Parsed::DoctorHelp) => {
+            use std::io::Write;
+            let _ = writeln!(std::io::stdout(), "{DOCTOR_USAGE}");
+            std::process::exit(0);
+        }
+        Ok(Parsed::Torture(args)) => {
+            torture_main(args);
+        }
+        Ok(Parsed::TortureHelp) => {
+            use std::io::Write;
+            let _ = writeln!(std::io::stdout(), "{TORTURE_USAGE}");
             std::process::exit(0);
         }
         Ok(Parsed::Run(args)) => args,
@@ -763,6 +780,7 @@ fn dist_worker_main(args: DistWorkerArgs) -> ! {
         reconnect_for: args
             .reconnect_for
             .unwrap_or(musa_dist::DEFAULT_RECONNECT_FOR),
+        max_reconnects: args.max_reconnects,
     };
     let result = musa_dist::run_dist_worker(&opts, &mut runner);
     if let Some(cache) = &runner.cache {
@@ -1271,6 +1289,71 @@ fn export_campaign(args: &DseArgs, campaign: &musa_core::Campaign) {
                 eprintln!("JSON export to {path} failed: {e}");
                 std::process::exit(1);
             }
+        }
+    }
+}
+
+/// `dse doctor`: store-wide integrity audit, optionally with repair.
+/// Exit code is the severity grade (0 ok, 1 degraded, 2 corrupt); an
+/// I/O failure while auditing exits 1 with the error on stderr.
+fn doctor_main(args: DoctorArgs) -> ! {
+    let store: PathBuf = args.store_dir.clone().unwrap_or_else(store_dir);
+    let result = if args.repair {
+        musa_doctor::repair(&store)
+    } else {
+        musa_doctor::audit(&store)
+    };
+    let report = match result {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("dse doctor: {}: {e}", store.display());
+            std::process::exit(1);
+        }
+    };
+    if args.repair {
+        // The beacon is a CLI artifact, not part of repair() itself —
+        // the library stays byte-pure so the idempotence property test
+        // can compare directories after back-to-back repairs.
+        if let Err(e) = musa_doctor::write_status(&store, &report) {
+            eprintln!(
+                "dse doctor: cannot write {}: {e}",
+                musa_doctor::DOCTOR_STATUS_FILE
+            );
+        }
+    }
+    if args.json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    std::process::exit(report.exit_code());
+}
+
+/// `dse torture`: the seeded multi-fault storm harness, driving this
+/// very binary through workloads under composed faults and kill -9.
+fn torture_main(args: TortureArgs) -> ! {
+    let dse = match std::env::current_exe() {
+        Ok(path) => path,
+        Err(e) => {
+            eprintln!("dse torture: cannot locate own binary: {e}");
+            std::process::exit(1);
+        }
+    };
+    let opts = musa_doctor::torture::TortureOptions {
+        seed: args.seed,
+        rounds: args.rounds,
+        dse,
+        root: args.dir.clone(),
+        keep: args.keep,
+    };
+    match musa_doctor::torture::run_torture(&opts) {
+        Ok(report) => {
+            print!("{}", report.render_text());
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("dse torture: FAILED: {e}");
+            std::process::exit(1);
         }
     }
 }

@@ -31,6 +31,12 @@ usage: dse [options]
                                    dse --listen supervisor and executes
                                    leases over TCP
                                    (see dse dist-worker --help)
+       dse doctor [--repair]        store-wide integrity audit across every
+                                   durable surface; exit 0/1/2 for
+                                   ok/degraded/corrupt (see dse doctor --help)
+       dse torture --seed S --rounds N   seeded multi-fault storm harness
+                                   over the real binary
+                                   (see dse torture --help)
   --resume           keep existing store rows, simulate only missing points
   --shard i/n        simulate only shard i of an n-way split (0-based)
   --store-dir DIR    campaign store directory (default target/musa-store-<scale>)
@@ -242,6 +248,11 @@ pub enum Parsed {
     Search(SearchArgs),
     /// Run a remote campaign worker (`dse dist-worker ...`).
     DistWorker(DistWorkerArgs),
+    /// Audit (and optionally repair) a campaign store
+    /// (`dse doctor ...`).
+    Doctor(DoctorArgs),
+    /// Run the seeded multi-fault torture harness (`dse torture ...`).
+    Torture(TortureArgs),
     /// Print usage and exit 0.
     Help,
     /// Print serve usage and exit 0.
@@ -254,6 +265,10 @@ pub enum Parsed {
     SearchHelp,
     /// Print dist-worker usage and exit 0.
     DistWorkerHelp,
+    /// Print doctor usage and exit 0.
+    DoctorHelp,
+    /// Print torture usage and exit 0.
+    TortureHelp,
     /// Print the strategy registry and exit 0
     /// (`dse search --list-strategies`).
     SearchStrategies,
@@ -302,6 +317,12 @@ pub fn parse_dse_args<S: AsRef<str>>(args: &[S]) -> Result<Parsed, String> {
     }
     if args.first().map(AsRef::as_ref) == Some("dist-worker") {
         return parse_dist_worker_args(&args[1..]);
+    }
+    if args.first().map(AsRef::as_ref) == Some("doctor") {
+        return parse_doctor_args(&args[1..]);
+    }
+    if args.first().map(AsRef::as_ref) == Some("torture") {
+        return parse_torture_args(&args[1..]);
     }
     let mut out = DseArgs::default();
     let mut it = args.iter().map(AsRef::as_ref).peekable();
@@ -509,6 +530,124 @@ fn parse_cache_args<S: AsRef<str>>(args: &[S]) -> Result<Parsed, String> {
     Ok(Parsed::Cache(out))
 }
 
+/// `dse doctor` usage text.
+pub const DOCTOR_USAGE: &str = "\
+usage: dse doctor [options]
+  walk every durable surface of a campaign store with the real parsers —
+  row CRCs and torn tails, the lease journal, the search journal,
+  artifact headers, the profile flight record, scratch litter and the
+  quarantine ledger — and grade each family ok/degraded/corrupt.
+  Exit code: 0 ok, 1 degraded, 2 corrupt.
+options:
+  --repair           apply each subsystem's atomic repair path, then
+                     re-audit. Idempotent; never destroys bytes — every
+                     removed line or file lands in quarantine with
+                     provenance (stale pool/hb-* heartbeats are the one
+                     documented exception: deleted, they carry no data).
+                     Also writes the doctor-status.json beacon.
+  --json             machine-readable report on stdout instead of text
+  --store-dir DIR    campaign store directory to audit
+                     (default target/musa-store-<scale>)
+  -h, --help         this help";
+
+/// Parsed `dse doctor` arguments.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DoctorArgs {
+    /// Campaign store directory override.
+    pub store_dir: Option<PathBuf>,
+    /// Apply repairs (and write the status beacon) instead of only
+    /// auditing.
+    pub repair: bool,
+    /// Emit the JSON report instead of text.
+    pub json: bool,
+}
+
+/// Parse `dse doctor` arguments (after the `doctor` token).
+fn parse_doctor_args<S: AsRef<str>>(args: &[S]) -> Result<Parsed, String> {
+    let mut out = DoctorArgs::default();
+    let mut it = args.iter().map(AsRef::as_ref).peekable();
+    while let Some(arg) = it.next() {
+        match arg {
+            "-h" | "--help" => return Ok(Parsed::DoctorHelp),
+            "--store-dir" => out.store_dir = Some(required(&mut it, "--store-dir")?.into()),
+            "--repair" => out.repair = true,
+            "--json" => out.json = true,
+            other if other.starts_with('-') => return Err(format!("unknown flag {other:?}")),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    Ok(Parsed::Doctor(out))
+}
+
+/// `dse torture` usage text.
+pub const TORTURE_USAGE: &str = "\
+usage: dse torture [options]
+  seeded multi-fault storm harness: each round drives this binary
+  through a workload (sequential fill, worker pool, search, or a
+  distributed loopback run) under 2-4 composed failpoints plus a
+  kill -9 at a seeded instant (round 0 is always the ENOSPC drill:
+  every row flush fails), resumes fault-free to convergence, and
+  asserts the final rows are byte-identical to a never-faulted
+  reference, that `dse doctor` repairs to exit 0 without touching row
+  bytes, and that the lease journal replays clean. Exit 0 when every
+  round survives.
+options:
+  --seed N           master seed; the same seed reproduces the same
+                     storm schedule (default 7)
+  --rounds N         storm rounds to run (default 3)
+  --dir DIR          scratch root (default: a seed-stamped directory
+                     under the system temp dir)
+  --keep             keep the scratch tree on success (always kept on
+                     failure, for post-mortem)
+  -h, --help         this help";
+
+/// Parsed `dse torture` arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TortureArgs {
+    /// Master seed for the storm schedule.
+    pub seed: u64,
+    /// Number of rounds.
+    pub rounds: u32,
+    /// Scratch root override.
+    pub dir: Option<PathBuf>,
+    /// Keep the scratch tree on success.
+    pub keep: bool,
+}
+
+impl Default for TortureArgs {
+    fn default() -> TortureArgs {
+        TortureArgs {
+            seed: 7,
+            rounds: 3,
+            dir: None,
+            keep: false,
+        }
+    }
+}
+
+/// Parse `dse torture` arguments (after the `torture` token).
+fn parse_torture_args<S: AsRef<str>>(args: &[S]) -> Result<Parsed, String> {
+    let mut out = TortureArgs::default();
+    let mut it = args.iter().map(AsRef::as_ref).peekable();
+    while let Some(arg) = it.next() {
+        match arg {
+            "-h" | "--help" => return Ok(Parsed::TortureHelp),
+            "--seed" => out.seed = parse_number("--seed", required(&mut it, "--seed")?)?,
+            "--rounds" => {
+                out.rounds = parse_number("--rounds", required(&mut it, "--rounds")?)?;
+                if out.rounds == 0 {
+                    return Err("--rounds must be at least 1".into());
+                }
+            }
+            "--dir" => out.dir = Some(required(&mut it, "--dir")?.into()),
+            "--keep" => out.keep = true,
+            other if other.starts_with('-') => return Err(format!("unknown flag {other:?}")),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    Ok(Parsed::Torture(out))
+}
+
 /// `dse dist-worker` usage text.
 pub const DIST_WORKER_USAGE: &str = "\
 usage: dse dist-worker --connect ADDR [options]
@@ -528,6 +667,9 @@ options:
                      (default 2)
   --reconnect-for D  give up after this long without a successful
                      handshake, e.g. 30s, 5m (default 120s)
+  --max-reconnects N give up (exit 1, with a summary) after N consecutive
+                     connection failures without a handshake — bounds the
+                     retry loop when the hub is gone for good (default 10)
   --faults SPEC      inject deterministic faults (same grammar as dse
                      --faults; dist.* failpoints act on this worker's
                      side of the wire)
@@ -550,6 +692,8 @@ pub struct DistWorkerArgs {
     pub max_retries: u32,
     /// Reconnect window override.
     pub reconnect_for: Option<Duration>,
+    /// Consecutive connection failures tolerated before exit 1.
+    pub max_reconnects: u32,
     /// Parsed `--faults` plan.
     pub faults: Option<FaultPlan>,
     /// The raw `--faults` spec (verbatim, for provenance).
@@ -570,6 +714,7 @@ fn parse_dist_worker_args<S: AsRef<str>>(args: &[S]) -> Result<Parsed, String> {
         no_prof: false,
         max_retries: DEFAULT_MAX_RETRIES,
         reconnect_for: None,
+        max_reconnects: musa_dist::DEFAULT_MAX_RECONNECTS,
         faults: None,
         faults_spec: None,
         log: None,
@@ -593,6 +738,10 @@ fn parse_dist_worker_args<S: AsRef<str>>(args: &[S]) -> Result<Parsed, String> {
                     musa_fault::parse_duration(spec)
                         .map_err(|e| format!("bad --reconnect-for: {e}"))?,
                 );
+            }
+            "--max-reconnects" => {
+                out.max_reconnects =
+                    parse_number("--max-reconnects", required(&mut it, "--max-reconnects")?)?;
             }
             "--faults" => {
                 let spec = required(&mut it, "--faults")?;
@@ -1260,6 +1409,7 @@ mod tests {
                 assert!(!a.full && !a.no_cache && !a.no_prof);
                 assert_eq!(a.max_retries, DEFAULT_MAX_RETRIES);
                 assert_eq!(a.reconnect_for, None);
+                assert_eq!(a.max_reconnects, musa_dist::DEFAULT_MAX_RECONNECTS);
                 assert_eq!(a.faults_spec, None);
             }
             other => panic!("unexpected parse: {other:?}"),
@@ -1275,6 +1425,8 @@ mod tests {
             "5",
             "--reconnect-for",
             "30s",
+            "--max-reconnects",
+            "3",
             "--faults",
             "seed=7,dist.frame.send=garble@0.05",
             "--log",
@@ -1287,6 +1439,7 @@ mod tests {
                 assert!(a.full && a.no_cache && a.no_prof);
                 assert_eq!(a.max_retries, 5);
                 assert_eq!(a.reconnect_for, Some(Duration::from_secs(30)));
+                assert_eq!(a.max_reconnects, 3);
                 assert_eq!(
                     a.faults_spec.as_deref(),
                     Some("seed=7,dist.frame.send=garble@0.05")
@@ -1319,6 +1472,11 @@ mod tests {
                 .is_err()
         );
         assert!(parse_dse_args(&["dist-worker", "--connect", "x:1", "--faults", "bogus"]).is_err());
+        assert!(parse_dse_args(&["dist-worker", "--connect", "x:1", "--max-reconnects"]).is_err());
+        assert!(
+            parse_dse_args(&["dist-worker", "--connect", "x:1", "--max-reconnects", "ten"])
+                .is_err()
+        );
         // Only recognised in first position, like the other subcommands.
         assert!(parse_dse_args(&["--resume", "dist-worker"]).is_err());
     }
@@ -1674,5 +1832,73 @@ mod tests {
     fn search_apps_dedupe_and_trim() {
         let a = search(&["search", "--apps", " hydro , hydro ,lulesh"]);
         assert_eq!(a.apps.unwrap().len(), 2);
+    }
+
+    #[test]
+    fn doctor_subcommand_parses() {
+        assert_eq!(
+            parse_dse_args(&["doctor"]),
+            Ok(Parsed::Doctor(DoctorArgs::default()))
+        );
+        assert_eq!(
+            parse_dse_args(&["doctor", "--repair", "--json", "--store-dir", "/tmp/c"]),
+            Ok(Parsed::Doctor(DoctorArgs {
+                store_dir: Some("/tmp/c".into()),
+                repair: true,
+                json: true,
+            }))
+        );
+        assert_eq!(
+            parse_dse_args(&["doctor", "--help"]),
+            Ok(Parsed::DoctorHelp)
+        );
+        assert_eq!(parse_dse_args(&["doctor", "-h"]), Ok(Parsed::DoctorHelp));
+        // Only a subcommand in first position.
+        assert!(parse_dse_args(&["--resume", "doctor"]).is_err());
+    }
+
+    #[test]
+    fn doctor_subcommand_is_strict() {
+        assert!(parse_dse_args(&["doctor", "--nope"]).is_err());
+        assert!(parse_dse_args(&["doctor", "stray"]).is_err());
+        assert!(parse_dse_args(&["doctor", "--store-dir"]).is_err());
+    }
+
+    #[test]
+    fn torture_subcommand_parses() {
+        assert_eq!(
+            parse_dse_args(&["torture"]),
+            Ok(Parsed::Torture(TortureArgs {
+                seed: 7,
+                rounds: 3,
+                dir: None,
+                keep: false,
+            }))
+        );
+        assert_eq!(
+            parse_dse_args(&[
+                "torture", "--seed", "11", "--rounds", "5", "--dir", "/tmp/t", "--keep",
+            ]),
+            Ok(Parsed::Torture(TortureArgs {
+                seed: 11,
+                rounds: 5,
+                dir: Some("/tmp/t".into()),
+                keep: true,
+            }))
+        );
+        assert_eq!(
+            parse_dse_args(&["torture", "--help"]),
+            Ok(Parsed::TortureHelp)
+        );
+    }
+
+    #[test]
+    fn torture_subcommand_is_strict() {
+        assert!(parse_dse_args(&["torture", "--nope"]).is_err());
+        assert!(parse_dse_args(&["torture", "stray"]).is_err());
+        assert!(parse_dse_args(&["torture", "--seed"]).is_err());
+        assert!(parse_dse_args(&["torture", "--seed", "many"]).is_err());
+        assert!(parse_dse_args(&["torture", "--rounds", "0"]).is_err());
+        assert!(parse_dse_args(&["torture", "--dir"]).is_err());
     }
 }

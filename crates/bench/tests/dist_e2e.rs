@@ -27,7 +27,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use musa_obs::json::JsonValue;
-use musa_store::{journal, LeaseEvent, QUARANTINE_FILE};
+use musa_store::{journal, LeaseEvent};
 
 const DSE: &str = env!("CARGO_BIN_EXE_dse");
 
@@ -131,7 +131,8 @@ fn sorted_store_lines(dir: &Path) -> Vec<String> {
         if path.extension().is_some_and(|x| x == "jsonl")
             && path
                 .file_name()
-                .is_none_or(|n| n != QUARANTINE_FILE && n != musa_prof::PROFILES_FILE)
+                .and_then(|n| n.to_str())
+                .is_none_or(|n| !musa_store::is_quarantine_file(n) && n != musa_prof::PROFILES_FILE)
         {
             lines.extend(
                 std::fs::read_to_string(&path)
@@ -417,6 +418,37 @@ fn garbled_frames_reconnect_and_converge_byte_identically() {
     );
     let _ = std::fs::remove_dir_all(&dir);
     let _ = std::fs::remove_dir_all(&ref_dir);
+}
+
+/// A worker pointed at a hub that is gone for good (a port nothing
+/// listens on) must not retry forever: `--max-reconnects` bounds the
+/// attempts and the worker exits 1 with an operator-readable summary,
+/// well before the reconnect window would have expired.
+#[test]
+fn max_reconnects_bounds_a_worker_whose_hub_is_gone() {
+    if !serde_json_works() {
+        eprintln!("skipping: needs a runtime serde_json");
+        return;
+    }
+    // Bind then drop a listener: connects to this port now fail fast.
+    let addr = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        l.local_addr().unwrap().to_string()
+    };
+    let out = worker_command(&addr, &["--reconnect-for", "120s", "--max-reconnects", "2"])
+        .output()
+        .expect("spawn dist-worker against a dead port");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "a gone hub must exit 1, not spin: {}",
+        stderr_of(&out)
+    );
+    let err = stderr_of(&out);
+    assert!(
+        err.contains("--max-reconnects 2") && err.contains("giving up"),
+        "the summary must name the bound that fired: {err}"
+    );
 }
 
 // ---------------------------------------------------------------------

@@ -44,7 +44,7 @@ pub use codec::{Frame, FrameBuf, FrameError, Msg, MAX_FRAME, PROTOCOL_VERSION};
 pub use hub::{DistHub, DistHubOptions, STATUS_FILE};
 pub use worker::{
     run_dist_worker, DistWorkerOptions, PointOutcome, PointRunner, WorkerExit,
-    DEFAULT_RECONNECT_FOR,
+    DEFAULT_MAX_RECONNECTS, DEFAULT_RECONNECT_FOR,
 };
 
 #[cfg(test)]
@@ -72,6 +72,7 @@ mod tests {
             sig: sig.to_string(),
             tag: tag.to_string(),
             reconnect_for: Duration::from_secs(5),
+            max_reconnects: DEFAULT_MAX_RECONNECTS,
         }
     }
 
@@ -320,6 +321,40 @@ mod tests {
         // propagates out of run_dist_worker as Err.
         assert!(worker.join().expect("thread").is_err());
         cleanup(&dir);
+    }
+
+    #[test]
+    fn hub_gone_for_good_exhausts_max_reconnects_with_a_summary() {
+        // Bind then immediately drop a listener: the port refuses every
+        // connect, fast — the "hub decommissioned" signature.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+            l.local_addr().unwrap().to_string()
+        };
+        let opts = DistWorkerOptions {
+            connect: addr,
+            sig: "sig-gone".to_string(),
+            tag: "w-gone".to_string(),
+            // A window long enough that only the failure budget can end
+            // this test: proves the bound is what fired.
+            reconnect_for: Duration::from_secs(300),
+            max_reconnects: 2,
+        };
+        let mut runner = ScriptedRunner {
+            rows_for: plain_row,
+        };
+        let exit = run_dist_worker(&opts, &mut runner).expect("no local io error");
+        match &exit {
+            WorkerExit::GaveUp(summary) => {
+                assert!(
+                    summary.contains("3 consecutive connection failures"),
+                    "summary: {summary}"
+                );
+                assert!(summary.contains("--max-reconnects 2"), "summary: {summary}");
+            }
+            other => panic!("expected GaveUp, got {other:?}"),
+        }
+        assert_eq!(exit.code(), 1, "a gone hub is an operator-visible failure");
     }
 
     fn tempdir(tag: &str) -> std::path::PathBuf {

@@ -23,10 +23,15 @@
 //! |                                      | partial result, exit cleanly  |
 //! | SIGINT/SIGTERM                       | same as drain, exit 130       |
 //! | reconnect window exhausted           | give up with an error         |
+//! | `--max-reconnects` consecutive fails | give up with an error         |
 //!
 //! The reconnect window restarts on every successful handshake, so a
 //! supervisor that is merely being restarted (`kill -9` + `--resume`)
-//! keeps its workers as long as it comes back within the window.
+//! keeps its workers as long as it comes back within the window. The
+//! consecutive-failure budget ([`DEFAULT_MAX_RECONNECTS`]) resets the
+//! same way; it bounds the worker's lifetime when the hub is gone for
+//! good (decommissioned, DNS removed) and the window alone would keep
+//! it retrying pointlessly.
 
 use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -39,6 +44,11 @@ use crate::codec::{encode, Frame, FrameBuf, Msg, PROTOCOL_VERSION, REJECT_SIG};
 /// How long a worker keeps retrying to (re)connect without one
 /// successful handshake before giving up.
 pub const DEFAULT_RECONNECT_FOR: Duration = Duration::from_secs(120);
+
+/// Consecutive failed connection attempts (no successful handshake in
+/// between) a worker tolerates before giving up — the `--max-reconnects`
+/// default.
+pub const DEFAULT_MAX_RECONNECTS: u32 = 10;
 
 /// Idle liveness: the worker pings about once a second; a supervisor
 /// silent this long is presumed gone.
@@ -61,6 +71,10 @@ pub struct DistWorkerOptions {
     pub tag: String,
     /// Reconnect window (see [`DEFAULT_RECONNECT_FOR`]).
     pub reconnect_for: Duration,
+    /// Consecutive connection failures tolerated before giving up
+    /// (see [`DEFAULT_MAX_RECONNECTS`]); a successful handshake resets
+    /// the count.
+    pub max_reconnects: u32,
 }
 
 /// What one executed point produced.
@@ -223,11 +237,13 @@ pub fn run_dist_worker(
     musa_pool::signals::install_term_handlers();
     let salt = musa_store::fnv1a_64(opts.tag.as_bytes());
     let mut conn_attempt: u32 = 0;
+    let mut failures: u32 = 0;
     let mut window_ends = Instant::now() + opts.reconnect_for;
     loop {
         if musa_pool::signals::termination_requested() {
             return Ok(WorkerExit::Interrupted);
         }
+        let window_before = window_ends;
         match serve_connection(opts, runner, conn_attempt, &mut window_ends) {
             Ok(ServeEnd::Drained) => return Ok(WorkerExit::Drained),
             Ok(ServeEnd::Interrupted) => return Ok(WorkerExit::Interrupted),
@@ -236,6 +252,20 @@ pub fn run_dist_worker(
             }
             Err(ServeErr::Fatal(e)) => return Err(e),
             Err(ServeErr::Conn(e)) => {
+                // A restarted window means this connection handshook
+                // before dying: the hub is alive, so the
+                // consecutive-failure budget starts over.
+                if window_ends != window_before {
+                    failures = 0;
+                }
+                failures = failures.saturating_add(1);
+                if failures > opts.max_reconnects {
+                    return Ok(WorkerExit::GaveUp(format!(
+                        "supervisor unreachable after {failures} consecutive connection \
+                         failures (--max-reconnects {}; last error: {e})",
+                        opts.max_reconnects
+                    )));
+                }
                 if Instant::now() >= window_ends {
                     return Ok(WorkerExit::GaveUp(format!(
                         "no supervisor within the reconnect window (last error: {e})"

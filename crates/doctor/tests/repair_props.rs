@@ -1,0 +1,266 @@
+//! Property tests of `musa_doctor::repair`: for any mix of injected
+//! corruption across the stub-safe durable families (lease journal,
+//! search journal, profiles, artifact tmp litter, stale heartbeats),
+//! one repair pass converges to a clean store (exit 0), a second pass
+//! is a byte-identical no-op, and every complete garbage line ends up
+//! as quarantine evidence — repair never silently destroys data.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use proptest::prelude::*;
+
+static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+fn tmp_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "musa-doctor-prop-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// What to do to the search journal, if anything. Valid header/gen
+/// lines are written first in every non-`Absent` variant.
+#[derive(Clone, Copy, Debug)]
+enum SearchHarm {
+    Absent,
+    Clean,
+    /// Unterminated garbage fragment after the valid lines.
+    TornTail,
+    /// Terminated garbage line between valid lines (whole-file
+    /// quarantine path).
+    Interior,
+    /// A second header line (structural corruption).
+    DupHeader,
+}
+
+/// One generated corruption mix. Every field is independently small so
+/// shrinking isolates the family that breaks an invariant.
+#[derive(Clone, Debug)]
+struct Harm {
+    lease_garbage: Vec<String>,
+    lease_torn: bool,
+    search: SearchHarm,
+    profile_garbage: Vec<String>,
+    tmp_litter: u8,
+    heartbeats: u8,
+}
+
+/// Letters only: never parses as a lease event, a profile record, or
+/// JSON, and never collides with blank-line handling.
+fn garbage_line(rng: &mut proptest::Prng) -> String {
+    let len = 3 + (rng.next_u64() % 14) as usize;
+    (0..len)
+        .map(|_| (b'a' + (rng.next_u64() % 26) as u8) as char)
+        .collect()
+}
+
+struct HarmStrategy;
+
+impl Strategy for HarmStrategy {
+    type Value = Harm;
+    fn sample(&self, rng: &mut proptest::Prng) -> Harm {
+        let lease_garbage = (0..rng.next_u64() % 4).map(|_| garbage_line(rng)).collect();
+        let lease_torn = rng.next_u64() & 1 == 1;
+        let search = match rng.next_u64() % 5 {
+            0 => SearchHarm::Absent,
+            1 => SearchHarm::Clean,
+            2 => SearchHarm::TornTail,
+            3 => SearchHarm::Interior,
+            _ => SearchHarm::DupHeader,
+        };
+        let profile_garbage = (0..rng.next_u64() % 3).map(|_| garbage_line(rng)).collect();
+        Harm {
+            lease_garbage,
+            lease_torn,
+            search,
+            profile_garbage,
+            tmp_litter: (rng.next_u64() % 3) as u8,
+            heartbeats: (rng.next_u64() % 3) as u8,
+        }
+    }
+}
+
+const SEARCH_HEADER: &str = r#"{"v":1,"kind":"header","space":"tiny","seed":9,"budget":24}"#;
+const SEARCH_GEN: &str = r#"{"v":1,"kind":"gen","gen":0,"evaluated":8}"#;
+
+fn inject(dir: &Path, harm: &Harm) {
+    if !harm.lease_garbage.is_empty() || harm.lease_torn {
+        let mut text = String::new();
+        for line in &harm.lease_garbage {
+            text.push_str(line);
+            text.push('\n');
+        }
+        if harm.lease_torn {
+            text.push_str("torn-frag"); // no trailing newline
+        }
+        std::fs::write(dir.join(musa_store::LEASE_JOURNAL_FILE), text).unwrap();
+    }
+
+    let search_dir = dir.join(musa_search::SEARCH_DIR);
+    let journal = search_dir.join(musa_search::JOURNAL_FILE);
+    match harm.search {
+        SearchHarm::Absent => {}
+        SearchHarm::Clean => {
+            std::fs::create_dir_all(&search_dir).unwrap();
+            std::fs::write(&journal, format!("{SEARCH_HEADER}\n{SEARCH_GEN}\n")).unwrap();
+        }
+        SearchHarm::TornTail => {
+            std::fs::create_dir_all(&search_dir).unwrap();
+            std::fs::write(
+                &journal,
+                format!("{SEARCH_HEADER}\n{SEARCH_GEN}\n{{\"v\":1,\"ki"),
+            )
+            .unwrap();
+        }
+        SearchHarm::Interior => {
+            std::fs::create_dir_all(&search_dir).unwrap();
+            std::fs::write(
+                &journal,
+                format!("{SEARCH_HEADER}\nnot json at all\n{SEARCH_GEN}\n"),
+            )
+            .unwrap();
+        }
+        SearchHarm::DupHeader => {
+            std::fs::create_dir_all(&search_dir).unwrap();
+            std::fs::write(&journal, format!("{SEARCH_HEADER}\n{SEARCH_HEADER}\n")).unwrap();
+        }
+    }
+
+    if !harm.profile_garbage.is_empty() {
+        let mut text = String::new();
+        for line in &harm.profile_garbage {
+            text.push_str(line);
+            text.push('\n');
+        }
+        std::fs::write(dir.join(musa_prof::PROFILES_FILE), text).unwrap();
+    }
+
+    if harm.tmp_litter > 0 {
+        let artifacts = dir.join(musa_cache::ARTIFACT_DIR);
+        std::fs::create_dir_all(&artifacts).unwrap();
+        for i in 0..harm.tmp_litter {
+            std::fs::write(
+                artifacts.join(format!(".litter-{i}.999.{i}.tmp")),
+                b"half-written artifact",
+            )
+            .unwrap();
+        }
+    }
+
+    if harm.heartbeats > 0 {
+        let pool = dir.join(musa_pool::lease::SCRATCH_DIR);
+        std::fs::create_dir_all(&pool).unwrap();
+        for i in 0..harm.heartbeats {
+            std::fs::write(pool.join(format!("hb-{i:04}")), b"1234\n").unwrap();
+        }
+    }
+}
+
+/// Recursive byte snapshot of the store directory, keyed by relative
+/// path — the idempotence oracle.
+fn snapshot(dir: &Path) -> BTreeMap<PathBuf, Vec<u8>> {
+    let mut out = BTreeMap::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in std::fs::read_dir(&d).unwrap() {
+            let path = entry.unwrap().path();
+            if path.is_dir() {
+                stack.push(path);
+            } else {
+                let rel = path.strip_prefix(dir).unwrap().to_path_buf();
+                out.insert(rel, std::fs::read(&path).unwrap());
+            }
+        }
+    }
+    out
+}
+
+/// Evidence lines across the active quarantine ledger and every
+/// retained rotation.
+fn evidence_lines(report: &musa_doctor::DoctorReport) -> u64 {
+    let q = report.family("quarantine").expect("quarantine family");
+    q.counter("evidence_lines") + q.counter("rotated_lines")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Repair converges in one pass, is a byte-identical no-op on the
+    /// second, and quarantines (never destroys) every complete
+    /// garbage line it removes.
+    #[test]
+    fn repair_is_idempotent_and_never_worse(harm in HarmStrategy) {
+        let dir = tmp_dir();
+        inject(&dir, &harm);
+
+        let before = musa_doctor::audit(&dir).unwrap();
+
+        let first = musa_doctor::repair(&dir).unwrap();
+        prop_assert_eq!(
+            first.exit_code(), 0,
+            "one repair pass must converge: {}", first.render_text()
+        );
+        // Repair never makes the grade worse than the pre-repair audit.
+        prop_assert!(first.severity() <= before.severity());
+
+        // Every complete garbage line (lease + profile) and every
+        // interior-corrupt search journal must survive as evidence.
+        let expected = harm.lease_garbage.len() as u64
+            + harm.profile_garbage.len() as u64
+            + matches!(harm.search, SearchHarm::Interior | SearchHarm::DupHeader) as u64;
+        prop_assert!(
+            evidence_lines(&first) >= expected,
+            "expected >= {} evidence lines, got {}",
+            expected,
+            evidence_lines(&first)
+        );
+
+        // A clean search journal is untouched by repair.
+        if matches!(harm.search, SearchHarm::Clean) {
+            let text = std::fs::read_to_string(
+                dir.join(musa_search::SEARCH_DIR).join(musa_search::JOURNAL_FILE),
+            ).unwrap();
+            prop_assert_eq!(text, format!("{SEARCH_HEADER}\n{SEARCH_GEN}\n"));
+        }
+        // A torn tail is truncated back to the valid prefix, keeping
+        // every complete line.
+        if matches!(harm.search, SearchHarm::TornTail) {
+            let text = std::fs::read_to_string(
+                dir.join(musa_search::SEARCH_DIR).join(musa_search::JOURNAL_FILE),
+            ).unwrap();
+            prop_assert_eq!(text, format!("{SEARCH_HEADER}\n{SEARCH_GEN}\n"));
+        }
+
+        let after_first = snapshot(&dir);
+        let second = musa_doctor::repair(&dir).unwrap();
+        prop_assert_eq!(second.exit_code(), 0);
+        let after_second = snapshot(&dir);
+        prop_assert_eq!(
+            &after_first, &after_second,
+            "second repair must be a byte-identical no-op"
+        );
+        prop_assert!(evidence_lines(&second) >= evidence_lines(&first));
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Auditing never mutates the store, whatever state it is in.
+    #[test]
+    fn audit_is_read_only(harm in HarmStrategy) {
+        let dir = tmp_dir();
+        inject(&dir, &harm);
+
+        let before = snapshot(&dir);
+        let report = musa_doctor::audit(&dir).unwrap();
+        let after = snapshot(&dir);
+        prop_assert_eq!(&before, &after, "audit must not write: {}", report.render_text());
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -24,6 +24,7 @@
 //! point   := 'sim.point' | 'store.flush' | 'store.rewrite' | 'export.write'
 //!          | 'pool.lease' | 'worker.spawn' | 'cache.write' | 'prof.append'
 //!          | 'dist.accept' | 'dist.frame.send' | 'dist.frame.recv'
+//!          | 'doctor.scan' | 'doctor.repair'
 //! action  := 'io' | 'panic' | 'garble' | 'delay:' count unit
 //! unit    := 'us' | 'ms' | 's'
 //! prob    := decimal in (0, 1]
@@ -60,7 +61,7 @@ pub const COMPILED: bool = cfg!(feature = "runtime");
 /// Failpoints known to the pipeline; [`FaultPlan::parse`] rejects
 /// anything else so a typo'd spec fails fast instead of silently
 /// injecting nothing.
-pub const KNOWN_POINTS: [&str; 11] = [
+pub const KNOWN_POINTS: [&str; 13] = [
     "sim.point",
     "store.flush",
     "store.rewrite",
@@ -72,6 +73,8 @@ pub const KNOWN_POINTS: [&str; 11] = [
     "dist.accept",
     "dist.frame.send",
     "dist.frame.recv",
+    "doctor.scan",
+    "doctor.repair",
 ];
 
 /// Seed used when a spec does not carry a `seed=` entry.
@@ -559,6 +562,15 @@ mod tests {
         // and still subject to the probability grammar.
         assert!(FaultPlan::parse("store.flush=garble@0").is_err());
         assert!(FaultPlan::parse("dist.frame.send=garble").is_err());
+    }
+
+    #[test]
+    fn grammar_accepts_doctor_failpoints() {
+        let plan = FaultPlan::parse("doctor.scan=io@0.5,doctor.repair=io@1.0").unwrap();
+        assert_eq!(plan.points.len(), 2);
+        assert_eq!(plan.points[0].point, "doctor.scan");
+        assert_eq!(plan.points[1].point, "doctor.repair");
+        assert!(FaultPlan::parse("doctor.bogus=io@0.5").is_err());
     }
 
     #[test]

@@ -113,7 +113,8 @@ pub fn respond(engine: &QueryEngine, allow_quit: bool, req: &Request) -> (Respon
                 .field_u64("quarantined", health.quarantined)
                 .field_u64("files_skipped", health.files_skipped)
                 .field_u64("tails_repaired", health.tails_repaired)
-                .field_u64("pool_poisoned", health.pool_poisoned);
+                .field_u64("pool_poisoned", health.pool_poisoned)
+                .field_u64("quarantine_rotated", health.quarantine_rotated);
             // Distributed-campaign visibility: present only when a
             // `dse --listen` supervisor left a beacon beside the store.
             if let Some(dist) = engine.dist_status() {
@@ -121,6 +122,14 @@ pub fn respond(engine: &QueryEngine, allow_quit: bool, req: &Request) -> (Respon
                     .field_u64("dist_workers", dist.workers)
                     .field_bool("dist_draining", dist.draining)
                     .field_bool("dist_stale", dist.stale);
+            }
+            // Integrity visibility: present only when `dse doctor`
+            // left a verdict beacon beside the store.
+            if let Some(doc) = engine.doctor_status() {
+                body = body
+                    .field_str("doctor_severity", &doc.severity)
+                    .field_bool("doctor_repaired", doc.repaired)
+                    .field_u64("doctor_checked_unix", doc.checked_unix);
             }
             Ok(Response::ok(body.finish()))
         }
@@ -396,6 +405,42 @@ mod tests {
         assert_eq!(body.get("dist_workers").unwrap().as_u64(), Some(3));
         assert_eq!(body.get("dist_draining"), Some(&JsonValue::Bool(false)));
         assert_eq!(body.get("dist_stale"), Some(&JsonValue::Bool(false)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn healthz_surfaces_the_doctor_beacon_when_present() {
+        // In-memory engine: the doctor_* fields are absent.
+        let body = JsonValue::parse(&get(&engine(), "/healthz").body).unwrap();
+        assert!(body.get("doctor_severity").is_none());
+
+        let dir =
+            std::env::temp_dir().join(format!("musa-serve-api-doctor-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("doctor-status.json"),
+            "{\"severity\":\"degraded\",\"exit_code\":1,\"repaired\":true,\
+             \"checked_unix\":1754700000}",
+        )
+        .unwrap();
+        let e = QueryEngine::open(&dir).unwrap();
+        let body = JsonValue::parse(&get(&e, "/healthz").body).unwrap();
+        assert_eq!(
+            body.get("doctor_severity").unwrap().as_str(),
+            Some("degraded")
+        );
+        assert_eq!(body.get("doctor_repaired"), Some(&JsonValue::Bool(true)));
+        assert_eq!(
+            body.get("doctor_checked_unix").unwrap().as_u64(),
+            Some(1754700000)
+        );
+
+        // Garbage beacons are ignored, not surfaced.
+        std::fs::write(dir.join("doctor-status.json"), b"not json").unwrap();
+        let e = QueryEngine::open(&dir).unwrap();
+        let body = JsonValue::parse(&get(&e, "/healthz").body).unwrap();
+        assert!(body.get("doctor_severity").is_none());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -154,6 +154,8 @@ pub struct QueryEngine {
     /// Path of the distributed-campaign status beacon (store opens
     /// only; in-memory engines have none).
     dist_status: Option<std::path::PathBuf>,
+    /// Path of the `dse doctor` status beacon (store opens only).
+    doctor_status: Option<std::path::PathBuf>,
 }
 
 /// Snapshot of the `dse --listen` supervisor's status beacon, read
@@ -175,11 +177,33 @@ pub struct DistStatus {
 /// from scheduler jitter.
 const DIST_STATUS_STALE_SECS: u64 = 30;
 
+/// Snapshot of the last `dse doctor` integrity pass over the backing
+/// store, read fresh on every `/healthz` like [`DistStatus`]. Unlike
+/// the dist beacon there is no staleness cutoff — an audit verdict
+/// stays meaningful until the next one; `checked_unix` lets callers
+/// apply their own freshness policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DoctorStatus {
+    /// Worst family grade of the last pass: "ok", "degraded" or
+    /// "corrupt".
+    pub severity: String,
+    /// Whether that pass was a `--repair` (true) or a plain audit.
+    pub repaired: bool,
+    /// Unix time the pass finished.
+    pub checked_unix: u64,
+}
+
 /// File name of the status beacon a `dse --listen` supervisor
 /// maintains in the store directory (kept in sync with
 /// `musa_dist::STATUS_FILE`; duplicated here so the read-only query
 /// server does not pull in the distributed-execution stack).
 const DIST_STATUS_FILE: &str = "dist-status.json";
+
+/// File name of the beacon `dse doctor --repair` leaves after a
+/// store-wide integrity pass (kept in sync with
+/// `musa_doctor::DOCTOR_STATUS_FILE`; duplicated for the same reason
+/// as [`DIST_STATUS_FILE`]).
+const DOCTOR_STATUS_FILE: &str = "doctor-status.json";
 
 impl QueryEngine {
     /// Index a set of results. Row ids are positions in `rows`.
@@ -207,6 +231,7 @@ impl QueryEngine {
             postings,
             health: StoreHealth::default(),
             dist_status: None,
+            doctor_status: None,
         }
     }
 
@@ -221,6 +246,7 @@ impl QueryEngine {
         let mut engine = QueryEngine::new(rows);
         engine.health = health;
         engine.dist_status = Some(dir.join(DIST_STATUS_FILE));
+        engine.doctor_status = Some(dir.join(DOCTOR_STATUS_FILE));
         Ok(engine)
     }
 
@@ -244,6 +270,24 @@ impl QueryEngine {
                 Some(musa_obs::json::JsonValue::Bool(true))
             ),
             stale: now.saturating_sub(updated) > DIST_STATUS_STALE_SECS,
+        })
+    }
+
+    /// The last `dse doctor` verdict beside the store, if one exists:
+    /// `None` for in-memory engines, stores never audited, or an
+    /// unparseable beacon. Read fresh per call like [`Self::dist_status`]
+    /// — the doctor runs out-of-process.
+    pub fn doctor_status(&self) -> Option<DoctorStatus> {
+        let path = self.doctor_status.as_ref()?;
+        let raw = std::fs::read_to_string(path).ok()?;
+        let v = musa_obs::json::JsonValue::parse(&raw).ok()?;
+        Some(DoctorStatus {
+            severity: v.get("severity")?.as_str()?.to_string(),
+            repaired: matches!(
+                v.get("repaired"),
+                Some(musa_obs::json::JsonValue::Bool(true))
+            ),
+            checked_unix: v.get("checked_unix").and_then(|u| u.as_u64()).unwrap_or(0),
         })
     }
 

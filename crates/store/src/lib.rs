@@ -64,6 +64,7 @@ pub use journal::{JournalReplay, LeaseEvent, LeaseJournal, PoolPoisonRecord, LEA
 pub use key::{fnv1a_64, PointKey, SCHEMA_VERSION};
 pub use shard::Shard;
 pub use store::{
-    CampaignStore, FillOptions, FillReport, PoisonedPoint, QuarantineRecord, StoreHealth, StoreRow,
-    DEFAULT_BATCH, DEFAULT_MAX_RETRIES, DEFAULT_WRITE_FILE, QUARANTINE_FILE,
+    is_quarantine_file, quarantine_evidence, CampaignStore, FillOptions, FillReport, PoisonedPoint,
+    QuarantineRecord, StoreHealth, StoreRow, DEFAULT_BATCH, DEFAULT_MAX_RETRIES,
+    DEFAULT_WRITE_FILE, QUARANTINE_FILE, QUARANTINE_KEEP, QUARANTINE_ROTATE_BYTES,
 };

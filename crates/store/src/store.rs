@@ -55,6 +55,73 @@ pub const DEFAULT_WRITE_FILE: &str = "rows.jsonl";
 /// per line). Never loaded as campaign data.
 pub const QUARANTINE_FILE: &str = "quarantine.jsonl";
 
+/// Size cap (bytes) at which [`QUARANTINE_FILE`] rotates to
+/// `quarantine.1.jsonl` before the next append: existing rotations
+/// shift up and the one past [`QUARANTINE_KEEP`] is dropped (its loss
+/// recorded on the `store.quarantine_dropped` counter). Lines moved
+/// out of the primary are counted in
+/// [`StoreHealth::quarantine_rotated`] so `/healthz` stays honest
+/// about evidence that no longer sits in the primary file.
+/// `MUSA_QUARANTINE_CAP` (bytes) overrides the cap — tests use tiny
+/// ones to exercise rotation cheaply.
+pub const QUARANTINE_ROTATE_BYTES: u64 = 1 << 20;
+
+/// Rotated quarantine files kept beside the primary
+/// (`quarantine.1.jsonl` … `quarantine.K.jsonl`, newest first).
+pub const QUARANTINE_KEEP: u32 = 3;
+
+/// `true` for the quarantine file and its rotations — provenance
+/// evidence, never loaded as campaign rows. The prefix test matters:
+/// a rotation (`quarantine.1.jsonl`) mistaken for a row shard would
+/// flood the quarantine with its own records on the next open.
+pub fn is_quarantine_file(name: &str) -> bool {
+    name == QUARANTINE_FILE || (name.starts_with("quarantine.") && name.ends_with(".jsonl"))
+}
+
+fn quarantine_rotation_path(dir: &Path, i: u32) -> PathBuf {
+    dir.join(format!("quarantine.{i}.jsonl"))
+}
+
+fn quarantine_cap() -> u64 {
+    std::env::var("MUSA_QUARANTINE_CAP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(QUARANTINE_ROTATE_BYTES)
+}
+
+/// Append one provenance record produced *outside* the row loader —
+/// a corrupt journal line the doctor pulled, a preserved file moved
+/// aside — to `<dir>/quarantine.jsonl`, with the loader's own dedupe
+/// across the primary file and every rotation. Returns `true` when a
+/// line was appended, `false` when the identical incident (same raw
+/// bytes, same reason) was already on record. The line is built with
+/// the dependency-free JSON writer — byte-identical to the serde
+/// encoding of [`QuarantineRecord`] — so this works under the stubbed
+/// serde runtime too.
+pub fn quarantine_evidence(dir: &Path, record: &QuarantineRecord) -> std::io::Result<bool> {
+    let path = dir.join(QUARANTINE_FILE);
+    let mut seen = existing_quarantine_fingerprints(&path);
+    for i in 1..=QUARANTINE_KEEP {
+        seen.extend(existing_quarantine_fingerprints(&quarantine_rotation_path(
+            dir, i,
+        )));
+    }
+    if seen.contains(&quarantine_fingerprint(&record.raw, &record.reason)) {
+        return Ok(false);
+    }
+    let line = musa_obs::json::JsonObj::new()
+        .field_str("file", &record.file)
+        .field_u64("line", record.line as u64)
+        .field_str("reason", &record.reason)
+        .field_str("raw", &record.raw)
+        .finish();
+    let mut file = OpenOptions::new().create(true).append(true).open(path)?;
+    file.write_all(line.as_bytes())?;
+    file.write_all(b"\n")?;
+    file.sync_all()?;
+    Ok(true)
+}
+
 /// Default number of points simulated between flushes.
 pub const DEFAULT_BATCH: usize = 64;
 
@@ -237,6 +304,13 @@ pub struct StoreHealth {
     /// journal. These rows are *absent* from the store and a plain
     /// resume will not re-attempt them.
     pub pool_poisoned: u64,
+    /// Quarantine records rotated out of the primary
+    /// [`QUARANTINE_FILE`]: lines sitting in `quarantine.N.jsonl`
+    /// rotations at open time, plus lines moved out of the primary by
+    /// rotations during this store's lifetime. Keeps the total
+    /// quarantine evidence reported by `/healthz` honest after the
+    /// size-capped primary rotates.
+    pub quarantine_rotated: u64,
 }
 
 impl StoreHealth {
@@ -460,14 +534,24 @@ impl CampaignStore {
             .filter_map(|e| e.ok())
             .map(|e| e.path())
             .filter(|p| p.extension().is_some_and(|x| x == "jsonl"))
-            // Not row shards: the quarantine file (corrupt rows set
-            // aside by repair) and the profiling flight record.
+            // Not row shards: the quarantine file and its rotations
+            // (corrupt rows set aside by repair) and the profiling
+            // flight record.
             .filter(|p| {
                 p.file_name()
-                    .is_none_or(|n| n != QUARANTINE_FILE && n != musa_prof::PROFILES_FILE)
+                    .and_then(|n| n.to_str())
+                    .is_none_or(|n| !is_quarantine_file(n) && n != musa_prof::PROFILES_FILE)
             })
             .collect();
         files.sort();
+        // Count pre-existing rotation lines before any repair below
+        // rotates more: evidence already outside the primary at open
+        // time, never double-counted with this open's own rotations.
+        for i in 1..=QUARANTINE_KEEP {
+            if let Ok(text) = std::fs::read_to_string(quarantine_rotation_path(&store.dir, i)) {
+                store.health.quarantine_rotated += text.lines().count() as u64;
+            }
+        }
         for file in files {
             store.load_file(&file)?;
         }
@@ -643,13 +727,19 @@ impl CampaignStore {
         atomic_write(path, repaired.as_bytes(), "store.rewrite")
     }
 
-    fn append_quarantine(&self, records: &[QuarantineRecord]) -> std::io::Result<()> {
-        // Dedupe against what is already quarantined: a row that keeps
-        // reappearing (same raw bytes, same reason — e.g. a corrupt
-        // shard recreated by a buggy sync job) must not grow the
-        // quarantine file without bound across repeated opens.
+    fn append_quarantine(&mut self, records: &[QuarantineRecord]) -> std::io::Result<()> {
+        // Dedupe against what is already quarantined — primary file and
+        // rotations alike: a row that keeps reappearing (same raw
+        // bytes, same reason — e.g. a corrupt shard recreated by a
+        // buggy sync job) must not grow the quarantine file without
+        // bound across repeated opens.
         let path = self.dir.join(QUARANTINE_FILE);
-        let seen = existing_quarantine_fingerprints(&path);
+        let mut seen = existing_quarantine_fingerprints(&path);
+        for i in 1..=QUARANTINE_KEEP {
+            seen.extend(existing_quarantine_fingerprints(&quarantine_rotation_path(
+                &self.dir, i,
+            )));
+        }
         let mut out = String::new();
         let mut suppressed = 0u64;
         for record in records {
@@ -671,9 +761,54 @@ impl CampaignStore {
         if out.is_empty() {
             return Ok(());
         }
+        // Rotate before the append would push the primary past the size
+        // cap; a non-empty primary is required so a single oversized
+        // batch still lands somewhere instead of rotating forever.
+        let current_len = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        if current_len > 0 && current_len + out.len() as u64 > quarantine_cap() {
+            self.rotate_quarantine()?;
+        }
         let mut file = OpenOptions::new().create(true).append(true).open(path)?;
         file.write_all(out.as_bytes())?;
         file.sync_all()
+    }
+
+    /// Shift `quarantine.jsonl` → `quarantine.1.jsonl` → … and drop the
+    /// rotation past [`QUARANTINE_KEEP`], counting the lines moved out
+    /// of the primary in [`StoreHealth::quarantine_rotated`] (dropped
+    /// lines tick the `store.quarantine_dropped` counter) so `/healthz`
+    /// stays honest about evidence no longer in the primary file.
+    fn rotate_quarantine(&mut self) -> std::io::Result<()> {
+        let oldest = quarantine_rotation_path(&self.dir, QUARANTINE_KEEP);
+        if let Ok(text) = std::fs::read_to_string(&oldest) {
+            let dropped = text.lines().count() as u64;
+            std::fs::remove_file(&oldest)?;
+            musa_obs::counter_add("store.quarantine_dropped", dropped);
+            musa_obs::warn(
+                "musa-store",
+                "oldest quarantine rotation dropped",
+                &[("rows", dropped.into())],
+            );
+        }
+        for i in (1..QUARANTINE_KEEP).rev() {
+            let from = quarantine_rotation_path(&self.dir, i);
+            if from.exists() {
+                std::fs::rename(&from, quarantine_rotation_path(&self.dir, i + 1))?;
+            }
+        }
+        let primary = self.dir.join(QUARANTINE_FILE);
+        let rotated_lines = std::fs::read_to_string(&primary)
+            .map(|t| t.lines().count() as u64)
+            .unwrap_or(0);
+        std::fs::rename(&primary, quarantine_rotation_path(&self.dir, 1))?;
+        self.health.quarantine_rotated += rotated_lines;
+        musa_obs::counter_add("store.quarantine_rotations", 1);
+        musa_obs::info(
+            "musa-store",
+            "quarantine file rotated",
+            &[("rows", rotated_lines.into())],
+        );
+        Ok(())
     }
 
     /// Directory this store lives in.

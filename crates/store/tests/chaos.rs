@@ -116,7 +116,10 @@ fn sorted_store_lines(dir: &Path) -> Vec<String> {
     for entry in std::fs::read_dir(dir).unwrap().filter_map(|e| e.ok()) {
         let path = entry.path();
         if path.extension().is_some_and(|x| x == "jsonl")
-            && path.file_name().is_none_or(|n| n != QUARANTINE_FILE)
+            && path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_none_or(|n| !musa_store::is_quarantine_file(n))
         {
             lines.extend(
                 std::fs::read_to_string(&path)
@@ -429,6 +432,111 @@ fn delay_faults_never_change_the_campaign_bytes() {
     assert_eq!(sorted_store_lines(&dir), sorted_store_lines(&ref_dir));
     let _ = std::fs::remove_dir_all(&dir);
     let _ = std::fs::remove_dir_all(&ref_dir);
+}
+
+#[test]
+fn enospc_full_disk_fill_fails_cleanly_and_resume_converges() {
+    if !serde_json_works() || !musa_fault::COMPILED {
+        eprintln!("skipping: needs runtime serde_json and the fault feature");
+        return;
+    }
+    let _g = chaos_lock();
+    let apps = [AppId::Hydro];
+    let configs = config_slice(6);
+    let ref_dir = reference_run("enospc-ref", &apps, &configs);
+    let dir = tmp_dir("enospc");
+
+    // The full-disk signature: EVERY flush fails, retries included —
+    // unlike a transient error, waiting does not help. The fill must
+    // surface a clear diagnostic instead of spinning.
+    musa_fault::set_plan(Some(plan(7, "store.flush", FaultAction::Io, 1.0)));
+    {
+        let mut store = CampaignStore::open(&dir).unwrap();
+        let err = store.fill(&apps, &configs, &quiet(sweep())).unwrap_err();
+        assert!(
+            err.to_string().contains("injected fault at store.flush"),
+            "ENOSPC diagnostic must name the failing operation: {err}"
+        );
+        // The store is dropped while the disk is still "full" — the
+        // worst case for torn shards.
+    }
+    musa_fault::set_plan(None);
+
+    // No torn shard: whatever landed is whole, newline-terminated rows.
+    let text = std::fs::read_to_string(dir.join("rows.jsonl")).unwrap_or_default();
+    assert!(
+        text.is_empty() || text.ends_with('\n'),
+        "a failed fill must not leave a torn shard"
+    );
+    let reopened = CampaignStore::open(&dir).unwrap();
+    assert_eq!(
+        reopened.health().tails_repaired,
+        0,
+        "no torn tail after an out-of-space abort"
+    );
+    assert_eq!(reopened.health().quarantined, 0);
+    drop(reopened);
+
+    // Space returns: --resume must converge byte-identically.
+    let mut store = CampaignStore::open(&dir).unwrap();
+    store.fill(&apps, &configs, &quiet(sweep())).unwrap();
+    drop(store);
+    assert_eq!(sorted_store_lines(&dir), sorted_store_lines(&ref_dir));
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&ref_dir);
+}
+
+#[test]
+fn enospc_rewrite_fault_leaves_the_shard_intact() {
+    if !serde_json_works() || !musa_fault::COMPILED {
+        eprintln!("skipping: needs runtime serde_json and the fault feature");
+        return;
+    }
+    let _g = chaos_lock();
+    let apps = [AppId::Spmz];
+    let configs = config_slice(3);
+    let dir = tmp_dir("enospc-rw");
+    {
+        let mut store = CampaignStore::open(&dir).unwrap();
+        store.fill(&apps, &configs, &quiet(sweep())).unwrap();
+    }
+    // Corrupt one line so the next repairing open wants to rewrite.
+    let shard = dir.join("rows.jsonl");
+    let mut text = std::fs::read_to_string(&shard).unwrap();
+    text.push_str("corrupt line for the rewrite drill\n");
+    std::fs::write(&shard, &text).unwrap();
+
+    // Full disk at rewrite time: the open must fail — and leave the
+    // original shard byte-identical, with no temp litter.
+    musa_fault::set_plan(Some(plan(7, "store.rewrite", FaultAction::Io, 1.0)));
+    let err = match CampaignStore::open(&dir) {
+        Ok(_) => panic!("open must fail while the disk is full"),
+        Err(e) => e,
+    };
+    assert!(
+        err.to_string().contains("injected fault at store.rewrite"),
+        "{err}"
+    );
+    musa_fault::set_plan(None);
+    assert_eq!(std::fs::read_to_string(&shard).unwrap(), text);
+    let stray = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+        .count();
+    assert_eq!(stray, 0, "failed rewrites must not strand temp files");
+
+    // Space returns: the repair completes and quarantines the corrupt
+    // line exactly once (the aborted attempt's record is deduped).
+    let store = CampaignStore::open(&dir).unwrap();
+    assert_eq!(store.len(), configs.len());
+    assert_eq!(store.health().quarantined, 1);
+    drop(store);
+    let q = std::fs::read_to_string(dir.join(QUARANTINE_FILE)).unwrap();
+    assert_eq!(q.lines().count(), 1, "dedupe spans the aborted attempt");
+    let again = CampaignStore::open(&dir).unwrap();
+    assert_eq!(again.health().quarantined, 0, "repair sticks");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 // ---------------------------------------------------------------------

@@ -44,6 +44,12 @@ echo "== serve without observability =="
 # compiled out — the full e2e suite runs both ways.
 cargo test -q -p musa-serve --no-default-features
 
+echo "== doctor without obs and without faults =="
+# The audit/repair layer must work with everything compiled out — it
+# reads other processes' damage, not its own instrumentation.
+cargo build -p musa-doctor --no-default-features
+cargo test -q -p musa-doctor --no-default-features
+
 echo "== build with profiling compiled out (obs + fault kept) =="
 # The flight recorder must fold away independently of the rest of the
 # instrumentation; `dse profile` (reading, aggregation, trace export)
@@ -73,6 +79,16 @@ bash scripts/prof_smoke.sh
 
 echo "== serve smoke (real binary, ephemeral port) =="
 bash scripts/serve_smoke.sh
+
+echo "== doctor e2e (audit/repair contract through the real binary) =="
+# Corrupt four durable families at once; `dse doctor --repair` must
+# restore exit 0 idempotently with every removed line in quarantine.
+# Runs fully even where rows cannot persist — the corrupted families
+# are parsed by hand-rolled readers.
+cargo test -q -p musa-bench --test doctor_e2e
+
+echo "== doctor smoke (multi-family corruption, real binary) =="
+bash scripts/doctor_smoke.sh
 
 echo "== pool smoke (supervised --workers 2 vs sequential) =="
 # Byte-identity of the multi-process fill against a sequential run,
@@ -131,6 +147,15 @@ if [[ "${CHAOS:-0}" == "1" ]]; then
     # supervisor must merge them torn-tail-tolerantly and the trace
     # export must stay valid.
     CHAOS=1 cargo test -q -p musa-bench --test prof_e2e
+fi
+
+if [[ "${TORTURE:-0}" == "1" ]]; then
+    echo "== torture: seeded multi-fault storm (TORTURE=1) =="
+    # `dse torture` end to end: real campaigns under composed
+    # failpoints and kill -9, resumed to convergence; rows must be
+    # byte-identical to a never-faulted reference and `dse doctor`
+    # must repair to exit 0 without touching row bytes.
+    TORTURE=1 cargo test -q -p musa-bench --test doctor_e2e
 fi
 
 echo "All checks passed."

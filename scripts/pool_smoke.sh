@@ -35,7 +35,7 @@ fi
 store_lines() {
     # All data lines, sorted; quarantine records are repair metadata
     # and profiles carry wall-clock timings — neither is campaign data.
-    find "$1" -maxdepth 1 -name '*.jsonl' ! -name 'quarantine.jsonl' \
+    find "$1" -maxdepth 1 -name '*.jsonl' ! -name 'quarantine*' \
         ! -name 'profiles.jsonl' -exec cat {} + | sort
 }
 
